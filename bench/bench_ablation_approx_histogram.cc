@@ -1,0 +1,102 @@
+// Ablation — approximate (bucketized) histograms vs the exact per-value
+// histogram, the accuracy/memory trade-off the paper's conclusions propose
+// exploring. For a skewed binary join (C_{1,125K} x C'_{1,125K}, 150K rows
+// per side) we sweep the bucket count and report, at a 10% probe prefix:
+// the ratio error of the raw and bias-corrected bucketized estimates, the
+// histogram memory, and the exact estimator's numbers as the baseline.
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "estimators/approx_join.h"
+#include "estimators/join_once.h"
+
+namespace qpi {
+namespace {
+
+constexpr uint64_t kRows = 150000;
+constexpr uint32_t kDomain = 125000;
+
+struct Workload {
+  std::vector<uint64_t> build;
+  std::vector<uint64_t> probe;
+  double exact_join = 0;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  ZipfGenerator zb(1.0, kDomain, 1);
+  ZipfGenerator zp(1.0, kDomain, 2);
+  Pcg32 rng(99);
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t i = 0; i < kRows; ++i) {
+    uint64_t v = static_cast<uint64_t>(zb.Next(&rng));
+    w.build.push_back(v);
+    ++counts[v];
+  }
+  for (uint64_t i = 0; i < kRows; ++i) {
+    uint64_t v = static_cast<uint64_t>(zp.Next(&rng));
+    w.probe.push_back(v);
+    auto it = counts.find(v);
+    if (it != counts.end()) w.exact_join += static_cast<double>(it->second);
+  }
+  return w;
+}
+
+std::string Human(double bytes) {
+  if (bytes >= 1024.0 * 1024.0) {
+    return FormatDouble(bytes / (1024.0 * 1024.0), 2) + " MB";
+  }
+  return FormatDouble(bytes / 1024.0, 1) + " KB";
+}
+
+}  // namespace
+}  // namespace qpi
+
+int main() {
+  using namespace qpi;
+  std::printf(
+      "Ablation: exact vs bucketized estimation histograms on a skewed "
+      "join\n(C_1,125K x C'_1,125K, estimates taken at a 10%% probe "
+      "prefix; R = estimate/exact)\n\n");
+  Workload w = MakeWorkload();
+  size_t prefix = w.probe.size() / 10;
+
+  TablePrinter table({"histogram", "memory", "R (raw)", "R (bias-corr)"});
+
+  {
+    OnceBinaryJoinEstimator exact([] { return double(kRows); });
+    for (uint64_t k : w.build) exact.ObserveBuildKey(k);
+    exact.BuildComplete();
+    for (size_t i = 0; i < prefix; ++i) exact.ObserveProbeKey(w.probe[i]);
+    table.AddRow({"exact (open addressing)",
+                  Human(static_cast<double>(
+                      exact.build_histogram().AllocatedBytes())),
+                  FormatDouble(exact.Estimate() / w.exact_join, 4), "-"});
+  }
+  for (size_t buckets : {256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+    BucketizedJoinEstimator approx([] { return double(kRows); }, buckets);
+    for (uint64_t k : w.build) approx.ObserveBuildKey(k);
+    approx.BuildComplete();
+    for (size_t i = 0; i < prefix; ++i) approx.ObserveProbeKey(w.probe[i]);
+    table.AddRow(
+        {StrFormat("bucketized /%zu", buckets),
+         Human(static_cast<double>(approx.MemoryBytes())),
+         FormatDouble(approx.Estimate() / w.exact_join, 4),
+         FormatDouble(approx.BiasCorrectedEstimate() / w.exact_join, 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the raw bucketized estimate is biased high by roughly "
+      "|R|*|S|/buckets,\nwhich dwarfs a selective join's true size until "
+      "the bucket count approaches the\ndomain size; the mean-collision "
+      "correction is unstable under skew because the\nfrequent probe keys' "
+      "buckets deviate wildly from the average. This is the\nnegative half "
+      "of the paper's deferred accuracy/memory trade-off: naive\n"
+      "bucketization does not beat the exact open-addressing histogram "
+      "(~1 MB at 125K\ndistinct keys) until it spends comparable memory — "
+      "supporting the paper's choice\nof exact histograms.\n");
+  return 0;
+}

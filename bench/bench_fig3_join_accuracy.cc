@@ -1,0 +1,96 @@
+// Figure 3 — ratio error of the ONCE binary join estimator vs the fraction
+// of the probe input partitioned, for joins between two customer tables
+// with the same Zipf skew but mismatched peak values.
+//   (a) small domain: 5,000 values;  (b) large domain: 125,000 values.
+// z ∈ {0, 1, 2}; 150K rows per table (TPC-H SF 1 customer).
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "exec/grace_hash_join.h"
+
+namespace qpi {
+namespace {
+
+struct Series {
+  std::map<double, double> ratio_at_fraction;
+};
+
+Series RunJoin(double z, uint32_t domain) {
+  bench::Workbench wb;
+  const uint64_t kRows = 150000;
+  wb.Add(bench::SkewedCustomer("c1", kRows, z, domain, /*peak_seed=*/1,
+                               /*seed=*/101));
+  wb.Add(bench::SkewedCustomer("c2", kRows, z, domain, /*peak_seed=*/2,
+                               /*seed=*/202));
+
+  PlanNodePtr plan = HashJoinPlan(ScanPlan("c1"), ScanPlan("c2"),
+                                  "c1.nationkey", "c2.nationkey");
+  OperatorPtr root = wb.Compile(plan.get());
+  auto* join = dynamic_cast<GraceHashJoinOp*>(root.get());
+
+  Series series;
+  bench::FractionSampler sampler(
+      bench::StandardFractions(), static_cast<double>(kRows),
+      [join] { return join->probe_partition_consumed(); },
+      [&](double fraction) {
+        const auto* est = join->once_estimator();
+        if (est != nullptr && est->probe_tuples_seen() > 0) {
+          series.ratio_at_fraction[fraction] = est->Estimate();
+        }
+      });
+  wb.ctx.tick = [&sampler] { sampler.Tick(); };
+
+  Status s = root->Open(&wb.ctx);
+  if (!s.ok()) std::abort();
+  // One Next() drives build + probe partitioning (where all estimation
+  // happens); we do not need the join phase's output for this figure.
+  Row row;
+  root->Next(&row);
+  double exact = join->once_estimator()->Estimate();  // exact at this point
+  root->Close();
+
+  for (auto& [fraction, value] : series.ratio_at_fraction) {
+    (void)fraction;
+    value = exact > 0 ? value / exact : 0.0;
+  }
+  return series;
+}
+
+void RunPanel(const char* title, uint32_t domain) {
+  std::printf("\n%s (domain %u, 150K rows/table, mismatched peaks)\n", title,
+              domain);
+  std::map<double, Series> by_z;
+  for (double z : {0.0, 1.0, 2.0}) by_z[z] = RunJoin(z, domain);
+
+  TablePrinter table({"% probe seen", "R (Z=0)", "R (Z=1)", "R (Z=2)"});
+  for (double fraction : bench::StandardFractions()) {
+    std::vector<std::string> row = {FormatDouble(fraction * 100, 1)};
+    for (double z : {0.0, 1.0, 2.0}) {
+      auto it = by_z[z].ratio_at_fraction.find(fraction);
+      row.push_back(it == by_z[z].ratio_at_fraction.end()
+                        ? "-"
+                        : FormatDouble(it->second, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace qpi
+
+int main() {
+  std::printf(
+      "Figure 3: ratio error of the ONCE estimator vs %% of probe input "
+      "partitioned\n(ratio error R = estimate / final cardinality; 1.0 is "
+      "exact)\n");
+  qpi::RunPanel("Figure 3(a): small domain", 5000);
+  qpi::RunPanel("Figure 3(b): large domain", 125000);
+  std::printf(
+      "\nExpected shape (paper): every curve converges to R=1 after a small "
+      "fraction\nof the probe input; convergence is slightly slower on the "
+      "large domain.\n");
+  return 0;
+}

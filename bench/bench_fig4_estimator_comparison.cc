@@ -1,0 +1,126 @@
+// Figure 4 — ONCE vs the dne (driver node, Chaudhuri et al.) and byte
+// (Luo et al.) baselines. Both baselines estimate while the join phase
+// re-reads the hash-partitioned (i.e. clustered) probe input, so they
+// fluctuate and converge late; ONCE converged during the partitioning pass.
+//   (a) C_{1,125K} ⋈ C'_{1,125K} on nationkey (optimizer off by a large
+//       factor);
+//   (b) PK-FK join: customer C_{1,125K} ⋈ nation, with the selection
+//       nationkey < 50000 on the nation side.
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "exec/grace_hash_join.h"
+
+namespace qpi {
+namespace {
+
+struct Trajectories {
+  std::map<double, double> once;
+  std::map<double, double> dne;
+  std::map<double, double> byte;
+  double exact = 0;
+  double optimizer = 0;
+};
+
+/// Runs the join to completion, sampling all three estimators against the
+/// fraction of the probe input processed by the *join phase* (the paper's
+/// x-axis: "% of probe input joined").
+Trajectories RunComparison(bench::Workbench* wb, PlanNodePtr plan,
+                           uint64_t probe_rows) {
+  OperatorPtr root = wb->Compile(plan.get());
+  auto* join = dynamic_cast<GraceHashJoinOp*>(root.get());
+
+  Trajectories out;
+  out.optimizer = join->optimizer_estimate();
+  bench::FractionSampler sampler(
+      bench::StandardFractions(), static_cast<double>(probe_rows),
+      [join] { return join->join_driver_consumed(); },
+      [&](double fraction) {
+        const auto* est = join->once_estimator();
+        out.once[fraction] =
+            (est != nullptr && est->probe_tuples_seen() > 0)
+                ? est->Estimate()
+                : join->optimizer_estimate();
+        out.dne[fraction] = join->DneEstimate();
+        out.byte[fraction] = join->ByteEstimate();
+      });
+  wb->ctx.tick = [&sampler] { sampler.Tick(); };
+
+  uint64_t rows = 0;
+  Status s = QueryExecutor::Run(root.get(), &wb->ctx, nullptr, &rows);
+  if (!s.ok()) std::abort();
+  out.exact = static_cast<double>(rows);
+  // At 100% of the probe input every estimator has converged exactly.
+  out.once[1.0] = out.dne[1.0] = out.byte[1.0] = out.exact;
+  return out;
+}
+
+void Print(const char* title, const Trajectories& t) {
+  std::printf("\n%s\n", title);
+  std::printf("  exact |join| = %.0f, optimizer estimate = %.0f (off %.1fx)\n",
+              t.exact, t.optimizer,
+              t.optimizer > 0 ? std::max(t.exact / t.optimizer,
+                                         t.optimizer / t.exact)
+                              : 0.0);
+  TablePrinter table(
+      {"% probe joined", "R once", "R dne", "R byte"});
+  for (double fraction : bench::StandardFractions()) {
+    auto ratio = [&](const std::map<double, double>& m) {
+      auto it = m.find(fraction);
+      if (it == m.end() || t.exact <= 0) return std::string("-");
+      return FormatDouble(it->second / t.exact, 4);
+    };
+    table.AddRow({FormatDouble(fraction * 100, 1), ratio(t.once),
+                  ratio(t.dne), ratio(t.byte)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace qpi
+
+int main() {
+  using namespace qpi;
+  std::printf(
+      "Figure 4: ONCE vs dne vs byte (ratio error R = estimate / exact)\n");
+
+  {
+    // (a) skew join between mismatched-peak Zipf(1) tables, domain 125K.
+    bench::Workbench wb;
+    const uint64_t kRows = 150000;
+    wb.Add(bench::SkewedCustomer("c1", kRows, 1.0, 125000, 1, 11));
+    wb.Add(bench::SkewedCustomer("c2", kRows, 1.0, 125000, 2, 22));
+    PlanNodePtr plan = HashJoinPlan(ScanPlan("c1"), ScanPlan("c2"),
+                                    "c1.nationkey", "c2.nationkey");
+    Trajectories t = RunComparison(&wb, std::move(plan), kRows);
+    Print("Figure 4(a): C_{1,125K} x C'_{1,125K} on nationkey", t);
+  }
+  {
+    // (b) PK-FK join with a selection on the nation side.
+    bench::Workbench wb;
+    const uint64_t kRows = 150000;
+    const uint32_t kDomain = 125000;
+    wb.Add(bench::SkewedCustomer("customer", kRows, 1.0, kDomain, 1, 33));
+    TpchLikeGenerator gen(44);
+    wb.Add(gen.MakeNation(kDomain));
+    PlanNodePtr plan = HashJoinPlan(
+        FilterPlan(ScanPlan("nation"),
+                   MakeCompare("nationkey", CompareOp::kLt,
+                               Value(int64_t{50000}))),
+        ScanPlan("customer"), "nation.nationkey", "customer.nationkey");
+    Trajectories t = RunComparison(&wb, std::move(plan), kRows);
+    Print(
+        "Figure 4(b): customer C_{1,125K} x nation, selection nationkey < "
+        "50000",
+        t);
+  }
+  std::printf(
+      "\nExpected shape (paper): ONCE pinned at R=1 from the start of the "
+      "join phase\n(it converged during partitioning); dne fluctuates / "
+      "underestimates because the\nprobe input is re-read clustered by "
+      "partition; byte converges slowly because it\nis pulled toward the "
+      "wrong optimizer estimate.\n");
+  return 0;
+}

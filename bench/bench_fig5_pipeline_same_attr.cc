@@ -1,0 +1,120 @@
+// Figure 5 — pipeline of two hash joins on the SAME attribute:
+// A ⋈x (B ⋈x C), all three relations C_{z,5K} with 150K rows and mutually
+// mismatched peaks, z ∈ {0, 1, 2}. Both joins' cardinality estimates are
+// pushed down to the driver pass over C; the figure plots each estimate
+// (as a ratio to its exact value) against the fraction of the lower join's
+// probe input seen.
+//   (a) upper join estimate; (b) lower join estimate.
+//
+// The estimator is driven directly here (the same object the engine wires;
+// engine wiring is exercised by tests and Figures 4/8): the join phases
+// would emit ~1e8 rows at z=2 without adding information to this figure.
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "estimators/pipeline_join.h"
+
+namespace qpi {
+namespace {
+
+constexpr uint64_t kRows = 150000;
+constexpr uint32_t kDomain = 5000;
+
+struct Series {
+  std::map<double, double> lower;
+  std::map<double, double> upper;
+};
+
+Series RunPipeline(double z) {
+  Schema driver({Column{"c", "x", ValueType::kInt64}});
+  std::vector<PipelineJoinEstimator::JoinSpec> specs(2);
+  specs[0].build_schema = Schema({Column{"b", "x", ValueType::kInt64}});
+  specs[0].build_key_index = 0;
+  specs[0].probe_attr = Column{"c", "x", ValueType::kInt64};
+  specs[1].build_schema = Schema({Column{"a", "x", ValueType::kInt64}});
+  specs[1].build_key_index = 0;
+  specs[1].probe_attr = Column{"c", "x", ValueType::kInt64};
+  PipelineJoinEstimator est(driver, specs,
+                            [] { return static_cast<double>(kRows); });
+
+  ZipfGenerator za(z, kDomain, 1);
+  ZipfGenerator zb(z, kDomain, 2);
+  ZipfGenerator zc(z, kDomain, 3);
+  Pcg32 rng(4242);
+  // Builds happen top-down in a hash-join pipeline: A first, then B.
+  for (uint64_t i = 0; i < kRows; ++i) {
+    est.ObserveBuildRow(1, {Value(za.Next(&rng))});
+  }
+  est.BuildComplete(1);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    est.ObserveBuildRow(0, {Value(zb.Next(&rng))});
+  }
+  est.BuildComplete(0);
+
+  Series series;
+  std::vector<double> fractions = bench::StandardFractions();
+  size_t next = 0;
+  for (uint64_t i = 0; i < kRows; ++i) {
+    est.ObserveDriverRow({Value(zc.Next(&rng))});
+    while (next < fractions.size() &&
+           static_cast<double>(i + 1) >=
+               fractions[next] * static_cast<double>(kRows)) {
+      series.lower[fractions[next]] = est.EstimateForJoin(0);
+      series.upper[fractions[next]] = est.EstimateForJoin(1);
+      ++next;
+    }
+  }
+  est.DriverComplete();
+  double exact_lower = est.EstimateForJoin(0);
+  double exact_upper = est.EstimateForJoin(1);
+  for (auto& [f, v] : series.lower) {
+    (void)f;
+    v = exact_lower > 0 ? v / exact_lower : 0;
+  }
+  for (auto& [f, v] : series.upper) {
+    (void)f;
+    v = exact_upper > 0 ? v / exact_upper : 0;
+  }
+  std::printf("  z=%.0f: exact |lower|=%.0f  exact |upper|=%.0f\n", z,
+              exact_lower, exact_upper);
+  return series;
+}
+
+}  // namespace
+}  // namespace qpi
+
+int main() {
+  using namespace qpi;
+  std::printf(
+      "Figure 5: two-join pipeline on the same attribute, C_{z,5K} x3, "
+      "150K rows each\n(ratio error vs %% of the lower join's probe input "
+      "seen)\n\n");
+  std::map<double, Series> by_z;
+  for (double z : {0.0, 1.0, 2.0}) by_z[z] = RunPipeline(z);
+
+  auto print_panel = [&](const char* title, bool upper) {
+    std::printf("\n%s\n", title);
+    TablePrinter table({"% driver seen", "R (Z=0)", "R (Z=1)", "R (Z=2)"});
+    for (double fraction : bench::StandardFractions()) {
+      std::vector<std::string> row = {FormatDouble(fraction * 100, 1)};
+      for (double z : {0.0, 1.0, 2.0}) {
+        const auto& m = upper ? by_z[z].upper : by_z[z].lower;
+        auto it = m.find(fraction);
+        row.push_back(it == m.end() ? "-" : FormatDouble(it->second, 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  };
+  print_panel("Figure 5(a): upper join estimate", /*upper=*/true);
+  print_panel("Figure 5(b): lower join estimate", /*upper=*/false);
+  std::printf(
+      "\nExpected shape (paper): both joins converge to R=1 well before the "
+      "driver pass\nends; the Z=2 upper-join curve may spike mid-pass when a "
+      "high-frequency value\nof the upper join is hit (few values contribute "
+      "to the join).\n");
+  return 0;
+}

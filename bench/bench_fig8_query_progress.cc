@@ -1,0 +1,124 @@
+// Figure 8 — full-query progress estimation, ONCE vs dne (and byte), on a
+// TPC-H-Q8-shaped query: a pipeline of three hash joins (whose sizes the
+// optimizer badly underestimates) feeding an aggregation.
+//
+// The optimizer error is induced the way it happens in practice: the
+// driver-side selection `quantity <= 5` looks 8% selective under the
+// uniformity assumption but the quantity column is Zipf(2) with its peak
+// inside the predicate range, so ~90% of lineitem passes. Every join
+// estimate inherits that error. ONCE pushes estimation into the pipeline's
+// partitioning passes and corrects all of it early; dne keeps the wrong
+// join estimates until the join phases emit, so it overestimates progress
+// for most of the run; byte behaves like dne but pulled further toward the
+// optimizer.
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "progress/monitor.h"
+#include "progress/pipelines.h"
+
+namespace qpi {
+namespace {
+
+constexpr double kScaleFactor = 0.05;  // 7.5K customers / 75K orders
+
+TablePtr MakeSkewedLineitem(uint64_t num_orders, uint64_t seed) {
+  TableBuilder b("lineitem");
+  b.AddColumn("orderkey", std::make_unique<UniformIntSpec>(
+                              1, static_cast<int64_t>(num_orders)))
+      .AddColumn("quantity", std::make_unique<ZipfSpec>(2.0, 50,
+                                                        /*peak_seed=*/0))
+      .AddColumn("extendedprice", std::make_unique<MoneySpec>(1.0, 100000.0));
+  return b.Build(num_orders * 4, seed);
+}
+
+PlanNodePtr Q8LikePlan() {
+  // γ_mktsegment(customer ⋈ (orders ⋈ σ_{quantity<=5}(lineitem)))
+  // Upper join attribute (orders.custkey) comes from the lower join's
+  // build relation — Case 2 push-down, as in real Q8 plans.
+  return HashAggregatePlan(
+      HashJoinPlan(
+          ScanPlan("customer"),
+          HashJoinPlan(ScanPlan("orders"),
+                       FilterPlan(ScanPlan("lineitem"),
+                                  MakeCompare("quantity", CompareOp::kLe,
+                                              Value(int64_t{5}))),
+                       "orders.orderkey", "lineitem.orderkey"),
+          "customer.custkey", "orders.custkey"),
+      {"customer.mktsegment"},
+      {AggregateSpec{AggregateSpec::Kind::kCountStar, ""},
+       AggregateSpec{AggregateSpec::Kind::kSum, "extendedprice"}});
+}
+
+/// estimated progress sampled at ~5% steps of actual progress.
+std::map<int, double> RunMode(EstimationMode mode, bool print_plan) {
+  bench::Workbench wb;
+  TpchLikeGenerator gen(4711);
+  wb.Add(gen.MakeCustomer(kScaleFactor));
+  wb.Add(gen.MakeOrders(kScaleFactor));
+  wb.Add(MakeSkewedLineitem(TpchLikeGenerator::OrdersRows(kScaleFactor), 99));
+  wb.ctx.mode = mode;
+
+  PlanNodePtr plan = Q8LikePlan();
+  OperatorPtr root = wb.Compile(plan.get());
+  if (print_plan) {
+    std::printf("Plan (optimizer estimates under uniformity):\n%s\n",
+                plan->ToString(1).c_str());
+    std::vector<Pipeline> pipelines =
+        PipelineDecomposer::Decompose(root.get());
+    std::printf("Pipelines:\n%s\n", PipelinesToString(pipelines).c_str());
+  }
+
+  ProgressMonitor monitor(root.get(), /*tick_interval=*/5000);
+  monitor.InstallOn(&wb.ctx);
+  uint64_t rows = 0;
+  Status s = QueryExecutor::Run(root.get(), &wb.ctx, nullptr, &rows);
+  if (!s.ok()) std::abort();
+  monitor.Finalize();
+
+  std::map<int, double> series;  // actual% (rounded to 5) -> estimated
+  for (size_t i = 0; i < monitor.snapshots().size(); ++i) {
+    int actual_pct =
+        static_cast<int>(monitor.ActualProgressAt(i) * 100.0 / 5.0) * 5;
+    double est = monitor.snapshots()[i].EstimatedProgress();
+    if (series.find(actual_pct) == series.end()) {
+      series[actual_pct] = est;
+    }
+  }
+  series[100] = 1.0;
+  return series;
+}
+
+}  // namespace
+}  // namespace qpi
+
+int main() {
+  using namespace qpi;
+  std::printf(
+      "Figure 8: estimated vs actual progress on a Q8-shaped query "
+      "(3-hash-join\npipeline + aggregation), skewed data, optimizer "
+      "underestimates the pipeline.\n\n");
+  std::map<int, double> once = RunMode(EstimationMode::kOnce, true);
+  std::map<int, double> dne = RunMode(EstimationMode::kDne, false);
+  std::map<int, double> byte = RunMode(EstimationMode::kByte, false);
+
+  TablePrinter table({"actual %", "once est %", "dne est %", "byte est %"});
+  for (int pct = 0; pct <= 100; pct += 5) {
+    auto cell = [&](std::map<int, double>& m) {
+      auto it = m.find(pct);
+      return it == m.end() ? std::string("-")
+                           : FormatDouble(it->second * 100, 1);
+    };
+    table.AddRow({std::to_string(pct), cell(once), cell(dne), cell(byte)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): the once column tracks the actual column "
+      "closely after\nthe first few percent (push-down corrects every join "
+      "estimate during the driver\npass); dne/byte report estimated "
+      "progress well above actual for most of the\nrun because the "
+      "underestimated joins make T(Q) look too small.\n");
+  return 0;
+}

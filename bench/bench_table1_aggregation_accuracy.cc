@@ -1,0 +1,110 @@
+// Table 1 — GEE vs MLE accuracy for distinct-group estimation on the
+// customer table at SF 1 (150K rows), varying the maximum number of
+// distinct values and the Zipf skew of the grouping column. Reported per
+// configuration (as in the paper):
+//   - γ² of the group frequencies after 10% of the input,
+//   - rows each estimator needs before first reaching within 10% of the
+//     true group count,
+//   - rows until every group has been seen ("All Seen"),
+//   - which estimator the γ² chooser (τ = 10) selects.
+
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "estimators/group_count.h"
+
+namespace qpi {
+namespace {
+
+constexpr uint64_t kRows = 150000;
+
+struct Result {
+  double gamma2_at_10pct = 0;
+  uint64_t gee_rows = 0;  // 0 = never reached
+  uint64_t mle_rows = 0;
+  uint64_t all_seen = 0;
+  uint64_t actual_groups = 0;
+  std::string chosen;
+};
+
+Result RunConfig(uint32_t max_values, double z) {
+  ZipfGenerator zipf(z, max_values, /*peak_seed=*/7);
+  Pcg32 rng(900 + max_values + static_cast<uint64_t>(z * 10));
+  std::vector<uint64_t> stream;
+  std::set<uint64_t> truth;
+  stream.reserve(kRows);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    uint64_t v = static_cast<uint64_t>(zipf.Next(&rng));
+    stream.push_back(v);
+    truth.insert(v);
+  }
+  double exact = static_cast<double>(truth.size());
+
+  Result result;
+  result.actual_groups = truth.size();
+  FrequencyStats stats;
+  std::set<uint64_t> seen;
+  auto within10 = [&](double est) {
+    return est >= 0.9 * exact && est <= 1.1 * exact;
+  };
+  for (uint64_t i = 0; i < kRows; ++i) {
+    stats.Observe(stream[i]);
+    seen.insert(stream[i]);
+    uint64_t t = i + 1;
+    if (result.all_seen == 0 && seen.size() == truth.size()) {
+      result.all_seen = t;
+    }
+    // Evaluate estimates every 100 rows (granularity of "rows to reach").
+    if (t % 100 == 0 || t == kRows) {
+      if (result.gee_rows == 0 &&
+          within10(GeeEstimate(stats, static_cast<double>(kRows)))) {
+        result.gee_rows = t;
+      }
+      if (result.mle_rows == 0 &&
+          within10(MleEstimate(stats, static_cast<double>(kRows)))) {
+        result.mle_rows = t;
+      }
+    }
+    if (t == kRows / 10) {
+      result.gamma2_at_10pct = stats.SquaredCoefficientOfVariation();
+      result.chosen = result.gamma2_at_10pct < 10.0 ? "MLE" : "GEE";
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace qpi
+
+int main() {
+  using namespace qpi;
+  std::printf(
+      "Table 1: GEE vs MLE on the SF-1 customer grouping column (150K "
+      "rows).\n'GEE rows'/'MLE rows' = input rows seen before the estimate "
+      "first lands within\n10%% of the true group count (- = never); 'All "
+      "Seen' = rows until every group\nappeared; chooser threshold tau=10 "
+      "on gamma^2 at 10%%.\n\n");
+  TablePrinter table({"# Values", "Z", "Actual", "gamma^2@10%", "GEE rows",
+                      "MLE rows", "All Seen", "Chooser"});
+  for (uint32_t values : {100u, 1000u, 10000u, 100000u}) {
+    for (double z : {0.0, 1.0, 2.0}) {
+      Result r = RunConfig(values, z);
+      auto cell = [](uint64_t v) {
+        return v == 0 ? std::string("-") : std::to_string(v);
+      };
+      table.AddRow({std::to_string(values), FormatDouble(z, 0),
+                    std::to_string(r.actual_groups),
+                    FormatDouble(r.gamma2_at_10pct, 2), cell(r.gee_rows),
+                    cell(r.mle_rows), cell(r.all_seen), r.chosen});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): a wide gamma^2 gap between low- and "
+      "high-skew data;\nGEE reaches 10%% accuracy sooner on high skew / "
+      "many low-frequency values,\nMLE sooner on low skew; the chooser "
+      "column matches the winner in most rows.\n");
+  return 0;
+}

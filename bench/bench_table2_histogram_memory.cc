@@ -1,0 +1,51 @@
+// Table 2 — memory overhead of the estimation histograms as a function of
+// the number of distinct entries. The paper measured PostgreSQL's generic
+// hash table at ~20 bytes of pointer overhead per 8-byte payload entry; our
+// open-addressing layout stores 12 payload bytes per entry with no
+// pointers. Both are reported, plus the simulated pointer-chained cost for
+// a direct comparison with the paper's numbers.
+
+#include "common/table_printer.h"
+#include "stats/hash_histogram.h"
+
+namespace qpi {
+namespace {
+
+std::string Human(double bytes) {
+  if (bytes >= 1024.0 * 1024.0) {
+    return FormatDouble(bytes / (1024.0 * 1024.0), 2) + " MB";
+  }
+  return FormatDouble(bytes / 1024.0, 1) + " KB";
+}
+
+}  // namespace
+}  // namespace qpi
+
+int main() {
+  using namespace qpi;
+  std::printf(
+      "Table 2: memory overheads of estimation histograms by entry count.\n"
+      "'chained (paper)' simulates the PostgreSQL generic hash table the "
+      "paper\nmeasured: 8 payload bytes + ~20 pointer bytes per entry.\n\n");
+  TablePrinter table({"# Values", "Mem. Used", "Mem. Alloc.",
+                      "bytes/entry", "chained (paper-style)"});
+  for (uint64_t values : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    HashHistogram h;
+    for (uint64_t k = 0; k < values; ++k) {
+      h.Increment(k * 2654435761ull);  // spread keys
+    }
+    double used = static_cast<double>(h.UsedBytes());
+    double alloc = static_cast<double>(h.AllocatedBytes());
+    double chained = static_cast<double>(values) * (8.0 + 20.0);
+    table.AddRow({std::to_string(values), Human(used), Human(alloc),
+                  FormatDouble(alloc / static_cast<double>(values), 1),
+                  Human(chained)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): memory grows linearly with entries (the "
+      "paper's Table 2:\n~25 bytes/entry in PostgreSQL; a simpler table "
+      "'would reduce memory costs\nsignificantly' — our open-addressing "
+      "layout is that simpler table).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#ifndef QPI_BENCH_BENCH_UTIL_H_
+#define QPI_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/table_builder.h"
+#include "datagen/tpch_like.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace bench {
+
+/// Catalog + context bundle every harness starts from.
+struct Workbench {
+  Catalog catalog;
+  ExecContext ctx;
+
+  Workbench() { ctx.catalog = &catalog; }
+
+  void Add(TablePtr table) {
+    Status s = catalog.Register(table);
+    if (!s.ok()) {
+      std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    s = catalog.Analyze(table->name());
+    if (!s.ok()) {
+      std::fprintf(stderr, "analyze: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  OperatorPtr Compile(PlanNode* plan) {
+    OperatorPtr root;
+    Status s = CompilePlan(plan, &ctx, &root);
+    if (!s.ok()) {
+      std::fprintf(stderr, "compile: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    return root;
+  }
+};
+
+/// The paper's C_{z,domain} table: `rows` tuples whose "nationkey" column is
+/// Zipf(z) over [1, domain]; `peak_seed` picks which values are frequent.
+inline TablePtr SkewedCustomer(const std::string& name, uint64_t rows,
+                               double z, uint32_t domain, uint64_t peak_seed,
+                               uint64_t seed) {
+  TableBuilder b(name);
+  b.AddColumn("custkey", std::make_unique<SequentialSpec>(1))
+      .AddColumn("nationkey", std::make_unique<ZipfSpec>(z, domain, peak_seed))
+      .AddColumn("acctbal", std::make_unique<MoneySpec>(0.0, 9999.0));
+  return b.Build(rows, seed);
+}
+
+/// Sample `fn` whenever `position()` crosses one of `fractions * total`,
+/// driven from the engine tick callback. Returns the installed callback.
+class FractionSampler {
+ public:
+  FractionSampler(std::vector<double> fractions, double total,
+                  std::function<uint64_t()> position,
+                  std::function<void(double fraction)> on_cross)
+      : fractions_(std::move(fractions)),
+        total_(total),
+        position_(std::move(position)),
+        on_cross_(std::move(on_cross)) {}
+
+  void Tick() {
+    while (next_ < fractions_.size() &&
+           static_cast<double>(position_()) >= fractions_[next_] * total_) {
+      on_cross_(fractions_[next_]);
+      ++next_;
+    }
+  }
+
+ private:
+  std::vector<double> fractions_;
+  double total_;
+  std::function<uint64_t()> position_;
+  std::function<void(double)> on_cross_;
+  size_t next_ = 0;
+};
+
+/// Standard x-axis used by the accuracy figures.
+inline std::vector<double> StandardFractions() {
+  return {0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30,
+          0.40,  0.50, 0.60, 0.70, 0.80, 0.90, 1.00};
+}
+
+}  // namespace bench
+}  // namespace qpi
+
+#endif  // QPI_BENCH_BENCH_UTIL_H_

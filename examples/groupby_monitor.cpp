@@ -1,0 +1,75 @@
+// Aggregation progress demo: watch the GEE and MLE distinct-group
+// estimators (and the γ² chooser between them) refine the estimated number
+// of output groups while a GROUP BY runs, on low-skew vs high-skew inputs.
+
+#include <cstdio>
+
+#include "datagen/table_builder.h"
+#include "exec/aggregate.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+
+using namespace qpi;
+
+namespace {
+
+TablePtr MakeGrouped(const std::string& name, double z) {
+  TableBuilder builder(name);
+  builder.AddColumn("g", std::make_unique<ZipfSpec>(z, 20000, /*peak=*/3))
+      .AddColumn("v", std::make_unique<MoneySpec>(0.0, 100.0));
+  return builder.Build(200000, 77);
+}
+
+void RunOne(double z) {
+  std::printf("---- GROUP BY on Zipf(z=%.0f) data, domain 20000 ----\n", z);
+  Catalog catalog;
+  TablePtr table = MakeGrouped("t", z);
+  if (!catalog.Register(table).ok() || !catalog.Analyze("t").ok()) return;
+
+  ExecContext ctx;
+  ctx.catalog = &catalog;
+  ctx.mode = EstimationMode::kOnce;
+
+  PlanNodePtr plan = HashAggregatePlan(
+      ScanPlan("t"), {"g"},
+      {AggregateSpec{AggregateSpec::Kind::kCountStar, ""},
+       AggregateSpec{AggregateSpec::Kind::kSum, "v"}});
+  OperatorPtr root;
+  if (!CompilePlan(plan.get(), &ctx, &root).ok()) return;
+  auto* agg = dynamic_cast<AggregateBaseOp*>(root.get());
+
+  std::printf("%10s %12s %12s %12s %10s %8s\n", "rows seen", "GEE", "MLE",
+              "chosen", "gamma^2", "picks");
+  uint64_t next_report = 10000;
+  ctx.tick = [&] {
+    const AdaptiveGroupEstimator* est = agg->group_estimator();
+    if (est == nullptr) return;
+    uint64_t t = est->stats().num_observed();
+    if (t >= next_report) {
+      next_report += 20000;
+      std::printf("%10llu %12.0f %12.0f %12.0f %10.2f %8s\n",
+                  static_cast<unsigned long long>(t), est->GeeOnly(),
+                  est->MleOnly(), est->Estimate(), est->Gamma2(),
+                  est->ChosenEstimator().c_str());
+    }
+  };
+
+  uint64_t rows = 0;
+  if (!QueryExecutor::Run(root.get(), &ctx, nullptr, &rows).ok()) return;
+  std::printf("%10s %12s %12s %12llu %10s %8s   <- true group count\n\n",
+              "final", "-", "-", static_cast<unsigned long long>(rows), "-",
+              "-");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "qpi group-by monitor: online distinct-group estimation while the\n"
+      "aggregation's hashing phase consumes its input.\n\n"
+      "Low skew (z=0): GEE overshoots, MLE is tight -> chooser picks MLE.\n"
+      "High skew (z=2): gamma^2 explodes -> chooser switches to GEE.\n\n");
+  RunOne(0.0);
+  RunOne(2.0);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Pipeline push-down demo (Section 4.1.4 / Algorithm 1): a chain of two
+// hash joins on different attributes, where the upper join's attribute
+// comes from the lower join's build relation (Case 2). The demo prints the
+// estimator's view of both joins as the driver relation streams by —
+// including the confidence interval shrinking as 1/sqrt(t) — and verifies
+// the final estimates against the true cardinalities.
+
+#include <cstdio>
+
+#include "datagen/table_builder.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "exec/grace_hash_join.h"
+#include "progress/pipelines.h"
+
+using namespace qpi;
+
+namespace {
+
+TablePtr TwoKey(const std::string& name, double z, uint64_t peak_x,
+                uint64_t peak_y, uint64_t seed) {
+  TableBuilder builder(name);
+  builder.AddColumn("x", std::make_unique<ZipfSpec>(z, 4000, peak_x))
+      .AddColumn("y", std::make_unique<ZipfSpec>(z, 4000, peak_y));
+  return builder.Build(40000, seed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "qpi pipeline demo: a ⋈(a.y=b.y) (b ⋈(b.x=c.x) c) — Case 2 "
+      "push-down.\nBoth join cardinalities are estimated during the single "
+      "pass over c.\n\n");
+
+  Catalog catalog;
+  for (auto& [name, px, py, seed] :
+       std::vector<std::tuple<std::string, uint64_t, uint64_t, uint64_t>>{
+           {"a", 1, 4, 10}, {"b", 2, 5, 20}, {"c", 3, 6, 30}}) {
+    if (!catalog.Register(TwoKey(name, 1.0, px, py, seed)).ok()) return 1;
+    if (!catalog.Analyze(name).ok()) return 1;
+  }
+
+  ExecContext ctx;
+  ctx.catalog = &catalog;
+  ctx.mode = EstimationMode::kOnce;
+
+  PlanNodePtr plan = HashJoinPlan(
+      ScanPlan("a"),
+      HashJoinPlan(ScanPlan("b"), ScanPlan("c"), "b.x", "c.x"), "a.y", "b.y");
+  OperatorPtr root;
+  Status s = CompilePlan(plan.get(), &ctx, &root);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto* upper = dynamic_cast<GraceHashJoinOp*>(root.get());
+  auto* lower = dynamic_cast<GraceHashJoinOp*>(upper->child(1));
+  const PipelineJoinEstimator* est = upper->pipeline_estimator();
+  std::printf("Pipelines:\n%s\n",
+              PipelinesToString(PipelineDecomposer::Decompose(root.get()))
+                  .c_str());
+
+  std::printf("%12s %16s %16s %18s\n", "driver rows", "lower estimate",
+              "upper estimate", "upper 99.99% CI");
+  uint64_t next_report = 2000;
+  ctx.tick = [&] {
+    if (est->driver_rows_seen() >= next_report) {
+      next_report += 5000;
+      std::printf("%12llu %16.0f %16.0f %12.0f\n",
+                  static_cast<unsigned long long>(est->driver_rows_seen()),
+                  est->EstimateForJoin(0), est->EstimateForJoin(1),
+                  est->ConfidenceHalfWidth(1));
+    }
+  };
+
+  uint64_t rows = 0;
+  s = QueryExecutor::Run(root.get(), &ctx, nullptr, &rows);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nFinal: lower join emitted %llu (estimator: %.0f, exact=%s)\n",
+              static_cast<unsigned long long>(lower->tuples_emitted()),
+              est->EstimateForJoin(0), est->Exact() ? "yes" : "no");
+  std::printf("       upper join emitted %llu (estimator: %.0f)\n",
+              static_cast<unsigned long long>(rows), est->EstimateForJoin(1));
+  std::printf("Estimation histograms used %zu bytes.\n",
+              est->HistogramBytesUsed());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// TPC-H-Q8-shaped progress demo (the paper's Figure 8 scenario): a
+// three-hash-join pipeline feeding an aggregation, on skewed data whose
+// cardinalities the optimizer underestimates. The same query runs under
+// the ONCE framework and under the dne baseline; the printed trace shows
+// dne overstating progress for most of the run while ONCE locks on early.
+
+#include <cstdio>
+
+#include "datagen/table_builder.h"
+#include "datagen/tpch_like.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "progress/monitor.h"
+
+using namespace qpi;
+
+namespace {
+
+constexpr double kScaleFactor = 0.05;
+
+TablePtr MakeSkewedLineitem(uint64_t num_orders) {
+  TableBuilder builder("lineitem");
+  builder
+      .AddColumn("orderkey", std::make_unique<UniformIntSpec>(
+                                 1, static_cast<int64_t>(num_orders)))
+      // Zipf(2) with the identity peak: values 1..5 carry ~90% of the mass,
+      // so `quantity <= 5` passes far more rows than the optimizer's
+      // uniform-range guess of ~8%.
+      .AddColumn("quantity", std::make_unique<ZipfSpec>(2.0, 50, 0))
+      .AddColumn("extendedprice", std::make_unique<MoneySpec>(1.0, 100000.0));
+  return builder.Build(num_orders * 4, 99);
+}
+
+void RunMode(EstimationMode mode) {
+  Catalog catalog;
+  TpchLikeGenerator gen(4711);
+  if (!catalog.Register(gen.MakeCustomer(kScaleFactor)).ok()) return;
+  if (!catalog.Register(gen.MakeOrders(kScaleFactor)).ok()) return;
+  if (!catalog
+           .Register(MakeSkewedLineitem(
+               TpchLikeGenerator::OrdersRows(kScaleFactor)))
+           .ok()) {
+    return;
+  }
+  for (const char* name : {"customer", "orders", "lineitem"}) {
+    if (!catalog.Analyze(name).ok()) return;
+  }
+
+  ExecContext ctx;
+  ctx.catalog = &catalog;
+  ctx.mode = mode;
+
+  PlanNodePtr plan = HashAggregatePlan(
+      HashJoinPlan(
+          ScanPlan("customer"),
+          HashJoinPlan(ScanPlan("orders"),
+                       FilterPlan(ScanPlan("lineitem"),
+                                  MakeCompare("quantity", CompareOp::kLe,
+                                              Value(int64_t{5}))),
+                       "orders.orderkey", "lineitem.orderkey"),
+          "customer.custkey", "orders.custkey"),
+      {"customer.mktsegment"},
+      {AggregateSpec{AggregateSpec::Kind::kCountStar, ""},
+       AggregateSpec{AggregateSpec::Kind::kSum, "extendedprice"}});
+
+  OperatorPtr root;
+  if (!CompilePlan(plan.get(), &ctx, &root).ok()) return;
+
+  std::printf("==== mode: %s ====\n", EstimationModeName(mode));
+  if (mode == EstimationMode::kOnce) {
+    std::printf("%s\n", plan->ToString(1).c_str());
+  }
+
+  ProgressMonitor monitor(root.get(), /*tick_interval=*/50000);
+  monitor.InstallOn(&ctx);
+  uint64_t rows = 0;
+  if (!QueryExecutor::Run(root.get(), &ctx, nullptr, &rows).ok()) return;
+  monitor.Finalize();
+
+  std::printf("%12s %14s %10s\n", "actual %", "estimated %", "|error|");
+  for (size_t i = 0; i < monitor.snapshots().size(); ++i) {
+    double actual = monitor.ActualProgressAt(i) * 100;
+    double estimated = monitor.snapshots()[i].EstimatedProgress() * 100;
+    std::printf("%12.1f %14.1f %10.1f\n", actual, estimated,
+                std::abs(estimated - actual));
+  }
+  std::printf("query returned %llu group rows\n\n",
+              static_cast<unsigned long long>(rows));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "qpi Q8-shaped progress demo: ONCE vs dne on a skewed 3-join "
+      "pipeline + aggregation.\n\n");
+  RunMode(EstimationMode::kOnce);
+  RunMode(EstimationMode::kDne);
+  std::printf(
+      "Takeaway: under dne the estimated progress runs far ahead of actual "
+      "progress\nuntil the join phases finally emit; ONCE corrected every "
+      "cardinality during the\npipeline's partitioning passes.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#ifndef QPI_COMMON_CHECK_H_
+#define QPI_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \brief Always-on invariant check. Aborts with file/line on failure.
+///
+/// Used for programmer errors (broken internal invariants), never for
+/// data-dependent conditions — those return Status.
+#define QPI_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "QPI_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define QPI_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define QPI_DCHECK(cond) QPI_CHECK(cond)
+#endif
+
+#endif  // QPI_COMMON_CHECK_H_

@@ -1,0 +1,28 @@
+#ifndef QPI_COMMON_ROW_H_
+#define QPI_COMMON_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace qpi {
+
+/// A tuple flowing between operators: one Value per schema column.
+using Row = std::vector<Value>;
+
+/// Concatenate two rows (join output construction).
+inline Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+/// "(v1, v2, ...)" debug rendering.
+std::string RowToString(const Row& row);
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_ROW_H_

@@ -1,0 +1,62 @@
+#ifndef QPI_COMMON_SCHEMA_H_
+#define QPI_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace qpi {
+
+/// \brief One output column of an operator, with provenance.
+///
+/// `table` and `name` identify where the column originated. Provenance
+/// survives projections and joins, which is what lets the pipeline
+/// estimator's makeJoinList() (paper Algorithm 1) match a build relation's
+/// columns against (Relation, Attribute) histogram labels higher in the
+/// plan.
+struct Column {
+  std::string table;  ///< originating base table ("" for computed columns)
+  std::string name;   ///< attribute name within that table
+  ValueType type = ValueType::kInt64;
+
+  std::string QualifiedName() const {
+    return table.empty() ? name : table + "." + name;
+  }
+  bool SameAttribute(const std::string& t, const std::string& n) const {
+    return table == t && name == n;
+  }
+};
+
+/// \brief Ordered list of columns describing the rows an operator emits.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (unqualified), or nullopt. If several
+  /// columns share the name, the first match wins — qualify with table to
+  /// disambiguate.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Index of the column with provenance (table, name), or nullopt.
+  std::optional<size_t> FindQualified(const std::string& table,
+                                      const std::string& name) const;
+
+  /// Schema of `left ⋈ right` output: left columns then right columns.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_SCHEMA_H_

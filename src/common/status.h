@@ -1,0 +1,71 @@
+#ifndef QPI_COMMON_STATUS_H_
+#define QPI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace qpi {
+
+/// \brief Lightweight status object for fallible operations.
+///
+/// Follows the Arrow/RocksDB convention of returning a `Status` rather than
+/// throwing for anticipated failures (bad plans, schema mismatches, missing
+/// tables). Internal invariant violations use QPI_DCHECK instead.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kInternal,
+    kNotImplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(Code::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define QPI_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::qpi::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_STATUS_H_

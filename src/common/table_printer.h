@@ -1,0 +1,37 @@
+#ifndef QPI_COMMON_TABLE_PRINTER_H_
+#define QPI_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qpi {
+
+/// \brief Aligned text-table writer used by every bench harness to emit the
+/// rows/series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Render to stdout (or the given stream) with column alignment.
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string formatting.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision double rendering ("12.345").
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+#ifndef QPI_COMMON_TIMER_H_
+#define QPI_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace qpi {
+
+/// Wall-clock stopwatch for the overhead harnesses.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_TIMER_H_

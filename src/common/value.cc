@@ -1,0 +1,97 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace qpi {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    // NULL sorts first; two NULLs are equal for grouping purposes.
+    return static_cast<int>(!is_null()) - static_cast<int>(!other.is_null());
+  }
+  if (type_ == ValueType::kString || other.type_ == ValueType::kString) {
+    QPI_DCHECK(type_ == other.type_);
+    return s_.compare(other.s_);
+  }
+  if (type_ == ValueType::kInt64 && other.type_ == ValueType::kInt64) {
+    return (i_ < other.i_) ? -1 : (i_ > other.i_ ? 1 : 0);
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  return (a < b) ? -1 : (a > b ? 1 : 0);
+}
+
+namespace {
+
+// 64-bit finalizer from MurmurHash3; cheap and well mixed.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(i_));
+    case ValueType::kDouble: {
+      // Hash integral doubles like the equal int64 so cross-type equality
+      // implies equal hashes.
+      double d = d_;
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return Mix64(static_cast<uint64_t>(as_int));
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString: {
+      uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+      for (char c : s_) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+      }
+      return Mix64(h);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(i_);
+    case ValueType::kDouble:
+      return std::to_string(d_);
+    case ValueType::kString:
+      return s_;
+  }
+  return "?";
+}
+
+}  // namespace qpi

@@ -1,0 +1,56 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qpi {
+
+ZipfGenerator::ZipfGenerator(double z, uint32_t domain_size, uint64_t peak_seed)
+    : z_(z), domain_size_(domain_size) {
+  QPI_CHECK(domain_size >= 1);
+  QPI_CHECK(z >= 0.0);
+
+  cdf_.resize(domain_size);
+  double total = 0.0;
+  for (uint32_t r = 0; r < domain_size; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), z);
+    cdf_[r] = total;
+  }
+  for (uint32_t r = 0; r < domain_size; ++r) cdf_[r] /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+
+  rank_to_value_.resize(domain_size);
+  std::iota(rank_to_value_.begin(), rank_to_value_.end(), int64_t{1});
+  if (peak_seed != 0) {
+    Pcg32 perm_rng(peak_seed);
+    // Fisher-Yates shuffle of the rank→value map.
+    for (uint32_t i = domain_size - 1; i > 0; --i) {
+      uint32_t j = perm_rng.NextBounded(i + 1);
+      std::swap(rank_to_value_[i], rank_to_value_[j]);
+    }
+  }
+}
+
+int64_t ZipfGenerator::Next(Pcg32* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  uint32_t rank = static_cast<uint32_t>(it - cdf_.begin());
+  if (rank >= domain_size_) rank = domain_size_ - 1;
+  return rank_to_value_[rank];
+}
+
+double ZipfGenerator::Probability(int64_t value) const {
+  // Rank lookup is O(n); only used by tests and analytic checks.
+  for (uint32_t r = 0; r < domain_size_; ++r) {
+    if (rank_to_value_[r] == value) {
+      double prev = (r == 0) ? 0.0 : cdf_[r - 1];
+      return cdf_[r] - prev;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace qpi

@@ -1,0 +1,49 @@
+#ifndef QPI_COMMON_ZIPF_H_
+#define QPI_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qpi {
+
+/// \brief Zipfian sampler over a finite domain with a controllable peak
+/// permutation.
+///
+/// Draws values from {1..domain_size} where the i-th most frequent value has
+/// probability proportional to 1/i^z (z = 0 is uniform). `peak_seed`
+/// controls *which* domain values receive the high frequencies: two
+/// generators with the same (z, domain_size) but different peak seeds
+/// produce the paper's C^1 / C^2 tables — same skew, mismatched peaks —
+/// which is the adversarial case for join-size estimation (Section 5.1.1).
+class ZipfGenerator {
+ public:
+  /// \param z Zipf skew parameter (>= 0).
+  /// \param domain_size number of distinct values, >= 1.
+  /// \param peak_seed seed of the rank→value permutation; 0 means identity
+  ///        (value 1 is the most frequent).
+  ZipfGenerator(double z, uint32_t domain_size, uint64_t peak_seed = 0);
+
+  /// Draw one value in [1, domain_size].
+  int64_t Next(Pcg32* rng) const;
+
+  /// Exact probability of drawing `value` (1-based domain value).
+  double Probability(int64_t value) const;
+
+  double z() const { return z_; }
+  uint32_t domain_size() const { return domain_size_; }
+
+  /// Domain value holding rank `r` (0 = most frequent).
+  int64_t ValueAtRank(uint32_t r) const { return rank_to_value_[r]; }
+
+ private:
+  double z_;
+  uint32_t domain_size_;
+  std::vector<double> cdf_;             // cdf_[r] = P(rank <= r)
+  std::vector<int64_t> rank_to_value_;  // permutation of [1..domain_size]
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_ZIPF_H_

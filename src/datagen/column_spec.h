@@ -1,0 +1,110 @@
+#ifndef QPI_DATAGEN_COLUMN_SPEC_H_
+#define QPI_DATAGEN_COLUMN_SPEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/value.h"
+#include "common/zipf.h"
+
+namespace qpi {
+
+/// \brief How one generated column's values are produced.
+///
+/// The paper modified the TPC-H dbgen skew tool [8] so that it could vary
+/// the number of distinct values in a column and control which values are
+/// frequent. This spec is our version of that tool: a column is either a
+/// dense sequence (primary keys), a uniform draw, a Zipfian draw with a
+/// chosen skew / domain / peak permutation, or a fixed-length random string
+/// payload.
+class ColumnSpec {
+ public:
+  virtual ~ColumnSpec() = default;
+
+  /// Value for `row_index` (0-based). May consume randomness from `rng`.
+  virtual Value Generate(uint64_t row_index, Pcg32* rng) = 0;
+
+  virtual ValueType type() const = 0;
+};
+
+/// 1, 2, 3, ... (dense primary key).
+class SequentialSpec : public ColumnSpec {
+ public:
+  explicit SequentialSpec(int64_t start = 1) : start_(start) {}
+  Value Generate(uint64_t row_index, Pcg32*) override {
+    return Value(start_ + static_cast<int64_t>(row_index));
+  }
+  ValueType type() const override { return ValueType::kInt64; }
+
+ private:
+  int64_t start_;
+};
+
+/// Uniform integer in [min, max].
+class UniformIntSpec : public ColumnSpec {
+ public:
+  UniformIntSpec(int64_t min, int64_t max) : min_(min), max_(max) {}
+  Value Generate(uint64_t, Pcg32* rng) override {
+    uint32_t span = static_cast<uint32_t>(max_ - min_ + 1);
+    return Value(min_ + static_cast<int64_t>(rng->NextBounded(span)));
+  }
+  ValueType type() const override { return ValueType::kInt64; }
+
+ private:
+  int64_t min_;
+  int64_t max_;
+};
+
+/// Zipf(z) over [1, domain] with a peak permutation — the paper's
+/// C_{z,domain} columns; distinct `peak_seed`s give the C^1/C^2 variants.
+class ZipfSpec : public ColumnSpec {
+ public:
+  ZipfSpec(double z, uint32_t domain, uint64_t peak_seed = 0)
+      : zipf_(z, domain, peak_seed) {}
+  Value Generate(uint64_t, Pcg32* rng) override {
+    return Value(zipf_.Next(rng));
+  }
+  ValueType type() const override { return ValueType::kInt64; }
+  const ZipfGenerator& zipf() const { return zipf_; }
+
+ private:
+  ZipfGenerator zipf_;
+};
+
+/// Uniform double in [min, max) with 2 decimal digits (prices, balances).
+class MoneySpec : public ColumnSpec {
+ public:
+  MoneySpec(double min, double max) : min_(min), max_(max) {}
+  Value Generate(uint64_t, Pcg32* rng) override {
+    double raw = min_ + rng->NextDouble() * (max_ - min_);
+    return Value(static_cast<double>(static_cast<int64_t>(raw * 100)) / 100.0);
+  }
+  ValueType type() const override { return ValueType::kDouble; }
+
+ private:
+  double min_;
+  double max_;
+};
+
+/// Random lowercase string of fixed length (payload bytes).
+class RandomStringSpec : public ColumnSpec {
+ public:
+  explicit RandomStringSpec(size_t length) : length_(length) {}
+  Value Generate(uint64_t, Pcg32* rng) override {
+    std::string s(length_, 'a');
+    for (char& c : s) c = static_cast<char>('a' + rng->NextBounded(26));
+    return Value(std::move(s));
+  }
+  ValueType type() const override { return ValueType::kString; }
+
+ private:
+  size_t length_;
+};
+
+using ColumnSpecPtr = std::unique_ptr<ColumnSpec>;
+
+}  // namespace qpi
+
+#endif  // QPI_DATAGEN_COLUMN_SPEC_H_

@@ -1,0 +1,33 @@
+#include "datagen/table_builder.h"
+
+#include "common/check.h"
+
+namespace qpi {
+
+TableBuilder& TableBuilder::AddColumn(std::string column_name,
+                                      ColumnSpecPtr spec) {
+  QPI_CHECK(spec != nullptr);
+  names_.push_back(std::move(column_name));
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+TablePtr TableBuilder::Build(uint64_t num_rows, uint64_t seed) {
+  std::vector<Column> cols;
+  cols.reserve(names_.size());
+  for (size_t c = 0; c < names_.size(); ++c) {
+    cols.push_back(Column{table_name_, names_[c], specs_[c]->type()});
+  }
+  auto table = std::make_shared<Table>(table_name_, Schema(std::move(cols)));
+
+  Pcg32 rng(seed);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    Row row;
+    row.reserve(specs_.size());
+    for (auto& spec : specs_) row.push_back(spec->Generate(r, &rng));
+    QPI_CHECK(table->Append(std::move(row)).ok());
+  }
+  return table;
+}
+
+}  // namespace qpi

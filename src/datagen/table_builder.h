@@ -1,0 +1,34 @@
+#ifndef QPI_DATAGEN_TABLE_BUILDER_H_
+#define QPI_DATAGEN_TABLE_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/column_spec.h"
+#include "storage/table.h"
+
+namespace qpi {
+
+/// \brief Declarative generator for one table: a name, a list of
+/// (column name, spec) pairs, a row count and a seed.
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::string table_name)
+      : table_name_(std::move(table_name)) {}
+
+  /// Add a column. Returns *this for chaining.
+  TableBuilder& AddColumn(std::string column_name, ColumnSpecPtr spec);
+
+  /// Generate `num_rows` rows deterministically from `seed`.
+  TablePtr Build(uint64_t num_rows, uint64_t seed);
+
+ private:
+  std::string table_name_;
+  std::vector<std::string> names_;
+  std::vector<ColumnSpecPtr> specs_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_DATAGEN_TABLE_BUILDER_H_

@@ -1,0 +1,116 @@
+#include "datagen/tpch_like.h"
+
+#include "common/check.h"
+#include "datagen/table_builder.h"
+
+namespace qpi {
+
+TablePtr TpchLikeGenerator::MakeNation(uint32_t domain,
+                                       const std::string& name) const {
+  TableBuilder builder(name);
+  builder.AddColumn("nationkey", std::make_unique<SequentialSpec>(1))
+      .AddColumn("name", std::make_unique<RandomStringSpec>(12))
+      .AddColumn("regionkey", std::make_unique<UniformIntSpec>(1, 5));
+  return builder.Build(domain, seed_ ^ 0x6e6174696f6eULL);
+}
+
+TablePtr TpchLikeGenerator::MakeCustomer(double scale_factor,
+                                         const std::string& name) const {
+  TableBuilder builder(name);
+  builder.AddColumn("custkey", std::make_unique<SequentialSpec>(1))
+      .AddColumn("name", std::make_unique<RandomStringSpec>(12))
+      .AddColumn("nationkey", std::make_unique<UniformIntSpec>(1, 25))
+      .AddColumn("acctbal", std::make_unique<MoneySpec>(-999.99, 9999.99))
+      .AddColumn("mktsegment", std::make_unique<UniformIntSpec>(1, 5));
+  return builder.Build(CustomerRows(scale_factor), seed_ ^ 0x63757374ULL);
+}
+
+TablePtr TpchLikeGenerator::MakeSkewedCustomer(double scale_factor, double z,
+                                               uint32_t domain,
+                                               uint64_t peak_seed,
+                                               const std::string& name) const {
+  TableBuilder builder(name);
+  builder.AddColumn("custkey", std::make_unique<SequentialSpec>(1))
+      .AddColumn("name", std::make_unique<RandomStringSpec>(12))
+      .AddColumn("nationkey", std::make_unique<ZipfSpec>(z, domain, peak_seed))
+      .AddColumn("acctbal", std::make_unique<MoneySpec>(-999.99, 9999.99))
+      .AddColumn("mktsegment", std::make_unique<UniformIntSpec>(1, 5));
+  // Distinct data per table name so C^1 and C^2 are independent draws.
+  uint64_t table_seed = seed_ ^ 0x736b6577ULL ^ (peak_seed * 0x9e3779b9ULL);
+  return builder.Build(CustomerRows(scale_factor), table_seed);
+}
+
+TablePtr TpchLikeGenerator::MakeDoubleSkewedCustomer(
+    double scale_factor, double z_nation, uint32_t nation_domain,
+    uint64_t nation_peak_seed, double z_cust, uint32_t cust_domain,
+    uint64_t cust_peak_seed, const std::string& name) const {
+  TableBuilder builder(name);
+  builder
+      .AddColumn("custkey",
+                 std::make_unique<ZipfSpec>(z_cust, cust_domain, cust_peak_seed))
+      .AddColumn("name", std::make_unique<RandomStringSpec>(12))
+      .AddColumn("nationkey", std::make_unique<ZipfSpec>(z_nation, nation_domain,
+                                                         nation_peak_seed))
+      .AddColumn("acctbal", std::make_unique<MoneySpec>(-999.99, 9999.99))
+      .AddColumn("mktsegment", std::make_unique<UniformIntSpec>(1, 5));
+  uint64_t table_seed = seed_ ^ 0x64736b6577ULL ^
+                        (nation_peak_seed * 0x9e3779b9ULL) ^
+                        (cust_peak_seed * 0x85ebca6bULL);
+  return builder.Build(CustomerRows(scale_factor), table_seed);
+}
+
+TablePtr TpchLikeGenerator::MakeOrders(double scale_factor,
+                                       const std::string& name) const {
+  uint64_t num_customers = CustomerRows(scale_factor);
+  TableBuilder builder(name);
+  builder.AddColumn("orderkey", std::make_unique<SequentialSpec>(1))
+      .AddColumn("custkey", std::make_unique<UniformIntSpec>(
+                                1, static_cast<int64_t>(num_customers)))
+      .AddColumn("totalprice", std::make_unique<MoneySpec>(800.0, 500000.0))
+      .AddColumn("orderdate", std::make_unique<UniformIntSpec>(19920101,
+                                                               19981231))
+      .AddColumn("orderpriority", std::make_unique<UniformIntSpec>(1, 5));
+  return builder.Build(OrdersRows(scale_factor), seed_ ^ 0x6f726465ULL);
+}
+
+TablePtr TpchLikeGenerator::MakeLineitem(double scale_factor,
+                                         const std::string& name) const {
+  uint64_t num_orders = OrdersRows(scale_factor);
+  std::vector<Column> cols = {
+      Column{name, "orderkey", ValueType::kInt64},
+      Column{name, "linenumber", ValueType::kInt64},
+      Column{name, "quantity", ValueType::kInt64},
+      Column{name, "extendedprice", ValueType::kDouble},
+      Column{name, "shipdate", ValueType::kInt64},
+  };
+  auto table = std::make_shared<Table>(name, Schema(std::move(cols)));
+  Pcg32 rng(seed_ ^ 0x6c696e65ULL);
+  for (uint64_t o = 1; o <= num_orders; ++o) {
+    uint32_t fanout = 1 + rng.NextBounded(7);  // 1..7, mean 4
+    for (uint32_t l = 1; l <= fanout; ++l) {
+      Row row;
+      row.reserve(5);
+      row.emplace_back(static_cast<int64_t>(o));
+      row.emplace_back(static_cast<int64_t>(l));
+      row.emplace_back(static_cast<int64_t>(1 + rng.NextBounded(50)));
+      row.emplace_back(1.0 + rng.NextDouble() * 99999.0);
+      row.emplace_back(static_cast<int64_t>(19920101 + rng.NextBounded(2500)));
+      QPI_CHECK(table->Append(std::move(row)).ok());
+    }
+  }
+  return table;
+}
+
+Status TpchLikeGenerator::PopulateCatalog(Catalog* catalog,
+                                          double scale_factor) const {
+  QPI_RETURN_NOT_OK(catalog->Register(MakeNation()));
+  QPI_RETURN_NOT_OK(catalog->Register(MakeCustomer(scale_factor)));
+  QPI_RETURN_NOT_OK(catalog->Register(MakeOrders(scale_factor)));
+  QPI_RETURN_NOT_OK(catalog->Register(MakeLineitem(scale_factor)));
+  for (const char* name : {"nation", "customer", "orders", "lineitem"}) {
+    QPI_RETURN_NOT_OK(catalog->Analyze(name));
+  }
+  return Status::OK();
+}
+
+}  // namespace qpi

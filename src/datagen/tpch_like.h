@@ -1,0 +1,74 @@
+#ifndef QPI_DATAGEN_TPCH_LIKE_H_
+#define QPI_DATAGEN_TPCH_LIKE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace qpi {
+
+/// \brief Generator for the TPC-H-shaped schema the paper evaluates on
+/// (nation, customer, orders, lineitem), plus the paper's skewed variants.
+///
+/// Row counts follow the TPC-H scaling rules the paper quotes: SF 1 is a
+/// 150K-row customer, 1.5M-row orders, ~6M-row lineitem (we generate 1–7
+/// lineitems per order, ≈4 on average), and a 25-row nation.
+class TpchLikeGenerator {
+ public:
+  explicit TpchLikeGenerator(uint64_t seed = 42) : seed_(seed) {}
+
+  /// nation(nationkey, name, regionkey): `domain` rows with dense keys.
+  /// The paper varies the nationkey domain; pass 25 for stock TPC-H.
+  TablePtr MakeNation(uint32_t domain = 25,
+                      const std::string& name = "nation") const;
+
+  /// Stock customer at `scale_factor` (150K rows/SF): dense custkey,
+  /// nationkey uniform over [1, 25].
+  TablePtr MakeCustomer(double scale_factor,
+                        const std::string& name = "customer") const;
+
+  /// The paper's skewed customer C_{z,domain}: 150K·SF rows whose nationkey
+  /// is Zipf(z) over [1, domain]. `peak_seed` selects which values are
+  /// frequent (the C^1/C^2 superscripts); 0 = identity.
+  TablePtr MakeSkewedCustomer(double scale_factor, double z, uint32_t domain,
+                              uint64_t peak_seed,
+                              const std::string& name) const;
+
+  /// Figure-6 variant: custkey is *also* a skewed non-key column
+  /// (Zipf(z_custkey) over [1, custkey_domain]).
+  TablePtr MakeDoubleSkewedCustomer(double scale_factor, double z_nation,
+                                    uint32_t nation_domain,
+                                    uint64_t nation_peak_seed, double z_cust,
+                                    uint32_t cust_domain,
+                                    uint64_t cust_peak_seed,
+                                    const std::string& name) const;
+
+  /// orders at `scale_factor` (1.5M rows/SF): dense orderkey, custkey
+  /// uniform over the customer count at the same SF.
+  TablePtr MakeOrders(double scale_factor,
+                      const std::string& name = "orders") const;
+
+  /// lineitem at `scale_factor`: 1–7 rows per order (orderkeys clustered as
+  /// in TPC-H), ≈6M rows/SF.
+  TablePtr MakeLineitem(double scale_factor,
+                        const std::string& name = "lineitem") const;
+
+  /// Generate + register + analyze the four stock tables into `catalog`.
+  Status PopulateCatalog(Catalog* catalog, double scale_factor) const;
+
+  static uint64_t CustomerRows(double sf) {
+    return static_cast<uint64_t>(150000 * sf);
+  }
+  static uint64_t OrdersRows(double sf) {
+    return static_cast<uint64_t>(1500000 * sf);
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_DATAGEN_TPCH_LIKE_H_

@@ -1,0 +1,54 @@
+#include "estimators/approx_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpi {
+
+BucketizedJoinEstimator::BucketizedJoinEstimator(
+    std::function<double()> probe_total_provider, size_t num_buckets)
+    : probe_total_provider_(std::move(probe_total_provider)),
+      build_hist_(num_buckets) {
+  QPI_CHECK(probe_total_provider_ != nullptr);
+}
+
+void BucketizedJoinEstimator::ObserveProbeKey(uint64_t key) {
+  QPI_DCHECK(build_complete_);
+  double n = static_cast<double>(build_hist_.Count(key));
+  contribution_sum_ += n;
+  moments_.Observe(n);
+  ++probe_seen_;
+}
+
+double BucketizedJoinEstimator::Estimate() const {
+  if (probe_seen_ == 0) return 0.0;
+  double mean = contribution_sum_ / static_cast<double>(probe_seen_);
+  double total =
+      probe_complete_ ? static_cast<double>(probe_seen_)
+                      : probe_total_provider_();
+  return mean * total;
+}
+
+double BucketizedJoinEstimator::BiasCorrectedEstimate() const {
+  if (probe_seen_ == 0) return 0.0;
+  double total =
+      probe_complete_ ? static_cast<double>(probe_seen_)
+                      : probe_total_provider_();
+  // Expected collision contribution per probe tuple: the build keys that
+  // share the bucket by chance, |R| / num_buckets on average. (Slightly
+  // conservative: it also subtracts the true key's own expected share.)
+  double collision = static_cast<double>(build_hist_.total_count()) /
+                     static_cast<double>(build_hist_.num_buckets());
+  return std::max(0.0, Estimate() - collision * total);
+}
+
+double BucketizedJoinEstimator::ConfidenceHalfWidth(double alpha) const {
+  if (probe_seen_ == 0 || probe_complete_) return 0.0;
+  double z = ZAlpha(alpha);
+  return z * probe_total_provider_() * moments_.StdDev() /
+         std::sqrt(static_cast<double>(probe_seen_));
+}
+
+}  // namespace qpi

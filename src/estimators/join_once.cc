@@ -1,0 +1,58 @@
+#include "estimators/join_once.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpi {
+
+OnceBinaryJoinEstimator::OnceBinaryJoinEstimator(
+    std::function<double()> probe_total_provider, Contribution contribution)
+    : probe_total_provider_(std::move(probe_total_provider)),
+      contribution_(contribution) {
+  QPI_CHECK(probe_total_provider_ != nullptr);
+}
+
+void OnceBinaryJoinEstimator::ObserveProbeKey(uint64_t key) {
+  if (frozen_) return;
+  QPI_DCHECK(build_complete_);
+  double matches = static_cast<double>(build_hist_.Count(key));
+  double n = 0.0;
+  switch (contribution_) {
+    case Contribution::kInner:
+      n = matches;
+      break;
+    case Contribution::kSemi:
+      n = matches > 0 ? 1.0 : 0.0;
+      break;
+    case Contribution::kAnti:
+      n = matches > 0 ? 0.0 : 1.0;
+      break;
+    case Contribution::kProbeOuter:
+      n = matches > 0 ? matches : 1.0;
+      break;
+  }
+  contribution_sum_ += n;
+  contribution_moments_.Observe(n);
+  ++probe_seen_;
+}
+
+double OnceBinaryJoinEstimator::Estimate() const {
+  if (probe_seen_ == 0) return 0.0;
+  double mean = contribution_sum_ / static_cast<double>(probe_seen_);
+  if (probe_complete_ && !frozen_) {
+    // Whole probe input partitioned: D equals the exact join size.
+    return contribution_sum_;
+  }
+  return mean * probe_total_provider_();
+}
+
+double OnceBinaryJoinEstimator::ConfidenceHalfWidth(double alpha) const {
+  if (probe_seen_ == 0) return 0.0;
+  if (Exact()) return 0.0;
+  double z = ZAlpha(alpha);
+  return z * probe_total_provider_() * contribution_moments_.StdDev() /
+         std::sqrt(static_cast<double>(probe_seen_));
+}
+
+}  // namespace qpi

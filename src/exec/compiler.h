@@ -1,0 +1,30 @@
+#ifndef QPI_EXEC_COMPILER_H_
+#define QPI_EXEC_COMPILER_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "plan/plan_node.h"
+
+namespace qpi {
+
+/// \brief Compile a plan description into an executable operator tree.
+///
+/// Steps:
+///  1. Annotate the plan with optimizer cardinality estimates (the naive
+///     model the progress baselines start from).
+///  2. Build the physical operators, resolving column references.
+///  3. In ONCE mode, wire the paper's estimation:
+///     - chains of hash joins (each join's probe child another hash join)
+///       share one PipelineJoinEstimator (Section 4.1.4 / Algorithm 1);
+///     - standalone hash joins / merge joins with a random-capable probe
+///       input get the binary ONCE estimator (Sections 4.1.1–4.1.2);
+///     - aggregations over random-capable inputs get the GEE/MLE adaptive
+///       estimator (Section 4.2);
+///     - everything else (nested loops, selections, non-random inputs)
+///       falls back to dne, as the paper specifies.
+Status CompilePlan(PlanNode* plan, ExecContext* ctx, OperatorPtr* out);
+
+}  // namespace qpi
+
+#endif  // QPI_EXEC_COMPILER_H_

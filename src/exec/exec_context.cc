@@ -1,0 +1,19 @@
+#include "exec/exec_context.h"
+
+namespace qpi {
+
+const char* EstimationModeName(EstimationMode mode) {
+  switch (mode) {
+    case EstimationMode::kNone:
+      return "none";
+    case EstimationMode::kOnce:
+      return "once";
+    case EstimationMode::kDne:
+      return "dne";
+    case EstimationMode::kByte:
+      return "byte";
+  }
+  return "?";
+}
+
+}  // namespace qpi

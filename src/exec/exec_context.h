@@ -1,0 +1,55 @@
+#ifndef QPI_EXEC_EXEC_CONTEXT_H_
+#define QPI_EXEC_EXEC_CONTEXT_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "stats/normal.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+
+/// Which cardinality-refinement framework the engine runs with.
+enum class EstimationMode {
+  kNone,  ///< no online estimation (overhead baseline; optimizer only)
+  kOnce,  ///< the paper's online framework (push-down estimation)
+  kDne,   ///< driver-node estimator baseline (Chaudhuri et al. [9])
+  kByte,  ///< Luo et al. [18] baseline (optimizer-weighted blend)
+};
+
+const char* EstimationModeName(EstimationMode mode);
+
+/// \brief Per-query execution context shared by all operators.
+struct ExecContext {
+  Catalog* catalog = nullptr;
+  EstimationMode mode = EstimationMode::kOnce;
+  double confidence = kDefaultConfidence;
+
+  /// Fraction of each base table emitted as a leading block-level random
+  /// sample. 0 means plain scans, whose streams are treated as randomly
+  /// ordered end to end (the generators emit i.i.d. rows); > 0 means
+  /// estimation freezes once the sample prefix is consumed, as in the
+  /// paper's overhead experiments.
+  double sample_fraction = 0.0;
+
+  /// Number of partitions used by grace hash joins.
+  size_t hash_join_partitions = 64;
+
+  /// Let the optimizer consult per-column equi-depth histograms (Section 3's
+  /// optional base-table statistics) instead of uniform interpolation.
+  bool use_column_histograms = false;
+
+  Pcg32 rng{0x5eed5eedULL};
+
+  /// Invoked once per tuple emitted by any operator; progress monitors and
+  /// bench harnesses hook here to observe estimates mid-phase.
+  std::function<void()> tick;
+
+  void Tick() {
+    if (tick) tick();
+  }
+};
+
+}  // namespace qpi
+
+#endif  // QPI_EXEC_EXEC_CONTEXT_H_

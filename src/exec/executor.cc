@@ -1,0 +1,19 @@
+#include "exec/executor.h"
+
+namespace qpi {
+
+Status QueryExecutor::Run(Operator* root, ExecContext* ctx,
+                          std::vector<Row>* sink, uint64_t* rows_emitted) {
+  QPI_RETURN_NOT_OK(root->Open(ctx));
+  Row row;
+  uint64_t count = 0;
+  while (root->Next(&row)) {
+    ++count;
+    if (sink != nullptr) sink->push_back(row);
+  }
+  root->Close();
+  if (rows_emitted != nullptr) *rows_emitted = count;
+  return Status::OK();
+}
+
+}  // namespace qpi

@@ -1,0 +1,22 @@
+#ifndef QPI_EXEC_EXECUTOR_H_
+#define QPI_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace qpi {
+
+/// \brief Drives an operator tree to completion.
+class QueryExecutor {
+ public:
+  /// Open, drain and close `root`. If `sink` is non-null, the emitted rows
+  /// are collected into it. `*rows_emitted` (optional) receives the count.
+  static Status Run(Operator* root, ExecContext* ctx,
+                    std::vector<Row>* sink = nullptr,
+                    uint64_t* rows_emitted = nullptr);
+};
+
+}  // namespace qpi
+
+#endif  // QPI_EXEC_EXECUTOR_H_

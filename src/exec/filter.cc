@@ -1,0 +1,54 @@
+#include "exec/filter.h"
+
+namespace qpi {
+
+namespace {
+std::vector<OperatorPtr> OneChild(OperatorPtr child) {
+  std::vector<OperatorPtr> v;
+  v.push_back(std::move(child));
+  return v;
+}
+}  // namespace
+
+FilterOp::FilterOp(OperatorPtr child, std::unique_ptr<BoundPredicate> predicate,
+                   std::string predicate_text)
+    : Operator("Filter[" + predicate_text + "]", OneChild(std::move(child))),
+      predicate_(std::move(predicate)) {
+  SetSchema(this->child(0)->schema());
+}
+
+bool FilterOp::NextImpl(Row* out) {
+  while (child(0)->Next(out)) {
+    if (predicate_->Evaluate(*out)) return true;
+  }
+  return false;
+}
+
+double FilterOp::CurrentCardinalityEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  uint64_t consumed = child(0)->tuples_emitted();
+  if (consumed == 0) return optimizer_estimate();
+  double pass_rate = static_cast<double>(tuples_emitted()) /
+                     static_cast<double>(consumed);
+  return pass_rate * child(0)->CurrentCardinalityEstimate();
+}
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<size_t> indices,
+                     Schema output_schema)
+    : Operator("Project", OneChild(std::move(child))),
+      indices_(std::move(indices)) {
+  SetSchema(std::move(output_schema));
+}
+
+bool ProjectOp::NextImpl(Row* out) {
+  Row input;
+  if (!child(0)->Next(&input)) return false;
+  out->clear();
+  out->reserve(indices_.size());
+  for (size_t idx : indices_) out->push_back(std::move(input[idx]));
+  return true;
+}
+
+}  // namespace qpi

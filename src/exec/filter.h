@@ -1,0 +1,57 @@
+#ifndef QPI_EXEC_FILTER_H_
+#define QPI_EXEC_FILTER_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "plan/expr.h"
+
+namespace qpi {
+
+/// \brief Selection (σ). Estimation follows the paper's Section 4.3:
+/// selections have no preprocessing phase, and on a random input prefix the
+/// dne extrapolation is unbiased, so the live cardinality estimate is
+///     emitted · input_estimate / input_consumed.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::unique_ptr<BoundPredicate> predicate,
+           std::string predicate_text);
+
+  double CurrentCardinalityEstimate() const override;
+  bool ProducesRandomStream() const override {
+    return child(0)->ProducesRandomStream();
+  }
+
+ protected:
+  bool NextImpl(Row* out) override;
+
+ private:
+  std::unique_ptr<BoundPredicate> predicate_;
+};
+
+/// \brief Projection (π) down to a fixed set of column indices.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<size_t> indices,
+            Schema output_schema);
+
+  double CurrentCardinalityEstimate() const override {
+    return child(0)->CurrentCardinalityEstimate();
+  }
+  bool CardinalityExact() const override {
+    return child(0)->CardinalityExact();
+  }
+  bool ProducesRandomStream() const override {
+    return child(0)->ProducesRandomStream();
+  }
+
+ protected:
+  bool NextImpl(Row* out) override;
+
+ private:
+  std::vector<size_t> indices_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_EXEC_FILTER_H_

@@ -1,0 +1,326 @@
+#include "exec/grace_hash_join.h"
+
+#include "common/check.h"
+
+namespace qpi {
+
+namespace {
+
+std::vector<OperatorPtr> TwoChildren(OperatorPtr a, OperatorPtr b) {
+  std::vector<OperatorPtr> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+
+inline uint64_t PartitionMix(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 29;
+  return k;
+}
+
+}  // namespace
+
+GraceHashJoinOp::GraceHashJoinOp(OperatorPtr build, OperatorPtr probe,
+                                 size_t build_key_index,
+                                 size_t probe_key_index, std::string label,
+                                 JoinFlavor join_type)
+    : GraceHashJoinOp(std::move(build), std::move(probe),
+                      std::vector<size_t>{build_key_index},
+                      std::vector<size_t>{probe_key_index}, std::move(label),
+                      join_type) {}
+
+GraceHashJoinOp::GraceHashJoinOp(OperatorPtr build, OperatorPtr probe,
+                                 std::vector<size_t> build_key_indices,
+                                 std::vector<size_t> probe_key_indices,
+                                 std::string label, JoinFlavor join_type)
+    : Operator(std::move(label), TwoChildren(std::move(build), std::move(probe))),
+      build_key_indices_(std::move(build_key_indices)),
+      probe_key_indices_(std::move(probe_key_indices)),
+      join_type_(join_type) {
+  QPI_CHECK(!build_key_indices_.empty());
+  QPI_CHECK(build_key_indices_.size() == probe_key_indices_.size());
+  // Semi and anti joins emit probe rows only; the other flavours emit the
+  // concatenation (with NULL-padded build columns for probe-outer misses).
+  if (join_type_ == JoinFlavor::kSemi || join_type_ == JoinFlavor::kAnti) {
+    SetSchema(probe_child()->schema());
+  } else {
+    SetSchema(
+        Schema::Concat(build_child()->schema(), probe_child()->schema()));
+  }
+}
+
+uint64_t GraceHashJoinOp::BuildKeyCode(const Row& row) const {
+  if (build_key_indices_.size() == 1) {
+    return HistogramKeyCode(row[build_key_indices_[0]]);
+  }
+  uint64_t h = kCompositeKeySeed;
+  for (size_t idx : build_key_indices_) {
+    h = CombineKeyCodes(h, HistogramKeyCode(row[idx]));
+  }
+  return h;
+}
+
+uint64_t GraceHashJoinOp::ProbeKeyCode(const Row& row) const {
+  if (probe_key_indices_.size() == 1) {
+    return HistogramKeyCode(row[probe_key_indices_[0]]);
+  }
+  uint64_t h = kCompositeKeySeed;
+  for (size_t idx : probe_key_indices_) {
+    h = CombineKeyCodes(h, HistogramKeyCode(row[idx]));
+  }
+  return h;
+}
+
+bool GraceHashJoinOp::KeysEqual(const Row& build_row,
+                                const Row& probe_row) const {
+  for (size_t i = 0; i < build_key_indices_.size(); ++i) {
+    if (build_row[build_key_indices_[i]].Compare(
+            probe_row[probe_key_indices_[i]]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void GraceHashJoinOp::EnableBinaryOnceEstimation() {
+  QPI_CHECK(pipeline_ == nullptr);
+  Operator* probe = probe_child();
+  OnceBinaryJoinEstimator::Contribution contribution;
+  switch (join_type_) {
+    case JoinFlavor::kInner:
+      contribution = OnceBinaryJoinEstimator::Contribution::kInner;
+      break;
+    case JoinFlavor::kSemi:
+      contribution = OnceBinaryJoinEstimator::Contribution::kSemi;
+      break;
+    case JoinFlavor::kAnti:
+      contribution = OnceBinaryJoinEstimator::Contribution::kAnti;
+      break;
+    case JoinFlavor::kProbeOuter:
+      contribution = OnceBinaryJoinEstimator::Contribution::kProbeOuter;
+      break;
+  }
+  once_ = std::make_unique<OnceBinaryJoinEstimator>(
+      [probe] { return probe->CurrentCardinalityEstimate(); }, contribution);
+}
+
+void GraceHashJoinOp::EnlistInPipeline(
+    std::shared_ptr<PipelineJoinEstimator> pipeline, size_t index,
+    bool is_lowest) {
+  QPI_CHECK(once_ == nullptr);
+  pipeline_ = std::move(pipeline);
+  pipeline_index_ = index;
+  pipeline_lowest_ = is_lowest;
+}
+
+Status GraceHashJoinOp::OpenImpl() {
+  num_partitions_ = ctx_->hash_join_partitions;
+  QPI_CHECK(num_partitions_ >= 1);
+  build_parts_.assign(num_partitions_, {});
+  probe_parts_.assign(num_partitions_, {});
+  return Status::OK();
+}
+
+void GraceHashJoinOp::RunBuildPhase() {
+  Row row;
+  while (build_child()->Next(&row)) {
+    uint64_t key = BuildKeyCode(row);
+    size_t part = PartitionMix(key) % num_partitions_;
+    if (once_ != nullptr) once_->ObserveBuildKey(key);
+    if (pipeline_ != nullptr) pipeline_->ObserveBuildRow(pipeline_index_, row);
+    build_parts_[part].push_back(std::move(row));
+    ++build_rows_;
+  }
+  if (once_ != nullptr) once_->BuildComplete();
+  if (pipeline_ != nullptr) pipeline_->BuildComplete(pipeline_index_);
+}
+
+void GraceHashJoinOp::RunProbePartitionPhase() {
+  Row row;
+  bool feed_pipeline = pipeline_ != nullptr && pipeline_lowest_;
+  while (probe_child()->Next(&row)) {
+    uint64_t key = ProbeKeyCode(row);
+    size_t part = PartitionMix(key) % num_partitions_;
+    ++probe_partition_consumed_;
+
+    // The estimation window: refine while the probe stream is still a
+    // random prefix, freeze the moment it stops being one (Section 4.4).
+    if (once_ != nullptr && !once_->frozen()) {
+      if (probe_child()->ProducesRandomStream()) {
+        once_->ObserveProbeKey(key);
+      } else {
+        once_->Freeze();
+      }
+    }
+    if (feed_pipeline && !pipeline_->frozen()) {
+      if (probe_child()->ProducesRandomStream()) {
+        pipeline_->ObserveDriverRow(row);
+      } else {
+        pipeline_->Freeze();
+      }
+    }
+    probe_parts_[part].push_back(std::move(row));
+  }
+  if (once_ != nullptr) once_->ProbeComplete();
+  if (feed_pipeline) pipeline_->DriverComplete();
+}
+
+bool GraceHashJoinOp::NextImpl(Row* out) {
+  if (phase_ == Phase::kInit) {
+    RunBuildPhase();
+    RunProbePartitionPhase();
+    phase_ = Phase::kJoin;
+  }
+  if (phase_ == Phase::kJoin) {
+    if (AdvanceJoin(out)) return true;
+    phase_ = Phase::kDone;
+  }
+  return false;
+}
+
+bool GraceHashJoinOp::AdvanceJoin(Row* out) {
+  while (current_part_ < num_partitions_) {
+    const std::vector<Row>& build_rows = build_parts_[current_part_];
+    const std::vector<Row>& probe_rows = probe_parts_[current_part_];
+    if (!part_table_built_) {
+      part_table_.clear();
+      for (size_t i = 0; i < build_rows.size(); ++i) {
+        part_table_[BuildKeyCode(build_rows[i])].push_back(i);
+      }
+      probe_row_idx_ = 0;
+      current_matches_ = nullptr;
+      part_table_built_ = true;
+    }
+    while (probe_row_idx_ < probe_rows.size()) {
+      const Row& probe_row = probe_rows[probe_row_idx_];
+      if (current_matches_ == nullptr) {
+        ++join_driver_consumed_;
+        uint64_t key = ProbeKeyCode(probe_row);
+        auto it = part_table_.find(key);
+        // Verify actual key equality on the candidate bucket: composite and
+        // string keys are matched by 64-bit code first, values second.
+        bool matched = false;
+        if (it != part_table_.end()) {
+          for (size_t idx : it->second) {
+            if (KeysEqual(build_rows[idx], probe_row)) {
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (join_type_ == JoinFlavor::kSemi ||
+            join_type_ == JoinFlavor::kAnti) {
+          bool emit = matched == (join_type_ == JoinFlavor::kSemi);
+          ++probe_row_idx_;
+          if (emit) {
+            *out = probe_row;
+            return true;
+          }
+          continue;
+        }
+        if (!matched) {
+          ++probe_row_idx_;
+          if (join_type_ == JoinFlavor::kProbeOuter) {
+            // NULL-pad the build side of the unmatched probe row.
+            Row nulls(build_child()->schema().num_columns(), Value::Null());
+            *out = ConcatRows(nulls, probe_row);
+            return true;
+          }
+          continue;
+        }
+        current_matches_ = &it->second;
+        match_idx_ = 0;
+      }
+      while (match_idx_ < current_matches_->size()) {
+        const Row& build_row = build_rows[(*current_matches_)[match_idx_]];
+        ++match_idx_;
+        if (!KeysEqual(build_row, probe_row)) continue;  // code collision
+        *out = ConcatRows(build_row, probe_row);
+        return true;
+      }
+      current_matches_ = nullptr;
+      ++probe_row_idx_;
+    }
+    ++current_part_;
+    part_table_built_ = false;
+  }
+  return false;
+}
+
+void GraceHashJoinOp::CloseImpl() {
+  build_parts_.clear();
+  probe_parts_.clear();
+  part_table_.clear();
+}
+
+double GraceHashJoinOp::DneEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  if (join_driver_consumed_ == 0) return optimizer_estimate();
+  double driver_total = static_cast<double>(probe_partition_consumed_);
+  return static_cast<double>(tuples_emitted()) * driver_total /
+         static_cast<double>(join_driver_consumed_);
+}
+
+double GraceHashJoinOp::ByteEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  if (join_driver_consumed_ == 0) return optimizer_estimate();
+  double driver_total = static_cast<double>(probe_partition_consumed_);
+  double f = static_cast<double>(join_driver_consumed_) / driver_total;
+  double observed = static_cast<double>(tuples_emitted()) * driver_total /
+                    static_cast<double>(join_driver_consumed_);
+  return f * observed + (1.0 - f) * optimizer_estimate();
+}
+
+double GraceHashJoinOp::CurrentCardinalityEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  EstimationMode mode = ctx_ != nullptr ? ctx_->mode : EstimationMode::kNone;
+  switch (mode) {
+    case EstimationMode::kNone:
+      return optimizer_estimate();
+    case EstimationMode::kOnce: {
+      if (pipeline_ != nullptr && pipeline_->Resolved(pipeline_index_)) {
+        if (pipeline_->driver_rows_seen() == 0) return optimizer_estimate();
+        return pipeline_->EstimateForJoin(pipeline_index_);
+      }
+      if (once_ != nullptr) {
+        if (once_->probe_tuples_seen() == 0) return optimizer_estimate();
+        return once_->Estimate();
+      }
+      // No preprocessing-phase estimator applies: default to dne (paper
+      // Sections 4.1.3 / 4.3).
+      return DneEstimate();
+    }
+    case EstimationMode::kDne:
+      return DneEstimate();
+    case EstimationMode::kByte:
+      return ByteEstimate();
+  }
+  return optimizer_estimate();
+}
+
+bool GraceHashJoinOp::CardinalityExact() const {
+  if (state() == OpState::kFinished) return true;
+  if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return false;
+  if (pipeline_ != nullptr && pipeline_->Resolved(pipeline_index_)) {
+    return pipeline_->Exact();
+  }
+  return once_ != nullptr && once_->Exact();
+}
+
+size_t GraceHashJoinOp::EstimationBytesUsed() const {
+  if (once_ != nullptr) return once_->build_histogram().UsedBytes();
+  if (pipeline_ != nullptr && pipeline_lowest_) {
+    return pipeline_->HistogramBytesUsed();
+  }
+  return 0;
+}
+
+}  // namespace qpi

@@ -1,0 +1,136 @@
+#ifndef QPI_EXEC_GRACE_HASH_JOIN_H_
+#define QPI_EXEC_GRACE_HASH_JOIN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "estimators/baselines.h"
+#include "estimators/join_once.h"
+#include "estimators/pipeline_join.h"
+#include "exec/operator.h"
+#include "plan/plan_node.h"
+
+namespace qpi {
+
+/// \brief Grace hash join with the three-phase structure the paper
+/// instruments (Section 4.1.1).
+///
+/// Phases:
+///  1. **Build-partition** — the build input R is read completely and hash
+///     partitioned. With ONCE estimation active, the exact join-key
+///     histogram N^R is accumulated here, interleaved with partitioning.
+///  2. **Probe-partition** — the probe input S is read completely and
+///     partitioned. This is the paper's estimation window: each probe key
+///     refines D_t, which is exact by the end of the phase, *before any
+///     join output exists*.
+///  3. **Join** — partitions are joined pairwise. The probe side is
+///     re-read clustered by partition, which is precisely the reordering
+///     that makes the dne/byte baselines (whose driver consumption is
+///     measured here, as in the original systems) fluctuate under skew.
+///
+/// children[0] is the build input, children[1] the probe input.
+class GraceHashJoinOp : public Operator {
+ public:
+  GraceHashJoinOp(OperatorPtr build, OperatorPtr probe, size_t build_key_index,
+                  size_t probe_key_index, std::string label,
+                  JoinFlavor join_type = JoinFlavor::kInner);
+
+  /// Conjunctive multi-attribute equijoin (Section 4.1: "join conditions
+  /// involving ... conjunctions of multiple attributes"): all key pairs
+  /// must match. Estimation uses a composite key code; binary ONCE
+  /// estimation applies, pipeline push-down requires single-key joins.
+  GraceHashJoinOp(OperatorPtr build, OperatorPtr probe,
+                  std::vector<size_t> build_key_indices,
+                  std::vector<size_t> probe_key_indices, std::string label,
+                  JoinFlavor join_type = JoinFlavor::kInner);
+
+  /// Attach the paper's binary estimator (requires a probe input that
+  /// starts as a random stream).
+  void EnableBinaryOnceEstimation();
+
+  /// Enlist this join as member `index` of a pipeline chain; the lowest
+  /// member (`is_lowest` true) feeds driver rows to the shared estimator.
+  void EnlistInPipeline(std::shared_ptr<PipelineJoinEstimator> pipeline,
+                        size_t index, bool is_lowest);
+
+  double CurrentCardinalityEstimate() const override;
+  bool CardinalityExact() const override;
+
+  size_t num_key_columns() const { return build_key_indices_.size(); }
+  size_t build_key_index() const { return build_key_indices_[0]; }
+  size_t probe_key_index() const { return probe_key_indices_[0]; }
+  JoinFlavor join_type() const { return join_type_; }
+
+  // --- observability for benches/tests -------------------------------------
+  uint64_t probe_partition_consumed() const {
+    return probe_partition_consumed_;
+  }
+  uint64_t join_driver_consumed() const { return join_driver_consumed_; }
+  const OnceBinaryJoinEstimator* once_estimator() const { return once_.get(); }
+  const PipelineJoinEstimator* pipeline_estimator() const {
+    return pipeline_.get();
+  }
+  std::shared_ptr<PipelineJoinEstimator> shared_pipeline_estimator() const {
+    return pipeline_;
+  }
+  size_t pipeline_index() const { return pipeline_index_; }
+
+  /// dne / byte estimates regardless of the active mode (for side-by-side
+  /// comparison harnesses).
+  double DneEstimate() const;
+  double ByteEstimate() const;
+
+  /// Histogram memory consumed by estimation at this operator.
+  size_t EstimationBytesUsed() const;
+
+ protected:
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
+  void CloseImpl() override;
+
+ private:
+  enum class Phase { kInit, kJoin, kDone };
+
+  void RunBuildPhase();
+  void RunProbePartitionPhase();
+  bool AdvanceJoin(Row* out);
+
+  Operator* build_child() const { return child(0); }
+  Operator* probe_child() const { return child(1); }
+
+  uint64_t BuildKeyCode(const Row& row) const;
+  uint64_t ProbeKeyCode(const Row& row) const;
+  bool KeysEqual(const Row& build_row, const Row& probe_row) const;
+
+  std::vector<size_t> build_key_indices_;
+  std::vector<size_t> probe_key_indices_;
+  JoinFlavor join_type_;
+  size_t num_partitions_ = 64;
+
+  Phase phase_ = Phase::kInit;
+  std::vector<std::vector<Row>> build_parts_;
+  std::vector<std::vector<Row>> probe_parts_;
+
+  // Join-phase cursor.
+  size_t current_part_ = 0;
+  bool part_table_built_ = false;
+  std::unordered_map<uint64_t, std::vector<size_t>> part_table_;
+  size_t probe_row_idx_ = 0;
+  const std::vector<size_t>* current_matches_ = nullptr;
+  size_t match_idx_ = 0;
+
+  uint64_t build_rows_ = 0;
+  uint64_t probe_partition_consumed_ = 0;
+  uint64_t join_driver_consumed_ = 0;
+
+  // Estimation attachments.
+  std::unique_ptr<OnceBinaryJoinEstimator> once_;
+  std::shared_ptr<PipelineJoinEstimator> pipeline_;
+  size_t pipeline_index_ = 0;
+  bool pipeline_lowest_ = false;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_EXEC_GRACE_HASH_JOIN_H_

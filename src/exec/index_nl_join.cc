@@ -1,0 +1,127 @@
+#include "exec/index_nl_join.h"
+
+#include "stats/hash_histogram.h"
+
+namespace qpi {
+
+namespace {
+std::vector<OperatorPtr> TwoChildren(OperatorPtr a, OperatorPtr b) {
+  std::vector<OperatorPtr> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+}  // namespace
+
+IndexNestedLoopsJoinOp::IndexNestedLoopsJoinOp(OperatorPtr outer,
+                                               OperatorPtr inner,
+                                               size_t outer_key_index,
+                                               size_t inner_key_index,
+                                               std::string label)
+    : Operator(std::move(label),
+               TwoChildren(std::move(outer), std::move(inner))),
+      outer_key_index_(outer_key_index),
+      inner_key_index_(inner_key_index) {
+  SetSchema(Schema::Concat(child(0)->schema(), child(1)->schema()));
+}
+
+void IndexNestedLoopsJoinOp::EnableOnceEstimation() {
+  Operator* outer = child(0);
+  once_ = std::make_unique<OnceBinaryJoinEstimator>(
+      [outer] { return outer->CurrentCardinalityEstimate(); });
+}
+
+bool IndexNestedLoopsJoinOp::NextImpl(Row* out) {
+  if (!index_built_) {
+    // Preprocessing: materialize the inner input and build the temporary
+    // index; the estimation histogram rides along, as in a hash join build.
+    Row row;
+    while (child(1)->Next(&row)) {
+      uint64_t key = HistogramKeyCode(row[inner_key_index_]);
+      if (once_ != nullptr) once_->ObserveBuildKey(key);
+      index_[key].push_back(inner_rows_.size());
+      inner_rows_.push_back(std::move(row));
+    }
+    if (once_ != nullptr) once_->BuildComplete();
+    index_built_ = true;
+  }
+  while (true) {
+    if (current_matches_ == nullptr) {
+      if (!child(0)->Next(&current_outer_)) {
+        if (once_ != nullptr) once_->ProbeComplete();
+        return false;
+      }
+      ++outer_consumed_;
+      uint64_t key = HistogramKeyCode(current_outer_[outer_key_index_]);
+      if (once_ != nullptr && !once_->frozen()) {
+        if (child(0)->ProducesRandomStream()) {
+          once_->ObserveProbeKey(key);
+        } else {
+          once_->Freeze();
+        }
+      }
+      auto it = index_.find(key);
+      if (it == index_.end()) continue;
+      current_matches_ = &it->second;
+      match_idx_ = 0;
+    }
+    if (match_idx_ < current_matches_->size()) {
+      *out = ConcatRows(current_outer_,
+                        inner_rows_[(*current_matches_)[match_idx_]]);
+      ++match_idx_;
+      return true;
+    }
+    current_matches_ = nullptr;
+  }
+}
+
+void IndexNestedLoopsJoinOp::CloseImpl() {
+  inner_rows_.clear();
+  index_.clear();
+}
+
+double IndexNestedLoopsJoinOp::DneEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  if (outer_consumed_ == 0) return optimizer_estimate();
+  double outer_total = child(0)->CurrentCardinalityEstimate();
+  return static_cast<double>(tuples_emitted()) * outer_total /
+         static_cast<double>(outer_consumed_);
+}
+
+double IndexNestedLoopsJoinOp::CurrentCardinalityEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  EstimationMode mode = ctx_ != nullptr ? ctx_->mode : EstimationMode::kNone;
+  switch (mode) {
+    case EstimationMode::kNone:
+      return optimizer_estimate();
+    case EstimationMode::kOnce:
+      if (once_ != nullptr && once_->probe_tuples_seen() > 0) {
+        return once_->Estimate();
+      }
+      return DneEstimate();
+    case EstimationMode::kDne:
+      return DneEstimate();
+    case EstimationMode::kByte: {
+      if (outer_consumed_ == 0) return optimizer_estimate();
+      double outer_total = child(0)->CurrentCardinalityEstimate();
+      double f = outer_total > 0
+                     ? static_cast<double>(outer_consumed_) / outer_total
+                     : 1.0;
+      if (f > 1.0) f = 1.0;
+      return f * DneEstimate() + (1.0 - f) * optimizer_estimate();
+    }
+  }
+  return optimizer_estimate();
+}
+
+bool IndexNestedLoopsJoinOp::CardinalityExact() const {
+  if (state() == OpState::kFinished) return true;
+  if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return false;
+  return once_ != nullptr && once_->Exact();
+}
+
+}  // namespace qpi

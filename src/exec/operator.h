@@ -1,0 +1,123 @@
+#ifndef QPI_EXEC_OPERATOR_H_
+#define QPI_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+
+namespace qpi {
+
+/// Lifecycle of an operator, as seen by the progress monitor.
+enum class OpState { kNotStarted, kRunning, kFinished };
+
+/// \brief Base class of all Volcano-style physical operators.
+///
+/// The public Next() wrapper maintains the getnext() bookkeeping the gnm
+/// progress model is built on: `tuples_emitted()` is K_i, the number of
+/// getnext() calls answered so far, and `CurrentCardinalityEstimate()` is
+/// the operator's live estimate of N_i, its total output cardinality —
+/// exact once the operator finishes, estimator-driven while it runs, and
+/// the optimizer's number before it starts.
+class Operator {
+ public:
+  /// Derived constructors must call SetSchema() in their body (the schema
+  /// usually depends on the children, which are only safely accessible once
+  /// stored — argument evaluation order is unspecified).
+  Operator(std::string label, std::vector<std::unique_ptr<Operator>> children)
+      : label_(std::move(label)), children_(std::move(children)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Prepare this operator and (recursively) its children.
+  Status Open(ExecContext* ctx) {
+    ctx_ = ctx;
+    for (auto& child : children_) {
+      QPI_RETURN_NOT_OK(child->Open(ctx));
+    }
+    return OpenImpl();
+  }
+
+  /// Produce the next output row; false at end of stream.
+  bool Next(Row* out) {
+    if (state_ == OpState::kNotStarted) state_ = OpState::kRunning;
+    if (!NextImpl(out)) {
+      state_ = OpState::kFinished;
+      return false;
+    }
+    ++emitted_;
+    if (ctx_ != nullptr) ctx_->Tick();
+    return true;
+  }
+
+  /// Release resources (recursively).
+  void Close() {
+    CloseImpl();
+    for (auto& child : children_) child->Close();
+  }
+
+  const Schema& schema() const { return schema_; }
+  const std::string& label() const { return label_; }
+  OpState state() const { return state_; }
+
+  /// K_i — getnext() calls answered so far.
+  uint64_t tuples_emitted() const { return emitted_; }
+
+  /// The optimizer's static estimate of this operator's output size.
+  double optimizer_estimate() const { return optimizer_estimate_; }
+  void set_optimizer_estimate(double est) { optimizer_estimate_ = est; }
+
+  /// Live estimate of N_i, the total output cardinality.
+  virtual double CurrentCardinalityEstimate() const = 0;
+
+  /// Whether CurrentCardinalityEstimate() is known to be exact.
+  virtual bool CardinalityExact() const {
+    return state_ == OpState::kFinished;
+  }
+
+  /// Whether the rows this operator emits can currently be treated as a
+  /// uniform random sample of its full output. Scans say yes while inside
+  /// their random prefix; filters/projections pass the answer through;
+  /// anything that clusters or orders its output (hash join partitions,
+  /// sorts) says no — the property Section 4.1.4 is about.
+  virtual bool ProducesRandomStream() const { return false; }
+
+  size_t num_children() const { return children_.size(); }
+  Operator* child(size_t i) const { return children_[i].get(); }
+
+  /// Pre-order visit of the operator tree.
+  template <typename Fn>
+  void Visit(Fn&& fn) {
+    fn(this);
+    for (auto& c : children_) c->Visit(fn);
+  }
+
+ protected:
+  virtual Status OpenImpl() { return Status::OK(); }
+  virtual bool NextImpl(Row* out) = 0;
+  virtual void CloseImpl() {}
+
+  void SetSchema(Schema schema) { schema_ = std::move(schema); }
+
+  ExecContext* ctx_ = nullptr;
+
+ private:
+  Schema schema_;
+  std::string label_;
+  std::vector<std::unique_ptr<Operator>> children_;
+  OpState state_ = OpState::kNotStarted;
+  uint64_t emitted_ = 0;
+  double optimizer_estimate_ = 0.0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace qpi
+
+#endif  // QPI_EXEC_OPERATOR_H_

@@ -1,0 +1,50 @@
+#include "exec/seq_scan.h"
+
+#include "common/check.h"
+
+namespace qpi {
+
+SeqScanOp::SeqScanOp(TablePtr table, double sample_fraction)
+    : Operator("SeqScan(" + table->name() + ")", {}),
+      table_(std::move(table)),
+      sample_fraction_(sample_fraction) {
+  SetSchema(table_->schema());
+}
+
+Status SeqScanOp::OpenImpl() {
+  double fraction = sample_fraction_;
+  if (fraction == 0.0 && ctx_ != nullptr) fraction = ctx_->sample_fraction;
+  order_ = BlockSampler::MakeOrder(*table_, fraction, &ctx_->rng);
+  block_pos_ = 0;
+  row_pos_ = 0;
+  return Status::OK();
+}
+
+bool SeqScanOp::NextImpl(Row* out) {
+  while (block_pos_ < order_.block_order.size()) {
+    const Block& block = table_->block(order_.block_order[block_pos_]);
+    if (row_pos_ < block.num_rows()) {
+      *out = block.row(row_pos_);
+      ++row_pos_;
+      return true;
+    }
+    ++block_pos_;
+    row_pos_ = 0;
+  }
+  return false;
+}
+
+uint64_t SeqScanOp::random_prefix_rows() const {
+  if (order_.sample_block_count == 0) return table_->num_rows();
+  return order_.sample_row_count;
+}
+
+bool SeqScanOp::ProducesRandomStream() const {
+  if (order_.sample_block_count == 0) {
+    // Unsampled scan: stored order is the generators' i.i.d. order.
+    return true;
+  }
+  return tuples_emitted() < order_.sample_row_count;
+}
+
+}  // namespace qpi

@@ -1,0 +1,48 @@
+#ifndef QPI_EXEC_SEQ_SCAN_H_
+#define QPI_EXEC_SEQ_SCAN_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "storage/block_sampler.h"
+#include "storage/table.h"
+
+namespace qpi {
+
+/// \brief Sequential scan with optional sample-first ordering.
+///
+/// With `sample_fraction > 0`, emits a block-level random sample of the
+/// table first and then the remaining blocks (the paper's modified table
+/// scan; the remaining scan excludes sampled blocks, i.e. the prototype's
+/// anti-join on block ids). `ProducesRandomStream()` is true exactly while
+/// the stream can be treated as a uniform random prefix: the sample part,
+/// or the whole scan when no sampling was requested (generated tables store
+/// rows in random order).
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(TablePtr table, double sample_fraction);
+
+  double CurrentCardinalityEstimate() const override {
+    return static_cast<double>(table_->num_rows());
+  }
+  bool CardinalityExact() const override { return true; }
+  bool ProducesRandomStream() const override;
+
+  /// Rows in the leading random prefix (table size when unsampled).
+  uint64_t random_prefix_rows() const;
+
+ protected:
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
+
+ private:
+  TablePtr table_;
+  double sample_fraction_;
+  ScanOrder order_;
+  size_t block_pos_ = 0;
+  size_t row_pos_ = 0;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_EXEC_SEQ_SCAN_H_

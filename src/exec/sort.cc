@@ -1,0 +1,150 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace qpi {
+
+namespace {
+std::vector<OperatorPtr> OneChild(OperatorPtr child) {
+  std::vector<OperatorPtr> v;
+  v.push_back(std::move(child));
+  return v;
+}
+std::vector<OperatorPtr> TwoChildren(OperatorPtr a, OperatorPtr b) {
+  std::vector<OperatorPtr> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+}  // namespace
+
+SortOp::SortOp(OperatorPtr child, std::vector<size_t> key_indices)
+    : Operator("Sort", OneChild(std::move(child))),
+      key_indices_(std::move(key_indices)) {
+  SetSchema(this->child(0)->schema());
+}
+
+bool SortOp::NextImpl(Row* out) {
+  if (!intake_done_) {
+    Row row;
+    while (child(0)->Next(&row)) rows_.push_back(std::move(row));
+    std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
+      for (size_t k : key_indices_) {
+        int cmp = a[k].Compare(b[k]);
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    });
+    intake_done_ = true;
+    pos_ = 0;
+  }
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_];
+  ++pos_;
+  return true;
+}
+
+void SortOp::CloseImpl() { rows_.clear(); }
+
+NestedLoopsJoinOp::NestedLoopsJoinOp(OperatorPtr outer, OperatorPtr inner,
+                                     size_t outer_key_index,
+                                     size_t inner_key_index, std::string label,
+                                     CompareOp join_op)
+    : Operator(std::move(label),
+               TwoChildren(std::move(outer), std::move(inner))),
+      outer_key_index_(outer_key_index),
+      inner_key_index_(inner_key_index),
+      join_op_(join_op) {
+  SetSchema(Schema::Concat(child(0)->schema(), child(1)->schema()));
+}
+
+void NestedLoopsJoinOp::EnableThetaOnceEstimation() {
+  Operator* outer = child(0);
+  theta_ = std::make_unique<OnceInequalityJoinEstimator>(
+      join_op_, [outer] { return outer->CurrentCardinalityEstimate(); });
+}
+
+bool NestedLoopsJoinOp::Matches(const Value& outer, const Value& inner) const {
+  int cmp = outer.Compare(inner);
+  switch (join_op_) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool NestedLoopsJoinOp::NextImpl(Row* out) {
+  if (!inner_materialized_) {
+    Row row;
+    while (child(1)->Next(&row)) {
+      if (theta_ != nullptr) theta_->ObserveInnerKey(row[inner_key_index_]);
+      inner_rows_.push_back(std::move(row));
+    }
+    if (theta_ != nullptr) theta_->InnerComplete();
+    inner_materialized_ = true;
+  }
+  while (true) {
+    if (!have_outer_) {
+      if (!child(0)->Next(&current_outer_)) {
+        if (theta_ != nullptr) theta_->OuterComplete();
+        return false;
+      }
+      ++outer_consumed_;
+      if (theta_ != nullptr && !theta_->frozen()) {
+        if (child(0)->ProducesRandomStream()) {
+          theta_->ObserveOuterKey(current_outer_[outer_key_index_]);
+        } else {
+          theta_->Freeze();
+        }
+      }
+      have_outer_ = true;
+      inner_pos_ = 0;
+    }
+    const Value& outer_key = current_outer_[outer_key_index_];
+    while (inner_pos_ < inner_rows_.size()) {
+      const Row& inner_row = inner_rows_[inner_pos_];
+      ++inner_pos_;
+      if (Matches(outer_key, inner_row[inner_key_index_])) {
+        *out = ConcatRows(current_outer_, inner_row);
+        return true;
+      }
+    }
+    have_outer_ = false;
+  }
+}
+
+void NestedLoopsJoinOp::CloseImpl() { inner_rows_.clear(); }
+
+double NestedLoopsJoinOp::CurrentCardinalityEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  EstimationMode mode = ctx_ != nullptr ? ctx_->mode : EstimationMode::kNone;
+  if (mode == EstimationMode::kOnce && theta_ != nullptr &&
+      theta_->outer_tuples_seen() > 0) {
+    return theta_->Estimate();
+  }
+  // Equijoin NL (no preprocessing): ONCE degenerates to dne (Section 4.1.3).
+  if (outer_consumed_ == 0) return optimizer_estimate();
+  double outer_total = child(0)->CurrentCardinalityEstimate();
+  return static_cast<double>(tuples_emitted()) * outer_total /
+         static_cast<double>(outer_consumed_);
+}
+
+bool NestedLoopsJoinOp::CardinalityExact() const {
+  if (state() == OpState::kFinished) return true;
+  if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return false;
+  return theta_ != nullptr && theta_->Exact();
+}
+
+}  // namespace qpi

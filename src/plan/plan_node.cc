@@ -1,0 +1,317 @@
+#include "plan/plan_node.h"
+
+#include "common/table_printer.h"
+
+namespace qpi {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kHashJoin:
+      return "HashJoin";
+    case PlanKind::kMergeJoin:
+      return "MergeJoin";
+    case PlanKind::kNestedLoopsJoin:
+      return "NestedLoopsJoin";
+    case PlanKind::kIndexNestedLoopsJoin:
+      return "IndexNestedLoopsJoin";
+    case PlanKind::kHashAggregate:
+      return "HashAggregate";
+    case PlanKind::kSortAggregate:
+      return "SortAggregate";
+    case PlanKind::kSort:
+      return "Sort";
+  }
+  return "?";
+}
+
+const char* JoinFlavorName(JoinFlavor flavor) {
+  switch (flavor) {
+    case JoinFlavor::kInner:
+      return "inner";
+    case JoinFlavor::kSemi:
+      return "semi";
+    case JoinFlavor::kAnti:
+      return "anti";
+    case JoinFlavor::kProbeOuter:
+      return "probe-outer";
+  }
+  return "?";
+}
+
+Status ResolveColumnIndex(const Schema& schema, const std::string& ref,
+                          size_t* out) {
+  size_t dot = ref.find('.');
+  std::optional<size_t> idx;
+  if (dot == std::string::npos) {
+    idx = schema.FindColumn(ref);
+  } else {
+    idx = schema.FindQualified(ref.substr(0, dot), ref.substr(dot + 1));
+  }
+  if (!idx.has_value()) {
+    return Status::NotFound(StrFormat("column ref %s not in schema %s",
+                                      ref.c_str(), schema.ToString().c_str()));
+  }
+  *out = *idx;
+  return Status::OK();
+}
+
+Status PlanNode::DeriveSchema(const Catalog& catalog, Schema* out) const {
+  switch (kind) {
+    case PlanKind::kScan: {
+      TablePtr table = catalog.Find(table_name);
+      if (!table) {
+        return Status::NotFound(
+            StrFormat("scan table %s not in catalog", table_name.c_str()));
+      }
+      *out = table->schema();
+      return Status::OK();
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+      return children[0]->DeriveSchema(catalog, out);
+    case PlanKind::kProject: {
+      Schema child;
+      QPI_RETURN_NOT_OK(children[0]->DeriveSchema(catalog, &child));
+      std::vector<Column> cols;
+      for (const std::string& ref : project_columns) {
+        size_t idx = 0;
+        QPI_RETURN_NOT_OK(ResolveColumnIndex(child, ref, &idx));
+        cols.push_back(child.column(idx));
+      }
+      *out = Schema(std::move(cols));
+      return Status::OK();
+    }
+    case PlanKind::kHashJoin:
+    case PlanKind::kMergeJoin:
+    case PlanKind::kNestedLoopsJoin:
+    case PlanKind::kIndexNestedLoopsJoin: {
+      Schema left;
+      Schema right;
+      QPI_RETURN_NOT_OK(children[0]->DeriveSchema(catalog, &left));
+      QPI_RETURN_NOT_OK(children[1]->DeriveSchema(catalog, &right));
+      if (join_flavor == JoinFlavor::kSemi ||
+          join_flavor == JoinFlavor::kAnti) {
+        *out = right;  // semi/anti joins emit probe rows only
+      } else {
+        *out = Schema::Concat(left, right);
+      }
+      return Status::OK();
+    }
+    case PlanKind::kHashAggregate:
+    case PlanKind::kSortAggregate: {
+      Schema child;
+      QPI_RETURN_NOT_OK(children[0]->DeriveSchema(catalog, &child));
+      std::vector<Column> cols;
+      for (const std::string& ref : group_by) {
+        size_t idx = 0;
+        QPI_RETURN_NOT_OK(ResolveColumnIndex(child, ref, &idx));
+        cols.push_back(child.column(idx));
+      }
+      for (const AggregateSpec& agg : aggregates) {
+        Column c;
+        c.table = "";
+        if (agg.kind == AggregateSpec::Kind::kCountStar) {
+          c.name = "count";
+          c.type = ValueType::kInt64;
+        } else {
+          c.name = "sum_" + agg.column;
+          c.type = ValueType::kDouble;
+        }
+        cols.push_back(std::move(c));
+      }
+      *out = Schema(std::move(cols));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad + PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      line += " " + table_name;
+      if (sample_fraction > 0) {
+        line += StrFormat(" (sample %.0f%%)", sample_fraction * 100);
+      }
+      break;
+    case PlanKind::kFilter:
+      line += " [" + predicate->ToString() + "]";
+      break;
+    case PlanKind::kHashJoin:
+    case PlanKind::kMergeJoin:
+    case PlanKind::kNestedLoopsJoin:
+    case PlanKind::kIndexNestedLoopsJoin:
+      line += " [" + left_key + " " + CompareOpName(theta_op) + " " +
+              right_key + "]";
+      if (join_flavor != JoinFlavor::kInner) {
+        line += std::string(" (") + JoinFlavorName(join_flavor) + ")";
+      }
+      break;
+    case PlanKind::kHashAggregate:
+    case PlanKind::kSortAggregate: {
+      line += " [";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) line += ", ";
+        line += group_by[i];
+      }
+      line += "]";
+      break;
+    }
+    default:
+      break;
+  }
+  if (optimizer_cardinality >= 0) {
+    line += StrFormat("  (opt est %.0f)", optimizer_cardinality);
+  }
+  line += "\n";
+  for (const auto& child : children) line += child->ToString(indent + 1);
+  return line;
+}
+
+// ---- builder helpers -------------------------------------------------------
+
+PlanNodePtr ScanPlan(std::string table, double sample_fraction) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kScan;
+  node->table_name = std::move(table);
+  node->sample_fraction = sample_fraction;
+  return node;
+}
+
+PlanNodePtr FilterPlan(PlanNodePtr child, PredicatePtr predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kFilter;
+  node->children.push_back(std::move(child));
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+PlanNodePtr ProjectPlan(PlanNodePtr child, std::vector<std::string> columns) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kProject;
+  node->children.push_back(std::move(child));
+  node->project_columns = std::move(columns);
+  return node;
+}
+
+namespace {
+PlanNodePtr JoinPlan(PlanKind kind, PlanNodePtr left, PlanNodePtr right,
+                     std::string left_key, std::string right_key) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  node->left_key = std::move(left_key);
+  node->right_key = std::move(right_key);
+  return node;
+}
+}  // namespace
+
+PlanNodePtr HashJoinPlan(PlanNodePtr build, PlanNodePtr probe,
+                         std::string build_key, std::string probe_key) {
+  return JoinPlan(PlanKind::kHashJoin, std::move(build), std::move(probe),
+                  std::move(build_key), std::move(probe_key));
+}
+
+PlanNodePtr FlavoredHashJoinPlan(PlanNodePtr build, PlanNodePtr probe,
+                                 std::string build_key, std::string probe_key,
+                                 JoinFlavor flavor) {
+  PlanNodePtr node =
+      JoinPlan(PlanKind::kHashJoin, std::move(build), std::move(probe),
+               std::move(build_key), std::move(probe_key));
+  node->join_flavor = flavor;
+  return node;
+}
+
+PlanNodePtr MultiKeyHashJoinPlan(PlanNodePtr build, PlanNodePtr probe,
+                                 std::vector<std::string> build_keys,
+                                 std::vector<std::string> probe_keys) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kHashJoin;
+  node->children.push_back(std::move(build));
+  node->children.push_back(std::move(probe));
+  node->left_keys = std::move(build_keys);
+  node->right_keys = std::move(probe_keys);
+  // Keep the single-key fields populated for display purposes.
+  if (!node->left_keys.empty()) {
+    node->left_key = node->left_keys[0];
+    node->right_key = node->right_keys[0];
+  }
+  return node;
+}
+
+PlanNodePtr MergeJoinPlan(PlanNodePtr left, PlanNodePtr right,
+                          std::string left_key, std::string right_key) {
+  return JoinPlan(PlanKind::kMergeJoin, std::move(left), std::move(right),
+                  std::move(left_key), std::move(right_key));
+}
+
+PlanNodePtr NestedLoopsJoinPlan(PlanNodePtr outer, PlanNodePtr inner,
+                                std::string outer_key, std::string inner_key) {
+  return JoinPlan(PlanKind::kNestedLoopsJoin, std::move(outer),
+                  std::move(inner), std::move(outer_key),
+                  std::move(inner_key));
+}
+
+PlanNodePtr IndexNestedLoopsJoinPlan(PlanNodePtr outer, PlanNodePtr inner,
+                                     std::string outer_key,
+                                     std::string inner_key) {
+  return JoinPlan(PlanKind::kIndexNestedLoopsJoin, std::move(outer),
+                  std::move(inner), std::move(outer_key),
+                  std::move(inner_key));
+}
+
+PlanNodePtr ThetaNestedLoopsJoinPlan(PlanNodePtr outer, PlanNodePtr inner,
+                                     std::string outer_key,
+                                     std::string inner_key, CompareOp op) {
+  PlanNodePtr node =
+      JoinPlan(PlanKind::kNestedLoopsJoin, std::move(outer), std::move(inner),
+               std::move(outer_key), std::move(inner_key));
+  node->theta_op = op;
+  return node;
+}
+
+namespace {
+PlanNodePtr AggPlan(PlanKind kind, PlanNodePtr child,
+                    std::vector<std::string> group_by,
+                    std::vector<AggregateSpec> aggregates) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->children.push_back(std::move(child));
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggregates);
+  return node;
+}
+}  // namespace
+
+PlanNodePtr HashAggregatePlan(PlanNodePtr child,
+                              std::vector<std::string> group_by,
+                              std::vector<AggregateSpec> aggregates) {
+  return AggPlan(PlanKind::kHashAggregate, std::move(child),
+                 std::move(group_by), std::move(aggregates));
+}
+
+PlanNodePtr SortAggregatePlan(PlanNodePtr child,
+                              std::vector<std::string> group_by,
+                              std::vector<AggregateSpec> aggregates) {
+  return AggPlan(PlanKind::kSortAggregate, std::move(child),
+                 std::move(group_by), std::move(aggregates));
+}
+
+PlanNodePtr SortPlan(PlanNodePtr child, std::vector<std::string> sort_keys) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kSort;
+  node->children.push_back(std::move(child));
+  node->sort_keys = std::move(sort_keys);
+  return node;
+}
+
+}  // namespace qpi

@@ -1,0 +1,145 @@
+#ifndef QPI_PLAN_PLAN_NODE_H_
+#define QPI_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "plan/expr.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+
+/// Physical operator kinds the engine supports. The set mirrors the paper's
+/// Section 3 operator list: scan, selection (σ), projection (π), NL join,
+/// hash join, merge join, sort and group-by (γ) via hashing or sorting.
+enum class PlanKind {
+  kScan,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kMergeJoin,
+  kNestedLoopsJoin,
+  kIndexNestedLoopsJoin,
+  kHashAggregate,
+  kSortAggregate,
+  kSort,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// Join flavour for hash joins. Semi/anti/probe-outer are relative to the
+/// probe (streaming) side: semi emits matching probe rows once, anti the
+/// non-matching ones, probe-outer NULL-pads the build columns of
+/// non-matching probe rows.
+enum class JoinFlavor { kInner, kSemi, kAnti, kProbeOuter };
+
+const char* JoinFlavorName(JoinFlavor flavor);
+
+/// One aggregate function computed by an aggregation node.
+struct AggregateSpec {
+  enum class Kind { kCountStar, kSum };
+  Kind kind = Kind::kCountStar;
+  std::string column;  ///< argument column for kSum ("" for COUNT(*))
+};
+
+/// \brief A physical plan description (not yet executable).
+///
+/// The exec compiler turns a PlanNode tree into an Operator tree; the
+/// optimizer annotates each node with the initial cardinality estimate the
+/// progress baselines (byte, future-pipeline refinement) start from.
+///
+/// Join convention: children[0] is the build (hash join) / sorted-first
+/// (merge join) / outer (NL join) input; children[1] is the probe / inner.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kScan
+  std::string table_name;
+  /// Fraction of blocks emitted as a leading random sample (0 = plain scan).
+  double sample_fraction = 0.0;
+
+  // kFilter
+  PredicatePtr predicate;
+
+  // kProject: column refs ("name" or "table.name") to keep, in order.
+  std::vector<std::string> project_columns;
+
+  // joins: equi-join key column refs on each side.
+  std::string left_key;
+  std::string right_key;
+  JoinFlavor join_flavor = JoinFlavor::kInner;  ///< hash joins only
+  /// Comparison applied as `left_key <op> right_key`; non-equality ops are
+  /// supported by nested-loops joins only.
+  CompareOp theta_op = CompareOp::kEq;
+  /// Conjunctive multi-attribute equijoin keys (hash joins only). When
+  /// non-empty these override left_key/right_key; all pairs must match.
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+
+  // aggregates
+  std::vector<std::string> group_by;
+  std::vector<AggregateSpec> aggregates;
+
+  // kSort
+  std::vector<std::string> sort_keys;
+
+  /// Filled in by OptimizerEstimator::Annotate: estimated output rows.
+  double optimizer_cardinality = -1.0;
+
+  /// Output schema of this node given `catalog` (resolves the scan tables).
+  Status DeriveSchema(const Catalog& catalog, Schema* out) const;
+
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Resolve a column ref ("name" or "table.name") to an index in `schema`.
+Status ResolveColumnIndex(const Schema& schema, const std::string& ref,
+                          size_t* out);
+
+// ---- builder helpers -------------------------------------------------------
+
+PlanNodePtr ScanPlan(std::string table, double sample_fraction = 0.0);
+PlanNodePtr FilterPlan(PlanNodePtr child, PredicatePtr predicate);
+PlanNodePtr ProjectPlan(PlanNodePtr child, std::vector<std::string> columns);
+PlanNodePtr HashJoinPlan(PlanNodePtr build, PlanNodePtr probe,
+                         std::string build_key, std::string probe_key);
+/// Hash join with a non-inner flavour (semi / anti / probe-outer).
+PlanNodePtr FlavoredHashJoinPlan(PlanNodePtr build, PlanNodePtr probe,
+                                 std::string build_key, std::string probe_key,
+                                 JoinFlavor flavor);
+/// Conjunctive multi-attribute hash equijoin: build_keys[i] = probe_keys[i]
+/// for every i (Section 4.1's conjunction case).
+PlanNodePtr MultiKeyHashJoinPlan(PlanNodePtr build, PlanNodePtr probe,
+                                 std::vector<std::string> build_keys,
+                                 std::vector<std::string> probe_keys);
+PlanNodePtr MergeJoinPlan(PlanNodePtr left, PlanNodePtr right,
+                          std::string left_key, std::string right_key);
+PlanNodePtr NestedLoopsJoinPlan(PlanNodePtr outer, PlanNodePtr inner,
+                                std::string outer_key, std::string inner_key);
+/// Nested-loops join with an arbitrary comparison predicate
+/// `outer_key <op> inner_key` (e.g. R.x > S.y).
+PlanNodePtr ThetaNestedLoopsJoinPlan(PlanNodePtr outer, PlanNodePtr inner,
+                                     std::string outer_key,
+                                     std::string inner_key, CompareOp op);
+/// Nested-loops join with a temporary hash index on the inner input
+/// (Section 4.1.3's optimized form; admits hash-join-style estimation).
+PlanNodePtr IndexNestedLoopsJoinPlan(PlanNodePtr outer, PlanNodePtr inner,
+                                     std::string outer_key,
+                                     std::string inner_key);
+PlanNodePtr HashAggregatePlan(PlanNodePtr child,
+                              std::vector<std::string> group_by,
+                              std::vector<AggregateSpec> aggregates);
+PlanNodePtr SortAggregatePlan(PlanNodePtr child,
+                              std::vector<std::string> group_by,
+                              std::vector<AggregateSpec> aggregates);
+PlanNodePtr SortPlan(PlanNodePtr child, std::vector<std::string> sort_keys);
+
+}  // namespace qpi
+
+#endif  // QPI_PLAN_PLAN_NODE_H_

@@ -1,0 +1,53 @@
+#include "progress/gnm.h"
+
+namespace qpi {
+
+GnmAccountant::GnmAccountant(Operator* root) : root_(root) {
+  root_->Visit([this](Operator* op) { ops_.push_back(op); });
+}
+
+uint64_t GnmAccountant::CurrentCalls() const {
+  uint64_t total = 0;
+  for (const Operator* op : ops_) total += op->tuples_emitted();
+  return total;
+}
+
+double GnmAccountant::RefinedEstimate(const Operator* op) const {
+  switch (op->state()) {
+    case OpState::kFinished:
+      return static_cast<double>(op->tuples_emitted());
+    case OpState::kRunning:
+      return op->CurrentCardinalityEstimate();
+    case OpState::kNotStarted: {
+      // Future operator: scale the optimizer estimate by how much the live
+      // estimates of its inputs have moved relative to their own optimizer
+      // estimates.
+      double est = op->optimizer_estimate();
+      for (size_t i = 0; i < op->num_children(); ++i) {
+        const Operator* c = op->child(i);
+        double opt = c->optimizer_estimate();
+        if (opt > 0) {
+          est *= RefinedEstimate(c) / opt;
+        }
+      }
+      return est;
+    }
+  }
+  return op->optimizer_estimate();
+}
+
+double GnmAccountant::TotalEstimate() const {
+  double total = 0;
+  for (const Operator* op : ops_) total += RefinedEstimate(op);
+  return total;
+}
+
+GnmSnapshot GnmAccountant::Snapshot(uint64_t tick) const {
+  GnmSnapshot snap;
+  snap.tick = tick;
+  snap.current_calls = static_cast<double>(CurrentCalls());
+  snap.total_estimate = TotalEstimate();
+  return snap;
+}
+
+}  // namespace qpi

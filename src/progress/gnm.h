@@ -1,0 +1,56 @@
+#ifndef QPI_PROGRESS_GNM_H_
+#define QPI_PROGRESS_GNM_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace qpi {
+
+/// One observation of query progress under the getnext() model.
+struct GnmSnapshot {
+  uint64_t tick = 0;          ///< engine ticks when taken
+  double current_calls = 0;   ///< C(Q) — getnext() calls made so far
+  double total_estimate = 0;  ///< live estimate of T(Q)
+  /// Estimated progress C(Q) / T̂(Q), clamped to [0, 1].
+  double EstimatedProgress() const {
+    if (total_estimate <= 0) return 0.0;
+    double p = current_calls / total_estimate;
+    return p > 1.0 ? 1.0 : p;
+  }
+};
+
+/// \brief Accounts the getnext() model of progress (paper Section 3):
+/// gnm = C(Q) / T(Q) with C(Q) = Σ K_i and T(Q) = Σ N_i over all operators.
+///
+/// Per-operator N_i classification (Section 4.4):
+///  - finished operator → exact (its emitted count);
+///  - running operator → its live estimate (ONCE / dne / byte per mode);
+///  - not-yet-started operator → the optimizer estimate *refined* by the
+///    ratio between its inputs' live estimates and their optimizer
+///    estimates — the simplified form of the future-pipeline bound
+///    refinement of Chaudhuri et al. [9] (see DESIGN.md).
+class GnmAccountant {
+ public:
+  explicit GnmAccountant(Operator* root);
+
+  /// C(Q) right now.
+  uint64_t CurrentCalls() const;
+
+  /// Live estimate of T(Q).
+  double TotalEstimate() const;
+
+  /// Take a snapshot (tick recorded for plotting).
+  GnmSnapshot Snapshot(uint64_t tick = 0) const;
+
+  /// Live N_i estimate for one operator under the classification above.
+  double RefinedEstimate(const Operator* op) const;
+
+ private:
+  Operator* root_;
+  std::vector<const Operator*> ops_;  // flattened tree
+};
+
+}  // namespace qpi
+
+#endif  // QPI_PROGRESS_GNM_H_

@@ -1,0 +1,49 @@
+#include "progress/monitor.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace qpi {
+
+ProgressMonitor::ProgressMonitor(Operator* root, uint64_t tick_interval)
+    : root_(root), accountant_(root), tick_interval_(tick_interval) {
+  QPI_CHECK(tick_interval_ > 0);
+}
+
+void ProgressMonitor::InstallOn(ExecContext* ctx) {
+  auto previous = std::move(ctx->tick);
+  ctx->tick = [this, previous = std::move(previous)] {
+    if (previous) previous();
+    OnTick();
+  };
+}
+
+void ProgressMonitor::OnTick() {
+  ++ticks_;
+  if (ticks_ % tick_interval_ == 0) {
+    snapshots_.push_back(accountant_.Snapshot(ticks_));
+  }
+}
+
+void ProgressMonitor::Finalize() {
+  snapshots_.push_back(accountant_.Snapshot(ticks_));
+}
+
+double ProgressMonitor::TrueTotalCalls() const {
+  return static_cast<double>(accountant_.CurrentCalls());
+}
+
+double ProgressMonitor::ActualProgressAt(size_t i) const {
+  double total = TrueTotalCalls();
+  if (total <= 0) return 0.0;
+  return snapshots_[i].current_calls / total;
+}
+
+double ProgressMonitor::RatioErrorAt(size_t i) const {
+  double est = snapshots_[i].EstimatedProgress();
+  if (est <= 0) return 0.0;
+  return ActualProgressAt(i) / est;
+}
+
+}  // namespace qpi

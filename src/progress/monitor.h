@@ -1,0 +1,55 @@
+#ifndef QPI_PROGRESS_MONITOR_H_
+#define QPI_PROGRESS_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+#include "progress/gnm.h"
+
+namespace qpi {
+
+/// \brief Samples gnm progress while a query runs.
+///
+/// Hooks the engine's per-tuple tick and takes a GnmSnapshot every
+/// `tick_interval` ticks (plus one at the very end via Finalize()). After
+/// the run, the true T(Q) is known — it equals the final C(Q) — so each
+/// snapshot can be rendered as (actual progress, estimated progress), the
+/// two curves of the paper's Figure 8, or as the ratio error
+/// R = T(Q) / T̂(Q) of Section 5.1.
+class ProgressMonitor {
+ public:
+  ProgressMonitor(Operator* root, uint64_t tick_interval);
+
+  /// Chain onto `ctx->tick` (preserves any existing callback).
+  void InstallOn(ExecContext* ctx);
+
+  /// Take the terminal snapshot (call after the query drains).
+  void Finalize();
+
+  const std::vector<GnmSnapshot>& snapshots() const { return snapshots_; }
+
+  /// True total getnext() calls — valid after the run completes.
+  double TrueTotalCalls() const;
+
+  /// Actual progress at snapshot i (C_i / C_final); valid after Finalize.
+  double ActualProgressAt(size_t i) const;
+
+  /// Ratio error R = actual_progress / estimated_progress = T̂ over T
+  /// inverted per the paper's Section 5.1 identity; valid after Finalize.
+  double RatioErrorAt(size_t i) const;
+
+ private:
+  void OnTick();
+
+  Operator* root_;
+  GnmAccountant accountant_;
+  uint64_t tick_interval_;
+  uint64_t ticks_ = 0;
+  std::vector<GnmSnapshot> snapshots_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_PROGRESS_MONITOR_H_

@@ -1,0 +1,88 @@
+#include "progress/multi_query.h"
+
+#include "common/check.h"
+
+namespace qpi {
+
+Status MultiQueryExecutor::Add(std::string name, OperatorPtr root,
+                               std::unique_ptr<ExecContext> ctx) {
+  if (root == nullptr || ctx == nullptr) {
+    return Status::InvalidArgument("multi-query entry needs root and context");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->root = std::move(root);
+  entry->ctx = std::move(ctx);
+  entry->accountant = std::make_unique<GnmAccountant>(entry->root.get());
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status MultiQueryExecutor::Step(size_t index, uint64_t quantum,
+                                bool* has_more) {
+  QPI_CHECK(index < entries_.size());
+  Entry& entry = *entries_[index];
+  if (entry.done) {
+    if (has_more != nullptr) *has_more = false;
+    return Status::OK();
+  }
+  if (!entry.opened) {
+    QPI_RETURN_NOT_OK(entry.root->Open(entry.ctx.get()));
+    entry.opened = true;
+  }
+  Row row;
+  for (uint64_t i = 0; i < quantum; ++i) {
+    if (!entry.root->Next(&row)) {
+      entry.root->Close();
+      entry.done = true;
+      break;
+    }
+    ++entry.rows_emitted;
+  }
+  if (has_more != nullptr) *has_more = !entry.done;
+  return Status::OK();
+}
+
+Status MultiQueryExecutor::RunAll(uint64_t quantum) {
+  QPI_CHECK(quantum > 0);
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      bool has_more = false;
+      QPI_RETURN_NOT_OK(Step(i, quantum, &has_more));
+      any_left = any_left || has_more;
+      combined_history_.push_back(CombinedProgress());
+    }
+  }
+  return Status::OK();
+}
+
+bool MultiQueryExecutor::AllDone() const {
+  for (const auto& entry : entries_) {
+    if (!entry->done) return false;
+  }
+  return true;
+}
+
+double MultiQueryExecutor::QueryProgress(size_t i) const {
+  QPI_CHECK(i < entries_.size());
+  const Entry& entry = *entries_[i];
+  if (entry.done) return 1.0;
+  GnmSnapshot snap = entry.accountant->Snapshot();
+  return snap.EstimatedProgress();
+}
+
+double MultiQueryExecutor::CombinedProgress() const {
+  double current = 0;
+  double total = 0;
+  for (const auto& entry : entries_) {
+    current += static_cast<double>(entry->accountant->CurrentCalls());
+    total += entry->accountant->TotalEstimate();
+  }
+  if (total <= 0) return AllDone() ? 1.0 : 0.0;
+  double p = current / total;
+  return p > 1.0 ? 1.0 : p;
+}
+
+}  // namespace qpi

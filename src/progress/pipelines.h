@@ -1,0 +1,42 @@
+#ifndef QPI_PROGRESS_PIPELINES_H_
+#define QPI_PROGRESS_PIPELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace qpi {
+
+/// \brief One pipeline: a maximal set of concurrently executing operators
+/// (paper Section 3).
+struct Pipeline {
+  size_t id = 0;
+  std::vector<Operator*> ops;
+
+  /// Number of getnext() calls made so far over the pipeline's operators —
+  /// the paper's C(p).
+  uint64_t CurrentCalls() const;
+};
+
+/// \brief Decompose an operator tree into pipelines, delimited by blocking
+/// operators.
+///
+/// Conventions follow Chaudhuri et al. [9], which the paper adopts:
+/// a hash join belongs to the pipeline of its probe input while its build
+/// input starts a new pipeline; sorts, sort-merge joins (both intakes) and
+/// aggregations block, so each input subtree forms its own pipeline and the
+/// operator's emission belongs to its consumer's pipeline; a nested-loops
+/// join runs concurrently with its outer input, while the materialization
+/// of its inner input is separate.
+class PipelineDecomposer {
+ public:
+  static std::vector<Pipeline> Decompose(Operator* root);
+};
+
+/// Render the decomposition for debugging/docs.
+std::string PipelinesToString(const std::vector<Pipeline>& pipelines);
+
+}  // namespace qpi
+
+#endif  // QPI_PROGRESS_PIPELINES_H_

@@ -1,0 +1,112 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/table_printer.h"
+
+namespace qpi {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY",  "ORDER", "JOIN",
+      "SEMI",   "ANTI", "LEFT",  "INNER", "ON",  "AND",   "OR",
+      "NOT",    "COUNT", "SUM",  "AS",    "ASC",
+  };
+  return kw;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Status LexSql(const std::string& sql, std::vector<Token>* out) {
+  out->clear();
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool decimal = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          if (decimal) break;  // second dot ends the number
+          decimal = true;
+        }
+        ++i;
+      }
+      token.kind = decimal ? TokenKind::kDecimal : TokenKind::kInteger;
+      token.text = sql.substr(start, i - start);
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", start - 1));
+      }
+      token.kind = TokenKind::kString;
+      token.text = sql.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          token.kind = TokenKind::kSymbol;
+          token.text = two;
+          i += 2;
+          out->push_back(std::move(token));
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),.*=<>;";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    }
+    out->push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out->push_back(std::move(end));
+  return Status::OK();
+}
+
+}  // namespace qpi

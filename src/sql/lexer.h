@@ -1,0 +1,47 @@
+#ifndef QPI_SQL_LEXER_H_
+#define QPI_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qpi {
+
+/// Token kinds produced by the SQL lexer.
+enum class TokenKind {
+  kKeyword,     ///< SELECT, FROM, JOIN, ... (uppercased in `text`)
+  kIdentifier,  ///< table / column names (case preserved)
+  kInteger,     ///< 123
+  kDecimal,     ///< 1.5
+  kString,      ///< 'abc' (quotes stripped)
+  kSymbol,      ///< ( ) , . * = < > <= >= <> !=
+  kEnd,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// \brief Tokenize one SQL statement.
+///
+/// Recognized keywords: SELECT FROM WHERE GROUP BY ORDER JOIN SEMI ANTI
+/// LEFT INNER ON AND OR NOT COUNT SUM AS ASC. Anything else alphabetic is
+/// an identifier. Keywords are case-insensitive; identifiers keep their
+/// case.
+Status LexSql(const std::string& sql, std::vector<Token>* out);
+
+}  // namespace qpi
+
+#endif  // QPI_SQL_LEXER_H_

@@ -1,0 +1,266 @@
+#include "sql/parser.h"
+
+#include "common/table_printer.h"
+#include "sql/lexer.h"
+
+namespace qpi {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status Parse(SelectStatement* out) {
+    QPI_RETURN_NOT_OK(Expect("SELECT"));
+    QPI_RETURN_NOT_OK(ParseSelectList(out));
+    QPI_RETURN_NOT_OK(Expect("FROM"));
+    QPI_RETURN_NOT_OK(ParseIdentifier(&out->from_table));
+    while (true) {
+      JoinClause join;
+      if (!TryParseJoinHead(&join)) break;
+      QPI_RETURN_NOT_OK(ParseIdentifier(&join.table));
+      QPI_RETURN_NOT_OK(Expect("ON"));
+      QPI_RETURN_NOT_OK(ParseJoinConditions(&join));
+      out->joins.push_back(std::move(join));
+    }
+    if (Accept("WHERE")) {
+      QPI_RETURN_NOT_OK(ParseOrExpr(&out->where));
+    }
+    if (Accept("GROUP")) {
+      QPI_RETURN_NOT_OK(Expect("BY"));
+      QPI_RETURN_NOT_OK(ParseColumnList(&out->group_by));
+    }
+    if (Accept("ORDER")) {
+      QPI_RETURN_NOT_OK(Expect("BY"));
+      QPI_RETURN_NOT_OK(ParseColumnList(&out->order_by));
+      AcceptKeyword("ASC");
+    }
+    AcceptSymbol(";");
+    if (!Current().IsSymbol(";") && Current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StrFormat(
+        "SQL parse error at offset %zu (near '%s'): %s", Current().offset,
+        Current().text.c_str(), message.c_str()));
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Current().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Accept(const char* kw) { return AcceptKeyword(kw); }
+  bool AcceptSymbol(const char* sym) {
+    if (Current().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const char* kw) {
+    if (!AcceptKeyword(kw)) return Error(StrFormat("expected %s", kw));
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) return Error(StrFormat("expected '%s'", sym));
+    return Status::OK();
+  }
+
+  Status ParseIdentifier(std::string* out) {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Error("expected identifier");
+    }
+    *out = Current().text;
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// ident [ '.' (ident | '*') ] — returns "a" or "a.b"; star handled by
+  /// the caller via is_star.
+  Status ParseColumnRef(std::string* out) {
+    std::string first;
+    QPI_RETURN_NOT_OK(ParseIdentifier(&first));
+    if (AcceptSymbol(".")) {
+      std::string second;
+      QPI_RETURN_NOT_OK(ParseIdentifier(&second));
+      *out = first + "." + second;
+    } else {
+      *out = first;
+    }
+    return Status::OK();
+  }
+
+  Status ParseColumnList(std::vector<std::string>* out) {
+    do {
+      std::string ref;
+      QPI_RETURN_NOT_OK(ParseColumnRef(&ref));
+      out->push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseSelectList(SelectStatement* out) {
+    if (AcceptSymbol("*")) {
+      out->items.push_back(SelectItem{SelectItem::Kind::kAllColumns, ""});
+      return Status::OK();
+    }
+    do {
+      SelectItem item;
+      if (AcceptKeyword("COUNT")) {
+        QPI_RETURN_NOT_OK(ExpectSymbol("("));
+        QPI_RETURN_NOT_OK(ExpectSymbol("*"));
+        QPI_RETURN_NOT_OK(ExpectSymbol(")"));
+        item.kind = SelectItem::Kind::kCountStar;
+      } else if (AcceptKeyword("SUM")) {
+        QPI_RETURN_NOT_OK(ExpectSymbol("("));
+        QPI_RETURN_NOT_OK(ParseColumnRef(&item.column));
+        QPI_RETURN_NOT_OK(ExpectSymbol(")"));
+        item.kind = SelectItem::Kind::kSum;
+      } else {
+        item.kind = SelectItem::Kind::kColumn;
+        QPI_RETURN_NOT_OK(ParseColumnRef(&item.column));
+      }
+      out->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  /// [SEMI|ANTI|LEFT|INNER] JOIN — false if the next tokens are no join.
+  bool TryParseJoinHead(JoinClause* join) {
+    size_t save = pos_;
+    if (AcceptKeyword("SEMI")) {
+      join->flavor = JoinFlavor::kSemi;
+    } else if (AcceptKeyword("ANTI")) {
+      join->flavor = JoinFlavor::kAnti;
+    } else if (AcceptKeyword("LEFT")) {
+      join->flavor = JoinFlavor::kProbeOuter;
+    } else {
+      AcceptKeyword("INNER");
+    }
+    if (AcceptKeyword("JOIN")) return true;
+    pos_ = save;
+    return false;
+  }
+
+  Status ParseJoinConditions(JoinClause* join) {
+    do {
+      std::string left;
+      std::string right;
+      QPI_RETURN_NOT_OK(ParseColumnRef(&left));
+      QPI_RETURN_NOT_OK(ExpectSymbol("="));
+      QPI_RETURN_NOT_OK(ParseColumnRef(&right));
+      join->conditions.emplace_back(std::move(left), std::move(right));
+    } while (Accept("AND"));
+    return Status::OK();
+  }
+
+  // ---- WHERE expression: OR < AND < NOT < comparison/parenthesis ----------
+
+  Status ParseOrExpr(PredicatePtr* out) {
+    PredicatePtr left;
+    QPI_RETURN_NOT_OK(ParseAndExpr(&left));
+    while (Accept("OR")) {
+      PredicatePtr right;
+      QPI_RETURN_NOT_OK(ParseAndExpr(&right));
+      left = MakeOr(std::move(left), std::move(right));
+    }
+    *out = std::move(left);
+    return Status::OK();
+  }
+
+  Status ParseAndExpr(PredicatePtr* out) {
+    PredicatePtr left;
+    QPI_RETURN_NOT_OK(ParseNotExpr(&left));
+    while (Accept("AND")) {
+      PredicatePtr right;
+      QPI_RETURN_NOT_OK(ParseNotExpr(&right));
+      left = MakeAnd(std::move(left), std::move(right));
+    }
+    *out = std::move(left);
+    return Status::OK();
+  }
+
+  Status ParseNotExpr(PredicatePtr* out) {
+    if (Accept("NOT")) {
+      PredicatePtr inner;
+      QPI_RETURN_NOT_OK(ParseNotExpr(&inner));
+      *out = MakeNot(std::move(inner));
+      return Status::OK();
+    }
+    if (AcceptSymbol("(")) {
+      QPI_RETURN_NOT_OK(ParseOrExpr(out));
+      return ExpectSymbol(")");
+    }
+    return ParseComparison(out);
+  }
+
+  Status ParseComparison(PredicatePtr* out) {
+    std::string column;
+    QPI_RETURN_NOT_OK(ParseColumnRef(&column));
+    CompareOp op;
+    if (AcceptSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (AcceptSymbol("<>") || AcceptSymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (AcceptSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (AcceptSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (AcceptSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected comparison operator");
+    }
+    Value literal;
+    QPI_RETURN_NOT_OK(ParseLiteral(&literal));
+    *out = MakeCompare(std::move(column), op, std::move(literal));
+    return Status::OK();
+  }
+
+  Status ParseLiteral(Value* out) {
+    const Token& token = Current();
+    switch (token.kind) {
+      case TokenKind::kInteger:
+        *out = Value(static_cast<int64_t>(std::stoll(token.text)));
+        break;
+      case TokenKind::kDecimal:
+        *out = Value(std::stod(token.text));
+        break;
+      case TokenKind::kString:
+        *out = Value(token.text);
+        break;
+      default:
+        return Error("expected literal");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseSql(const std::string& sql, SelectStatement* out) {
+  std::vector<Token> tokens;
+  QPI_RETURN_NOT_OK(LexSql(sql, &tokens));
+  Parser parser(std::move(tokens));
+  return parser.Parse(out);
+}
+
+}  // namespace qpi

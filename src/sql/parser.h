@@ -1,0 +1,53 @@
+#ifndef QPI_SQL_PARSER_H_
+#define QPI_SQL_PARSER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/expr.h"
+#include "plan/plan_node.h"
+
+namespace qpi {
+
+/// One item of a SELECT list.
+struct SelectItem {
+  enum class Kind { kAllColumns, kColumn, kCountStar, kSum };
+  Kind kind = Kind::kAllColumns;
+  std::string column;  ///< kColumn / kSum argument ("t.c" or "c")
+};
+
+/// One JOIN clause: `<flavor> JOIN table ON a.x = b.y [AND ...]`.
+struct JoinClause {
+  JoinFlavor flavor = JoinFlavor::kInner;
+  std::string table;
+  /// Equality conditions as written: (left ref, right ref) pairs.
+  std::vector<std::pair<std::string, std::string>> conditions;
+};
+
+/// \brief Parsed form of the supported SQL subset:
+///
+/// ```
+/// SELECT <*| col | COUNT(*) | SUM(col)> [, ...]
+/// FROM table
+/// [ [SEMI | ANTI | LEFT | INNER] JOIN table ON a.x = b.y [AND ...] ]*
+/// [ WHERE <predicate over col <op> literal, AND/OR/NOT, parentheses> ]
+/// [ GROUP BY col [, ...] ]
+/// [ ORDER BY col [, ...] ]
+/// ```
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string from_table;
+  std::vector<JoinClause> joins;
+  PredicatePtr where;  ///< null when absent
+  std::vector<std::string> group_by;
+  std::vector<std::string> order_by;
+};
+
+/// Parse one statement; returns InvalidArgument with offset context on
+/// syntax errors.
+Status ParseSql(const std::string& sql, SelectStatement* out);
+
+}  // namespace qpi
+
+#endif  // QPI_SQL_PARSER_H_

@@ -1,0 +1,233 @@
+#include "sql/planner.h"
+
+#include <map>
+#include <set>
+
+#include "common/table_printer.h"
+
+namespace qpi {
+
+namespace {
+
+/// Split a predicate into its top-level AND conjuncts (cloning each part).
+void SplitConjuncts(const Predicate& pred, std::vector<PredicatePtr>* out) {
+  if (const auto* logic = dynamic_cast<const BinaryLogicPredicate*>(&pred)) {
+    if (logic->kind() == BinaryLogicPredicate::Kind::kAnd) {
+      SplitConjuncts(logic->left(), out);
+      SplitConjuncts(logic->right(), out);
+      return;
+    }
+  }
+  out->push_back(pred.Clone());
+}
+
+/// Collect every column reference mentioned in a predicate.
+void CollectColumns(const Predicate& pred, std::vector<std::string>* out) {
+  if (const auto* cmp = dynamic_cast<const ComparisonPredicate*>(&pred)) {
+    out->push_back(cmp->column());
+    return;
+  }
+  if (const auto* logic = dynamic_cast<const BinaryLogicPredicate*>(&pred)) {
+    CollectColumns(logic->left(), out);
+    CollectColumns(logic->right(), out);
+    return;
+  }
+  if (const auto* neg = dynamic_cast<const NotPredicate*>(&pred)) {
+    CollectColumns(neg->inner(), out);
+  }
+}
+
+/// AND a list of conjuncts back together (consumes the vector).
+PredicatePtr CombineConjuncts(std::vector<PredicatePtr> conjuncts) {
+  PredicatePtr combined;
+  for (PredicatePtr& part : conjuncts) {
+    combined = combined == nullptr
+                   ? std::move(part)
+                   : MakeAnd(std::move(combined), std::move(part));
+  }
+  return combined;
+}
+
+}  // namespace
+
+Status SqlPlanner::Plan(const SelectStatement& statement,
+                        PlanNodePtr* out) const {
+  // Resolve every referenced table and remember which columns each owns.
+  std::vector<std::string> table_order = {statement.from_table};
+  for (const JoinClause& join : statement.joins) {
+    table_order.push_back(join.table);
+  }
+  std::map<std::string, Schema> schemas;
+  for (const std::string& name : table_order) {
+    TablePtr table = catalog_->Find(name);
+    if (table == nullptr) {
+      return Status::NotFound(StrFormat("table %s not in catalog",
+                                        name.c_str()));
+    }
+    if (!schemas.emplace(name, table->schema()).second) {
+      return Status::NotImplemented(
+          StrFormat("table %s referenced twice (aliases are not supported)",
+                    name.c_str()));
+    }
+  }
+
+  // Which single table (if any) owns a column reference.
+  auto owner_of = [&](const std::string& ref) -> std::string {
+    size_t dot = ref.find('.');
+    if (dot != std::string::npos) {
+      std::string table = ref.substr(0, dot);
+      return schemas.count(table) ? table : "";
+    }
+    std::string owner;
+    for (const auto& [name, schema] : schemas) {
+      if (schema.FindColumn(ref).has_value()) {
+        if (!owner.empty()) return "";  // ambiguous
+        owner = name;
+      }
+    }
+    return owner;
+  };
+
+  // Partition WHERE conjuncts into per-table pushdowns and residuals.
+  std::map<std::string, std::vector<PredicatePtr>> pushed;
+  std::vector<PredicatePtr> residual;
+  if (statement.where != nullptr) {
+    std::vector<PredicatePtr> conjuncts;
+    SplitConjuncts(*statement.where, &conjuncts);
+    for (PredicatePtr& conjunct : conjuncts) {
+      std::vector<std::string> columns;
+      CollectColumns(*conjunct, &columns);
+      std::set<std::string> owners;
+      for (const std::string& ref : columns) {
+        std::string owner = owner_of(ref);
+        if (owner.empty()) {
+          owners.clear();
+          break;
+        }
+        owners.insert(owner);
+      }
+      if (owners.size() == 1) {
+        pushed[*owners.begin()].push_back(std::move(conjunct));
+      } else {
+        residual.push_back(std::move(conjunct));
+      }
+    }
+  }
+
+  auto scan_with_filters = [&](const std::string& table) -> PlanNodePtr {
+    PlanNodePtr node = ScanPlan(table);
+    auto it = pushed.find(table);
+    if (it != pushed.end() && !it->second.empty()) {
+      node = FilterPlan(std::move(node),
+                        CombineConjuncts(std::move(it->second)));
+    }
+    return node;
+  };
+
+  // FROM table drives; each JOIN adds a hash join with the new table as
+  // the build side (probe chains = the paper's estimated pipelines).
+  PlanNodePtr plan = scan_with_filters(statement.from_table);
+  std::set<std::string> joined = {statement.from_table};
+  for (const JoinClause& join : statement.joins) {
+    std::vector<std::string> build_keys;
+    std::vector<std::string> probe_keys;
+    for (const auto& [left, right] : join.conditions) {
+      // Whichever side references the newly joined table is the build key.
+      std::string left_owner = owner_of(left);
+      std::string right_owner = owner_of(right);
+      if (left_owner == join.table && joined.count(right_owner)) {
+        build_keys.push_back(left);
+        probe_keys.push_back(right);
+      } else if (right_owner == join.table && joined.count(left_owner)) {
+        build_keys.push_back(right);
+        probe_keys.push_back(left);
+      } else {
+        return Status::InvalidArgument(StrFormat(
+            "join condition %s = %s must relate %s to an already-joined "
+            "table",
+            left.c_str(), right.c_str(), join.table.c_str()));
+      }
+    }
+    PlanNodePtr build = scan_with_filters(join.table);
+    if (build_keys.size() == 1) {
+      plan = join.flavor == JoinFlavor::kInner
+                 ? HashJoinPlan(std::move(build), std::move(plan),
+                                build_keys[0], probe_keys[0])
+                 : FlavoredHashJoinPlan(std::move(build), std::move(plan),
+                                        build_keys[0], probe_keys[0],
+                                        join.flavor);
+    } else {
+      if (join.flavor != JoinFlavor::kInner) {
+        return Status::NotImplemented(
+            "multi-condition joins support the INNER flavor only");
+      }
+      plan = MultiKeyHashJoinPlan(std::move(build), std::move(plan),
+                                  std::move(build_keys),
+                                  std::move(probe_keys));
+    }
+    joined.insert(join.table);
+  }
+
+  if (!residual.empty()) {
+    plan = FilterPlan(std::move(plan), CombineConjuncts(std::move(residual)));
+  }
+
+  // Aggregation.
+  std::vector<AggregateSpec> aggregates;
+  bool has_plain_columns = false;
+  bool has_star = false;
+  for (const SelectItem& item : statement.items) {
+    switch (item.kind) {
+      case SelectItem::Kind::kAllColumns:
+        has_star = true;
+        break;
+      case SelectItem::Kind::kColumn:
+        has_plain_columns = true;
+        break;
+      case SelectItem::Kind::kCountStar:
+        aggregates.push_back(
+            AggregateSpec{AggregateSpec::Kind::kCountStar, ""});
+        break;
+      case SelectItem::Kind::kSum:
+        aggregates.push_back(
+            AggregateSpec{AggregateSpec::Kind::kSum, item.column});
+        break;
+    }
+  }
+  if (!aggregates.empty() && statement.group_by.empty()) {
+    return Status::NotImplemented(
+        "aggregates require a GROUP BY clause (no global aggregation)");
+  }
+  if (!statement.group_by.empty()) {
+    if (has_star) {
+      return Status::InvalidArgument("SELECT * cannot be grouped");
+    }
+    plan = HashAggregatePlan(std::move(plan), statement.group_by,
+                             std::move(aggregates));
+  }
+
+  if (!statement.order_by.empty()) {
+    plan = SortPlan(std::move(plan), statement.order_by);
+  }
+
+  // Trailing projection for plain-column select lists outside GROUP BY
+  // (grouped output is already group columns followed by aggregates).
+  if (!has_star && statement.group_by.empty() && has_plain_columns) {
+    std::vector<std::string> columns;
+    for (const SelectItem& item : statement.items) {
+      columns.push_back(item.column);
+    }
+    plan = ProjectPlan(std::move(plan), std::move(columns));
+  }
+
+  *out = std::move(plan);
+  return Status::OK();
+}
+
+Status SqlPlanner::PlanQuery(const std::string& sql, PlanNodePtr* out) const {
+  SelectStatement statement;
+  QPI_RETURN_NOT_OK(ParseSql(sql, &statement));
+  return Plan(statement, out);
+}
+
+}  // namespace qpi

@@ -1,0 +1,42 @@
+#ifndef QPI_SQL_PLANNER_H_
+#define QPI_SQL_PLANNER_H_
+
+#include <string>
+
+#include "plan/plan_node.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+
+/// \brief Turns a parsed SELECT into a physical plan.
+///
+/// Planning is deliberately simple and deterministic — the paper's focus is
+/// estimating the progress of a *given* plan, not join ordering:
+///  - the FROM table is the driver; each JOIN clause adds a grace hash join
+///    with the new table as the build side and the accumulated plan as the
+///    probe side (left-deep probe chains — exactly the pipelines
+///    Section 4.1.4 estimates);
+///  - WHERE conjuncts whose columns all come from one base table are pushed
+///    down onto that table's scan; the rest filter above the joins;
+///  - GROUP BY becomes a hash aggregation (aggregates taken from the select
+///    list, emitted after the group columns);
+///  - ORDER BY becomes a sort; a trailing projection realizes plain-column
+///    select lists.
+class SqlPlanner {
+ public:
+  explicit SqlPlanner(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Plan a parsed statement.
+  Status Plan(const SelectStatement& statement, PlanNodePtr* out) const;
+
+  /// Parse + plan in one step.
+  Status PlanQuery(const std::string& sql, PlanNodePtr* out) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_SQL_PLANNER_H_

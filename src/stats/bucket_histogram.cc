@@ -1,0 +1,32 @@
+#include "stats/bucket_histogram.h"
+
+#include "common/check.h"
+
+namespace qpi {
+
+BucketHistogram::BucketHistogram(size_t num_buckets) {
+  QPI_CHECK(num_buckets >= 1);
+  size_t cap = 1;
+  while (cap < num_buckets) cap <<= 1;
+  buckets_.assign(cap, 0);
+}
+
+uint64_t BucketHistogram::Mix(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+void BucketHistogram::Increment(uint64_t key, uint64_t by) {
+  buckets_[Mix(key) & (buckets_.size() - 1)] += by;
+  total_ += by;
+}
+
+uint64_t BucketHistogram::Count(uint64_t key) const {
+  return buckets_[Mix(key) & (buckets_.size() - 1)];
+}
+
+}  // namespace qpi

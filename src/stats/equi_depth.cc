@@ -1,0 +1,73 @@
+#include "stats/equi_depth.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qpi {
+
+std::shared_ptr<EquiDepthHistogram> EquiDepthHistogram::Build(
+    std::vector<double> values, size_t num_buckets) {
+  if (values.empty()) return nullptr;
+  QPI_CHECK(num_buckets >= 1);
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  if (num_buckets > n) num_buckets = n;
+
+  auto hist = std::shared_ptr<EquiDepthHistogram>(new EquiDepthHistogram());
+  hist->row_count_ = n;
+  hist->fences_.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 1; b <= num_buckets; ++b) {
+    size_t end = n * b / num_buckets;  // exclusive
+    if (end <= start) continue;        // swallowed by a previous wide bucket
+    // Extend over duplicates so fences are strictly increasing (classic
+    // equi-depth construction on skewed data).
+    while (end < n && values[end] == values[end - 1]) ++end;
+    hist->fences_.push_back(values[end - 1]);
+    hist->depth_.push_back(static_cast<uint64_t>(end - start));
+    start = end;
+    if (end == n) break;
+  }
+  QPI_CHECK(hist->fences_.size() >= 2);
+  return hist;
+}
+
+double EquiDepthHistogram::SelectivityBelow(double x, bool inclusive) const {
+  if (x < fences_.front()) return 0.0;
+  if (x > fences_.back() || (inclusive && x == fences_.back())) return 1.0;
+  double rows_below = 0;
+  for (size_t b = 0; b < depth_.size(); ++b) {
+    double lo = fences_[b];
+    double hi = fences_[b + 1];
+    if (x >= hi) {
+      rows_below += static_cast<double>(depth_[b]);
+      continue;
+    }
+    if (x > lo) {
+      // Local uniformity within the bucket.
+      double fraction = (x - lo) / (hi - lo);
+      rows_below += fraction * static_cast<double>(depth_[b]);
+    }
+    break;
+  }
+  return rows_below / static_cast<double>(row_count_);
+}
+
+double EquiDepthHistogram::SelectivityEquals(double x) const {
+  if (x < fences_.front() || x > fences_.back()) return 0.0;
+  for (size_t b = 0; b < depth_.size(); ++b) {
+    double lo = fences_[b];
+    double hi = fences_[b + 1];
+    if (x <= hi || b + 1 == depth_.size()) {
+      double width = hi - lo;
+      double bucket_fraction =
+          static_cast<double>(depth_[b]) / static_cast<double>(row_count_);
+      if (width <= 0) return bucket_fraction;  // single-value bucket
+      return bucket_fraction / std::max(width, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace qpi

@@ -1,0 +1,45 @@
+#include "stats/frequency_stats.h"
+
+namespace qpi {
+
+void FrequencyStats::ObserveWeighted(uint64_t key, uint64_t weight) {
+  if (weight == 0) return;
+  uint64_t new_count = histogram_.Increment(key, weight);
+  uint64_t old_count = new_count - weight;
+  t_ += weight;
+
+  // Maintain the count-of-counts profile f_j.
+  if (freq_of_freq_.size() <= new_count) freq_of_freq_.resize(new_count + 1, 0);
+  if (old_count > 0) --freq_of_freq_[old_count];
+  ++freq_of_freq_[new_count];
+  if (new_count > max_freq_) max_freq_ = new_count;
+
+  // Algorithm 2 counters (S1 = groups at count exactly 1).
+  if (old_count == 0 && new_count == 1) {
+    ++s1_;
+  } else if (old_count == 0) {
+    ++sn_;
+  } else if (old_count == 1) {
+    --s1_;
+    ++sn_;
+  }
+
+  // Σ count²: (c+w)² − c² = 2cw + w².
+  sum_sq_ += 2 * old_count * weight + weight * weight;
+}
+
+uint64_t FrequencyStats::FrequencyOfFrequency(uint64_t j) const {
+  if (j == 0 || j >= freq_of_freq_.size()) return 0;
+  return freq_of_freq_[j];
+}
+
+double FrequencyStats::SquaredCoefficientOfVariation() const {
+  if (t_ == 0) return 0.0;
+  double d = static_cast<double>(num_distinct());
+  double t = static_cast<double>(t_);
+  double ss = static_cast<double>(sum_sq_);
+  double gamma2 = d * ss / (t * t) - 1.0;
+  return gamma2 < 0.0 ? 0.0 : gamma2;
+}
+
+}  // namespace qpi

@@ -1,0 +1,85 @@
+#ifndef QPI_STATS_FREQUENCY_STATS_H_
+#define QPI_STATS_FREQUENCY_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/hash_histogram.h"
+
+namespace qpi {
+
+/// \brief Incrementally-maintained statistics over a stream of group keys.
+///
+/// This is the shared substrate of the paper's aggregation estimators
+/// (Section 4.2): it maintains, in O(1) per observed tuple,
+///   - the per-value histogram N_i,
+///   - the count-of-counts profile f_j (number of groups seen exactly j
+///     times) that GEE and the MLE estimator consume,
+///   - S1 / Sn — groups seen exactly once / more than once (Algorithm 2),
+///   - the squared coefficient of variation γ² of group frequencies used by
+///     the online estimator chooser; the paper's footnote observes γ² can
+///     be maintained from prefix sums and prefix sums of squares, which is
+///     exactly what `sum_sq_` is.
+class FrequencyStats {
+ public:
+  FrequencyStats() = default;
+
+  /// Observe one tuple whose grouping key is `key`.
+  void Observe(uint64_t key) { ObserveWeighted(key, 1); }
+
+  /// Observe `weight` tuples carrying `key` at once. Used by the paper's
+  /// aggregation-after-join push-down (Section 4.2 end): each driver tuple
+  /// contributes its whole join fan-out to the join-output distribution in
+  /// one step.
+  void ObserveWeighted(uint64_t key, uint64_t weight);
+
+  /// Number of tuples observed so far (t).
+  uint64_t num_observed() const { return t_; }
+
+  /// Number of distinct groups seen so far (d).
+  uint64_t num_distinct() const { return histogram_.num_distinct(); }
+
+  /// Groups seen exactly once (S1 == f_1).
+  uint64_t singletons() const { return s1_; }
+
+  /// Groups seen more than once (Sn).
+  uint64_t non_singletons() const { return sn_; }
+
+  /// Number of groups seen exactly j times (f_j); 0 for j outside [1, M].
+  uint64_t FrequencyOfFrequency(uint64_t j) const;
+
+  /// Largest observed per-group count (M).
+  uint64_t max_frequency() const { return max_freq_; }
+
+  /// Sum over groups of count², maintained incrementally.
+  uint64_t sum_squared_counts() const { return sum_sq_; }
+
+  /// Squared coefficient of variation of group frequencies:
+  ///   γ² = Var(count) / Mean(count)² = d·Σcount² / t² − 1.
+  /// Returns 0 before any tuple is seen.
+  double SquaredCoefficientOfVariation() const;
+
+  /// The underlying value→count histogram.
+  const HashHistogram& histogram() const { return histogram_; }
+
+  /// Visit f_j for j = 1..M: `fn(j, f_j)` for non-zero classes only.
+  template <typename Fn>
+  void ForEachFrequencyClass(Fn&& fn) const {
+    for (size_t j = 1; j < freq_of_freq_.size(); ++j) {
+      if (freq_of_freq_[j] != 0) fn(static_cast<uint64_t>(j), freq_of_freq_[j]);
+    }
+  }
+
+ private:
+  HashHistogram histogram_;
+  std::vector<uint64_t> freq_of_freq_;  // index j → f_j (index 0 unused)
+  uint64_t t_ = 0;
+  uint64_t s1_ = 0;
+  uint64_t sn_ = 0;
+  uint64_t max_freq_ = 0;
+  uint64_t sum_sq_ = 0;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_STATS_FREQUENCY_STATS_H_

@@ -1,0 +1,20 @@
+#ifndef QPI_STATS_NORMAL_H_
+#define QPI_STATS_NORMAL_H_
+
+namespace qpi {
+
+/// Standard-normal quantile function Φ⁻¹(p), p ∈ (0, 1) (Acklam's
+/// approximation, |relative error| < 1.15e-9).
+double NormalQuantile(double p);
+
+/// Two-sided z-score for a confidence level α ∈ (0, 1):
+/// Φ⁻¹((1 + α) / 2). For α = 0.9999 this is ≈ 3.89, which the paper rounds
+/// to 4.
+double ZAlpha(double alpha);
+
+/// The paper's default confidence level (99.99%).
+inline constexpr double kDefaultConfidence = 0.9999;
+
+}  // namespace qpi
+
+#endif  // QPI_STATS_NORMAL_H_

@@ -1,0 +1,46 @@
+#ifndef QPI_STATS_RUNNING_MOMENTS_H_
+#define QPI_STATS_RUNNING_MOMENTS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace qpi {
+
+/// \brief Welford running mean/variance.
+///
+/// The ONCE join estimator's confidence interval treats each probed build
+/// count N^R_i as one draw of a random variable; these moments back the CLT
+/// interval that shrinks as 1/sqrt(t) (Section 4.1).
+class RunningMoments {
+ public:
+  void Observe(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Population variance (0 with fewer than 2 observations).
+  double Variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  /// Standard error of the mean.
+  double StdError() const {
+    return n_ == 0 ? 0.0 : StdDev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_STATS_RUNNING_MOMENTS_H_

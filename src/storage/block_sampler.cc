@@ -1,0 +1,41 @@
+#include "storage/block_sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qpi {
+
+ScanOrder BlockSampler::MakeOrder(const Table& table, double fraction,
+                                  Pcg32* rng) {
+  QPI_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  size_t n = table.num_blocks();
+  ScanOrder order;
+  order.block_order.resize(n);
+  std::iota(order.block_order.begin(), order.block_order.end(), 0u);
+  if (n == 0 || fraction == 0.0) return order;
+
+  size_t k = static_cast<size_t>(fraction * static_cast<double>(n));
+  if (k == 0) k = 1;
+  if (k > n) k = n;
+
+  // Partial Fisher-Yates: after i swaps the prefix [0, i) is a uniform
+  // sample without replacement.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + rng->NextBounded(static_cast<uint32_t>(n - i));
+    std::swap(order.block_order[i], order.block_order[j]);
+  }
+  // Keep the excluded remainder in ascending id order (sequential I/O in the
+  // disk-backed original).
+  std::sort(order.block_order.begin() + static_cast<long>(k),
+            order.block_order.end());
+
+  order.sample_block_count = k;
+  for (size_t i = 0; i < k; ++i) {
+    order.sample_row_count += table.block(order.block_order[i]).num_rows();
+  }
+  return order;
+}
+
+}  // namespace qpi

@@ -1,0 +1,37 @@
+#ifndef QPI_STORAGE_BLOCK_SAMPLER_H_
+#define QPI_STORAGE_BLOCK_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace qpi {
+
+/// \brief A scan order over a table's blocks: the sampled blocks first, then
+/// every remaining block.
+///
+/// Mirrors the paper's implementation note: "modified the table scan
+/// operators to first read in a precomputed block-level random sample of the
+/// base tables before scanning the rest of the table", with the sampled
+/// blocks excluded from the trailing full scan (the paper's anti-join on
+/// block ids).
+struct ScanOrder {
+  std::vector<uint32_t> block_order;  ///< all block ids, sample prefix first
+  size_t sample_block_count = 0;      ///< how many leading ids are the sample
+  uint64_t sample_row_count = 0;      ///< rows contained in the sample prefix
+};
+
+/// \brief Builds block-level random sample scan orders.
+class BlockSampler {
+ public:
+  /// Scan order whose leading `fraction` of blocks (rounded to whole blocks)
+  /// is a uniform random sample drawn with `rng`. fraction == 0 yields a
+  /// plain sequential scan; fraction == 1 a full random shuffle.
+  static ScanOrder MakeOrder(const Table& table, double fraction, Pcg32* rng);
+};
+
+}  // namespace qpi
+
+#endif  // QPI_STORAGE_BLOCK_SAMPLER_H_

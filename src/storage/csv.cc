@@ -1,0 +1,182 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace qpi {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  // Trim a trailing carriage return (Windows line endings).
+  if (!fields.empty() && !fields.back().empty() &&
+      fields.back().back() == '\r') {
+    fields.back().pop_back();
+  }
+  return fields;
+}
+
+Status ParseHeaderField(const std::string& field, const std::string& table,
+                        Column* out) {
+  size_t colon = field.find(':');
+  out->table = table;
+  if (colon == std::string::npos) {
+    out->name = field;
+    out->type = ValueType::kString;
+    return Status::OK();
+  }
+  out->name = field.substr(0, colon);
+  std::string type = field.substr(colon + 1);
+  if (type == "int") {
+    out->type = ValueType::kInt64;
+  } else if (type == "double") {
+    out->type = ValueType::kDouble;
+  } else if (type == "string") {
+    out->type = ValueType::kString;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown CSV column type '%s' (want int|double|string)",
+                  type.c_str()));
+  }
+  if (out->name.empty()) {
+    return Status::InvalidArgument("empty CSV column name");
+  }
+  return Status::OK();
+}
+
+Status ParseField(const std::string& field, ValueType type, size_t line_no,
+                  Value* out) {
+  if (field.empty()) {
+    *out = Value::Null();
+    return Status::OK();
+  }
+  try {
+    switch (type) {
+      case ValueType::kInt64:
+        *out = Value(static_cast<int64_t>(std::stoll(field)));
+        return Status::OK();
+      case ValueType::kDouble:
+        *out = Value(std::stod(field));
+        return Status::OK();
+      default:
+        *out = Value(field);
+        return Status::OK();
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument(StrFormat(
+        "line %zu: cannot parse '%s' as %s", line_no, field.c_str(),
+        ValueTypeName(type)));
+  }
+}
+
+}  // namespace
+
+Status CsvReader::Parse(const std::string& csv_text,
+                        const std::string& table_name, TablePtr* out) {
+  std::istringstream stream(csv_text);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("empty CSV input (missing header)");
+  }
+  std::vector<Column> columns;
+  for (const std::string& field : SplitLine(line)) {
+    Column col;
+    QPI_RETURN_NOT_OK(ParseHeaderField(field, table_name, &col));
+    columns.push_back(std::move(col));
+  }
+  Schema schema(columns);
+  auto table = std::make_shared<Table>(table_name, schema);
+
+  size_t line_no = 1;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> fields = SplitLine(line);
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %zu fields, header declares %zu", line_no,
+                    fields.size(), schema.num_columns()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Value v;
+      QPI_RETURN_NOT_OK(
+          ParseField(fields[c], schema.column(c).type, line_no, &v));
+      row.push_back(std::move(v));
+    }
+    QPI_RETURN_NOT_OK(table->Append(std::move(row)));
+  }
+  *out = std::move(table);
+  return Status::OK();
+}
+
+Status CsvReader::LoadFile(const std::string& path,
+                           const std::string& table_name, TablePtr* out) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return Parse(content.str(), table_name, out);
+}
+
+std::string CsvWriter::ToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += schema.column(c).name;
+    switch (schema.column(c).type) {
+      case ValueType::kInt64:
+        out += ":int";
+        break;
+      case ValueType::kDouble:
+        out += ":double";
+        break;
+      default:
+        out += ":string";
+        break;
+    }
+  }
+  out += "\n";
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    const Block& block = table.block(b);
+    for (size_t r = 0; r < block.num_rows(); ++r) {
+      const Row& row = block.row(r);
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out += ",";
+        if (!row[c].is_null()) out += row[c].ToString();
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const Table& table, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument(
+        StrFormat("cannot write %s", path.c_str()));
+  }
+  file << ToCsv(table);
+  return Status::OK();
+}
+
+}  // namespace qpi

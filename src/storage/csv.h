@@ -1,0 +1,40 @@
+#ifndef QPI_STORAGE_CSV_H_
+#define QPI_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace qpi {
+
+/// \brief Minimal CSV import/export so downstream users can run the
+/// progress framework over their own data.
+///
+/// Format: first line is the header, `name:type` per column with type one
+/// of `int`, `double`, `string` (bare `name` defaults to string). Fields
+/// are comma-separated; an empty field is NULL. No quoting/escaping —
+/// commas inside strings are not supported (documented limitation).
+class CsvReader {
+ public:
+  /// Parse CSV text into a table named `table_name`.
+  static Status Parse(const std::string& csv_text,
+                      const std::string& table_name, TablePtr* out);
+
+  /// Load a CSV file from disk.
+  static Status LoadFile(const std::string& path,
+                         const std::string& table_name, TablePtr* out);
+};
+
+class CsvWriter {
+ public:
+  /// Render a table in the same format Parse() accepts.
+  static std::string ToCsv(const Table& table);
+
+  /// Write a table to a file.
+  static Status WriteFile(const Table& table, const std::string& path);
+};
+
+}  // namespace qpi
+
+#endif  // QPI_STORAGE_CSV_H_

@@ -1,0 +1,29 @@
+#include "storage/table.h"
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qpi {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s: row arity %zu != schema arity %zu", name_.c_str(),
+                  row.size(), schema_.num_columns()));
+  }
+  if (blocks_.empty() || blocks_.back().full()) {
+    blocks_.emplace_back();
+  }
+  blocks_.back().Append(std::move(row));
+  ++num_rows_;
+  return Status::OK();
+}
+
+const Row& Table::RowAt(uint64_t index) const {
+  QPI_CHECK(index < num_rows_);
+  size_t block = static_cast<size_t>(index / kRowsPerBlock);
+  size_t offset = static_cast<size_t>(index % kRowsPerBlock);
+  return blocks_[block].row(offset);
+}
+
+}  // namespace qpi

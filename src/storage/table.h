@@ -1,0 +1,67 @@
+#ifndef QPI_STORAGE_TABLE_H_
+#define QPI_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace qpi {
+
+/// Rows per storage block. Blocks are the paper's sampling granularity: the
+/// prototype reads a precomputed *block-level* random sample before the rest
+/// of the table (Section 5, Implementation).
+inline constexpr size_t kRowsPerBlock = 256;
+
+/// \brief A fixed-capacity run of rows, the unit of block-level sampling.
+class Block {
+ public:
+  size_t num_rows() const { return rows_.size(); }
+  bool full() const { return rows_.size() >= kRowsPerBlock; }
+  const Row& row(size_t i) const { return rows_[i]; }
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// \brief An in-memory, block-organized base table.
+///
+/// Stands in for the paper's disk-resident heap files. Rows are appended in
+/// generation order; because the generators emit i.i.d. rows, a uniform
+/// sample of *blocks* is a uniform sample of rows, matching the paper's
+/// block-sample assumption.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  const Block& block(size_t i) const { return blocks_[i]; }
+
+  /// Append a row; fails if the arity does not match the schema.
+  Status Append(Row row);
+
+  /// Row by global index (test convenience; O(1)).
+  const Row& RowAt(uint64_t index) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Block> blocks_;
+  uint64_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace qpi
+
+#endif  // QPI_STORAGE_TABLE_H_

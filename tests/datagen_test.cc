@@ -1,0 +1,141 @@
+#include "datagen/tpch_like.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/table_builder.h"
+
+namespace qpi {
+namespace {
+
+TEST(TableBuilder, BuildsDeclaredColumns) {
+  TableBuilder builder("demo");
+  builder.AddColumn("id", std::make_unique<SequentialSpec>(1))
+      .AddColumn("u", std::make_unique<UniformIntSpec>(5, 9))
+      .AddColumn("m", std::make_unique<MoneySpec>(0.0, 10.0))
+      .AddColumn("s", std::make_unique<RandomStringSpec>(4));
+  TablePtr t = builder.Build(100, 1);
+  EXPECT_EQ(t->num_rows(), 100u);
+  EXPECT_EQ(t->schema().num_columns(), 4u);
+  EXPECT_EQ(t->schema().column(0).QualifiedName(), "demo.id");
+  for (uint64_t i = 0; i < 100; ++i) {
+    const Row& r = t->RowAt(i);
+    EXPECT_EQ(r[0].AsInt64(), static_cast<int64_t>(i + 1));
+    EXPECT_GE(r[1].AsInt64(), 5);
+    EXPECT_LE(r[1].AsInt64(), 9);
+    EXPECT_GE(r[2].AsDouble(), 0.0);
+    EXPECT_LT(r[2].AsDouble(), 10.0);
+    EXPECT_EQ(r[3].AsString().size(), 4u);
+  }
+}
+
+TEST(TableBuilder, DeterministicGivenSeed) {
+  auto build = [] {
+    TableBuilder b("d");
+    b.AddColumn("x", std::make_unique<UniformIntSpec>(0, 1000000));
+    return b.Build(50, 99);
+  };
+  TablePtr a = build();
+  TablePtr b = build();
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->RowAt(i)[0].AsInt64(), b->RowAt(i)[0].AsInt64());
+  }
+}
+
+TEST(TpchLike, NationHasDenseKeys) {
+  TpchLikeGenerator gen(1);
+  TablePtr nation = gen.MakeNation(25);
+  ASSERT_EQ(nation->num_rows(), 25u);
+  for (uint64_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(nation->RowAt(i)[0].AsInt64(), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(TpchLike, RowCountsFollowScaleFactor) {
+  TpchLikeGenerator gen(1);
+  EXPECT_EQ(gen.MakeCustomer(0.01)->num_rows(), 1500u);
+  EXPECT_EQ(gen.MakeOrders(0.01)->num_rows(), 15000u);
+}
+
+TEST(TpchLike, LineitemFanoutAveragesFour) {
+  TpchLikeGenerator gen(2);
+  TablePtr lineitem = gen.MakeLineitem(0.005);  // 7500 orders
+  double rows = static_cast<double>(lineitem->num_rows());
+  EXPECT_NEAR(rows / 7500.0, 4.0, 0.2);
+  // orderkeys clustered ascending, linenumbers restart at 1.
+  EXPECT_EQ(lineitem->RowAt(0)[0].AsInt64(), 1);
+  EXPECT_EQ(lineitem->RowAt(0)[1].AsInt64(), 1);
+}
+
+TEST(TpchLike, SkewedCustomerRespectsDomain) {
+  TpchLikeGenerator gen(3);
+  TablePtr c = gen.MakeSkewedCustomer(0.01, 1.0, 50, 1, "c");
+  std::map<int64_t, int> counts;
+  auto idx = c->schema().FindColumn("nationkey");
+  ASSERT_TRUE(idx.has_value());
+  for (uint64_t i = 0; i < c->num_rows(); ++i) {
+    int64_t v = c->RowAt(i)[*idx].AsInt64();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+    ++counts[v];
+  }
+  // z=1 over 1500 rows / 50 values: the peak should dominate the mean.
+  int max_count = 0;
+  for (const auto& [v, n] : counts) {
+    (void)v;
+    max_count = std::max(max_count, n);
+  }
+  EXPECT_GT(max_count, 3 * 1500 / 50);
+}
+
+TEST(TpchLike, PeakSeedsProduceMismatchedPeaks) {
+  TpchLikeGenerator gen(4);
+  TablePtr c1 = gen.MakeSkewedCustomer(0.01, 2.0, 1000, 1, "c1");
+  TablePtr c2 = gen.MakeSkewedCustomer(0.01, 2.0, 1000, 2, "c2");
+  auto peak_of = [](const TablePtr& t) {
+    std::map<int64_t, int> counts;
+    auto idx = t->schema().FindColumn("nationkey");
+    for (uint64_t i = 0; i < t->num_rows(); ++i) {
+      ++counts[t->RowAt(i)[*idx].AsInt64()];
+    }
+    int64_t best = 0;
+    int best_count = -1;
+    for (const auto& [v, n] : counts) {
+      if (n > best_count) {
+        best = v;
+        best_count = n;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(peak_of(c1), peak_of(c2));
+}
+
+TEST(TpchLike, DoubleSkewedCustomerSkewsBothColumns) {
+  TpchLikeGenerator gen(5);
+  TablePtr c = gen.MakeDoubleSkewedCustomer(0.01, 2.0, 100, 1, 1.0, 200, 2,
+                                            "c");
+  auto ck = c->schema().FindColumn("custkey");
+  auto nk = c->schema().FindColumn("nationkey");
+  ASSERT_TRUE(ck.has_value());
+  ASSERT_TRUE(nk.has_value());
+  for (uint64_t i = 0; i < c->num_rows(); ++i) {
+    EXPECT_LE(c->RowAt(i)[*ck].AsInt64(), 200);
+    EXPECT_LE(c->RowAt(i)[*nk].AsInt64(), 100);
+  }
+}
+
+TEST(TpchLike, PopulateCatalogRegistersAndAnalyzes) {
+  TpchLikeGenerator gen(6);
+  Catalog catalog;
+  ASSERT_TRUE(gen.PopulateCatalog(&catalog, 0.002).ok());
+  for (const char* name : {"nation", "customer", "orders", "lineitem"}) {
+    EXPECT_NE(catalog.Find(name), nullptr) << name;
+    EXPECT_NE(catalog.Stats(name), nullptr) << name;
+  }
+  EXPECT_EQ(catalog.Stats("customer")->row_count, 300u);
+}
+
+}  // namespace
+}  // namespace qpi

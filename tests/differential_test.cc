@@ -1,0 +1,158 @@
+// Metamorphic/differential properties: the progress framework must be
+// purely observational. For randomly generated queries, the result
+// multiset must be identical across estimation modes, sample fractions,
+// hash-join partition counts, and join algorithms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "datagen/table_builder.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace {
+
+/// Deterministic random catalog: three tables with mixed skew.
+void BuildCatalog(Catalog* catalog, uint64_t seed) {
+  Pcg32 rng(seed);
+  for (const char* name : {"r1", "r2", "r3"}) {
+    TableBuilder b(name);
+    double z = (rng.NextBounded(3)) * 0.75;  // 0, 0.75, 1.5
+    uint32_t domain = 10 + rng.NextBounded(90);
+    b.AddColumn("k", std::make_unique<ZipfSpec>(z, domain,
+                                                rng.NextUint64() | 1))
+        .AddColumn("v", std::make_unique<UniformIntSpec>(1, 50));
+    uint64_t rows = 300 + rng.NextBounded(700);
+    ASSERT_TRUE(catalog->Register(b.Build(rows, rng.NextUint64())).ok());
+    ASSERT_TRUE(catalog->Analyze(name).ok());
+  }
+}
+
+/// A deterministic "random" query over the catalog, selected by seed.
+PlanNodePtr MakeQuery(uint64_t seed) {
+  Pcg32 rng(seed * 7919);
+  int shape = static_cast<int>(rng.NextBounded(5));
+  int64_t lit = 1 + rng.NextBounded(40);
+  switch (shape) {
+    case 0:
+      return HashJoinPlan(ScanPlan("r1"), ScanPlan("r2"), "r1.k", "r2.k");
+    case 1:
+      return HashJoinPlan(
+          ScanPlan("r1"),
+          HashJoinPlan(ScanPlan("r2"), ScanPlan("r3"), "r2.k", "r3.k"),
+          "r1.k", "r3.k");
+    case 2:
+      return FlavoredHashJoinPlan(
+          ScanPlan("r1"),
+          FilterPlan(ScanPlan("r2"),
+                     MakeCompare("v", CompareOp::kLe, Value(lit))),
+          "r1.k", "r2.k", JoinFlavor::kSemi);
+    case 3:
+      return HashAggregatePlan(
+          HashJoinPlan(ScanPlan("r1"), ScanPlan("r2"), "r1.k", "r2.k"),
+          {"r2.k"},
+          {AggregateSpec{AggregateSpec::Kind::kCountStar, ""},
+           AggregateSpec{AggregateSpec::Kind::kSum, "r1.v"}});
+    default:
+      return SortPlan(FilterPlan(ScanPlan("r3"),
+                                 MakeCompare("k", CompareOp::kGt,
+                                             Value(lit))),
+                      {"k", "v"});
+  }
+}
+
+/// Canonical (sorted) rendering of a result multiset.
+std::vector<std::string> CanonicalResult(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(RowToString(row));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> RunConfigured(uint64_t catalog_seed,
+                                       uint64_t query_seed,
+                                       EstimationMode mode,
+                                       double sample_fraction,
+                                       size_t partitions) {
+  Catalog catalog;
+  BuildCatalog(&catalog, catalog_seed);
+  ExecContext ctx;
+  ctx.catalog = &catalog;
+  ctx.mode = mode;
+  ctx.sample_fraction = sample_fraction;
+  ctx.hash_join_partitions = partitions;
+  PlanNodePtr plan = MakeQuery(query_seed);
+  OperatorPtr root;
+  Status s = CompilePlan(plan.get(), &ctx, &root);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::vector<Row> rows;
+  EXPECT_TRUE(QueryExecutor::Run(root.get(), &ctx, &rows, nullptr).ok());
+  return CanonicalResult(rows);
+}
+
+class DifferentialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSweep, EstimationModeNeverChangesResults) {
+  uint64_t seed = GetParam();
+  std::vector<std::string> reference =
+      RunConfigured(seed, seed, EstimationMode::kNone, 0.0, 64);
+  for (EstimationMode mode :
+       {EstimationMode::kOnce, EstimationMode::kDne, EstimationMode::kByte}) {
+    EXPECT_EQ(RunConfigured(seed, seed, mode, 0.0, 64), reference)
+        << "mode " << EstimationModeName(mode) << " seed " << seed;
+  }
+}
+
+TEST_P(DifferentialSweep, SampleFractionNeverChangesResults) {
+  uint64_t seed = GetParam();
+  std::vector<std::string> reference =
+      RunConfigured(seed, seed, EstimationMode::kOnce, 0.0, 64);
+  for (double fraction : {0.01, 0.1, 0.5, 1.0}) {
+    EXPECT_EQ(RunConfigured(seed, seed, EstimationMode::kOnce, fraction, 64),
+              reference)
+        << "sample " << fraction << " seed " << seed;
+  }
+}
+
+TEST_P(DifferentialSweep, PartitionCountNeverChangesResults) {
+  uint64_t seed = GetParam();
+  std::vector<std::string> reference =
+      RunConfigured(seed, seed, EstimationMode::kOnce, 0.0, 64);
+  for (size_t partitions : {1u, 3u, 16u, 257u}) {
+    EXPECT_EQ(
+        RunConfigured(seed, seed, EstimationMode::kOnce, 0.0, partitions),
+        reference)
+        << "partitions " << partitions << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(Differential, HashAndMergeJoinAgreeOnRandomCatalogs) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Catalog catalog;
+    BuildCatalog(&catalog, seed);
+    auto run = [&](PlanNodePtr plan) {
+      ExecContext ctx;
+      ctx.catalog = &catalog;
+      OperatorPtr root;
+      EXPECT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+      std::vector<Row> rows;
+      EXPECT_TRUE(QueryExecutor::Run(root.get(), &ctx, &rows, nullptr).ok());
+      return CanonicalResult(rows);
+    };
+    EXPECT_EQ(
+        run(HashJoinPlan(ScanPlan("r1"), ScanPlan("r2"), "r1.k", "r2.k")),
+        run(MergeJoinPlan(ScanPlan("r1"), ScanPlan("r2"), "r1.k", "r2.k")))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,106 @@
+#include "plan/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace qpi {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column{"t", "a", ValueType::kInt64},
+                 Column{"t", "b", ValueType::kInt64},
+                 Column{"u", "a", ValueType::kString}});
+}
+
+std::unique_ptr<BoundPredicate> Bind(const Predicate& p) {
+  std::unique_ptr<BoundPredicate> bound;
+  Status s = p.Bind(TestSchema(), &bound);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return bound;
+}
+
+TEST(Status, OkAndErrorRendering) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status e = Status::NotFound("missing thing");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), Status::Code::kNotFound);
+  EXPECT_EQ(e.ToString(), "NotFound: missing thing");
+}
+
+TEST(Expr, ComparisonOperators) {
+  Row row = {Value(int64_t{5}), Value(int64_t{10}), Value(std::string("x"))};
+  struct Case {
+    CompareOp op;
+    int64_t literal;
+    bool expected;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {CompareOp::kEq, 5, true},    {CompareOp::kEq, 6, false},
+           {CompareOp::kNe, 5, false},   {CompareOp::kNe, 6, true},
+           {CompareOp::kLt, 6, true},    {CompareOp::kLt, 5, false},
+           {CompareOp::kLe, 5, true},    {CompareOp::kLe, 4, false},
+           {CompareOp::kGt, 4, true},    {CompareOp::kGt, 5, false},
+           {CompareOp::kGe, 5, true},    {CompareOp::kGe, 6, false}}) {
+    auto bound = Bind(*MakeCompare("a", c.op, Value(c.literal)));
+    EXPECT_EQ(bound->Evaluate(row), c.expected)
+        << CompareOpName(c.op) << " " << c.literal;
+  }
+}
+
+TEST(Expr, QualifiedColumnResolvesPastShadowing) {
+  Row row = {Value(int64_t{5}), Value(int64_t{10}), Value(std::string("x"))};
+  auto bound = Bind(*MakeCompare("u.a", CompareOp::kEq,
+                                 Value(std::string("x"))));
+  EXPECT_TRUE(bound->Evaluate(row));
+}
+
+TEST(Expr, NullComparisonIsFalse) {
+  Row row = {Value::Null(), Value(int64_t{1}), Value(std::string(""))};
+  auto eq = Bind(*MakeCompare("a", CompareOp::kEq, Value(int64_t{0})));
+  auto ne = Bind(*MakeCompare("a", CompareOp::kNe, Value(int64_t{0})));
+  EXPECT_FALSE(eq->Evaluate(row));
+  EXPECT_FALSE(ne->Evaluate(row));
+}
+
+TEST(Expr, AndOrNotCombinators) {
+  Row row = {Value(int64_t{5}), Value(int64_t{10}), Value(std::string("x"))};
+  auto both = Bind(*MakeAnd(MakeCompare("a", CompareOp::kGt, Value(int64_t{0})),
+                            MakeCompare("b", CompareOp::kLt,
+                                        Value(int64_t{20}))));
+  EXPECT_TRUE(both->Evaluate(row));
+  auto either =
+      Bind(*MakeOr(MakeCompare("a", CompareOp::kGt, Value(int64_t{100})),
+                   MakeCompare("b", CompareOp::kEq, Value(int64_t{10}))));
+  EXPECT_TRUE(either->Evaluate(row));
+  auto negated =
+      Bind(*MakeNot(MakeCompare("a", CompareOp::kEq, Value(int64_t{5}))));
+  EXPECT_FALSE(negated->Evaluate(row));
+}
+
+TEST(Expr, BindUnknownColumnFails) {
+  std::unique_ptr<BoundPredicate> bound;
+  Status s = MakeCompare("zzz", CompareOp::kEq, Value(int64_t{1}))
+                 ->Bind(TestSchema(), &bound);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(Expr, ToStringRendersTree) {
+  auto p = MakeAnd(MakeCompare("a", CompareOp::kLt, Value(int64_t{3})),
+                   MakeNot(MakeCompare("b", CompareOp::kEq,
+                                       Value(int64_t{7}))));
+  EXPECT_EQ(p->ToString(), "(a < 3 AND NOT (b = 7))");
+}
+
+TEST(Expr, CloneIsDeepAndEquivalent) {
+  auto p = MakeOr(MakeCompare("a", CompareOp::kGe, Value(int64_t{5})),
+                  MakeCompare("b", CompareOp::kLe, Value(int64_t{1})));
+  auto q = p->Clone();
+  EXPECT_EQ(p->ToString(), q->ToString());
+  Row row = {Value(int64_t{5}), Value(int64_t{10}), Value(std::string(""))};
+  EXPECT_EQ(Bind(*p)->Evaluate(row), Bind(*q)->Evaluate(row));
+}
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,146 @@
+#include "stats/frequency_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace qpi {
+namespace {
+
+/// Direct (non-incremental) γ² over group counts, as the oracle.
+double DirectGamma2(const std::map<uint64_t, uint64_t>& counts) {
+  if (counts.empty()) return 0.0;
+  double n = static_cast<double>(counts.size());
+  double sum = 0;
+  double sum_sq = 0;
+  for (const auto& [k, c] : counts) {
+    (void)k;
+    sum += static_cast<double>(c);
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  return var / (mean * mean);
+}
+
+TEST(FrequencyStats, EmptyState) {
+  FrequencyStats s;
+  EXPECT_EQ(s.num_observed(), 0u);
+  EXPECT_EQ(s.num_distinct(), 0u);
+  EXPECT_EQ(s.singletons(), 0u);
+  EXPECT_EQ(s.non_singletons(), 0u);
+  EXPECT_DOUBLE_EQ(s.SquaredCoefficientOfVariation(), 0.0);
+}
+
+TEST(FrequencyStats, Algorithm2CounterTransitions) {
+  FrequencyStats s;
+  s.Observe(1);  // N_1: 0 -> 1: S1++
+  EXPECT_EQ(s.singletons(), 1u);
+  EXPECT_EQ(s.non_singletons(), 0u);
+  s.Observe(1);  // N_1: 1 -> 2: S1--, Sn++
+  EXPECT_EQ(s.singletons(), 0u);
+  EXPECT_EQ(s.non_singletons(), 1u);
+  s.Observe(1);  // N_1: 2 -> 3: no S changes
+  EXPECT_EQ(s.singletons(), 0u);
+  EXPECT_EQ(s.non_singletons(), 1u);
+  s.Observe(2);
+  EXPECT_EQ(s.singletons(), 1u);
+  EXPECT_EQ(s.non_singletons(), 1u);
+}
+
+TEST(FrequencyStats, FrequencyOfFrequencyProfile) {
+  FrequencyStats s;
+  // Three groups with counts 1, 2, 2.
+  s.Observe(10);
+  s.Observe(20);
+  s.Observe(20);
+  s.Observe(30);
+  s.Observe(30);
+  EXPECT_EQ(s.FrequencyOfFrequency(1), 1u);
+  EXPECT_EQ(s.FrequencyOfFrequency(2), 2u);
+  EXPECT_EQ(s.FrequencyOfFrequency(3), 0u);
+  EXPECT_EQ(s.max_frequency(), 2u);
+  uint64_t total_from_classes = 0;
+  s.ForEachFrequencyClass(
+      [&](uint64_t j, uint64_t f) { total_from_classes += j * f; });
+  EXPECT_EQ(total_from_classes, s.num_observed());
+}
+
+TEST(FrequencyStats, SumSquaredCountsIncremental) {
+  FrequencyStats s;
+  s.Observe(1);
+  s.Observe(1);
+  s.Observe(1);  // count 3 -> 9
+  s.Observe(2);  // count 1 -> 1
+  EXPECT_EQ(s.sum_squared_counts(), 10u);
+}
+
+TEST(FrequencyStats, Gamma2MatchesDirectComputation) {
+  FrequencyStats s;
+  std::map<uint64_t, uint64_t> oracle;
+  ZipfGenerator zipf(1.0, 200);
+  Pcg32 rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = static_cast<uint64_t>(zipf.Next(&rng));
+    s.Observe(key);
+    ++oracle[key];
+    if (i % 2500 == 0 && i > 0) {
+      EXPECT_NEAR(s.SquaredCoefficientOfVariation(), DirectGamma2(oracle),
+                  1e-9)
+          << "at tuple " << i;
+    }
+  }
+  EXPECT_NEAR(s.SquaredCoefficientOfVariation(), DirectGamma2(oracle), 1e-9);
+}
+
+TEST(FrequencyStats, UniformDataHasLowGamma2SkewedHasHigh) {
+  Pcg32 rng(17);
+  FrequencyStats uniform;
+  ZipfGenerator flat(0.0, 500);
+  for (int i = 0; i < 50000; ++i) {
+    uniform.Observe(static_cast<uint64_t>(flat.Next(&rng)));
+  }
+  FrequencyStats skewed;
+  ZipfGenerator steep(2.0, 500);
+  for (int i = 0; i < 50000; ++i) {
+    skewed.Observe(static_cast<uint64_t>(steep.Next(&rng)));
+  }
+  EXPECT_LT(uniform.SquaredCoefficientOfVariation(), 1.0);
+  EXPECT_GT(skewed.SquaredCoefficientOfVariation(), 10.0);
+}
+
+TEST(FrequencyStats, WeightedObserveEqualsRepeatedObserve) {
+  FrequencyStats weighted;
+  FrequencyStats repeated;
+  Pcg32 rng(88);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t key = rng.NextBounded(50);
+    uint64_t w = 1 + rng.NextBounded(5);
+    weighted.ObserveWeighted(key, w);
+    for (uint64_t j = 0; j < w; ++j) repeated.Observe(key);
+  }
+  EXPECT_EQ(weighted.num_observed(), repeated.num_observed());
+  EXPECT_EQ(weighted.num_distinct(), repeated.num_distinct());
+  EXPECT_EQ(weighted.sum_squared_counts(), repeated.sum_squared_counts());
+  EXPECT_EQ(weighted.max_frequency(), repeated.max_frequency());
+  // f_j profiles can differ transiently mid-group but must agree overall on
+  // the final histogram.
+  for (uint64_t k = 0; k < 50; ++k) {
+    EXPECT_EQ(weighted.histogram().Count(k), repeated.histogram().Count(k));
+  }
+}
+
+TEST(FrequencyStats, WeightedObserveZeroIsNoOp) {
+  FrequencyStats s;
+  s.ObserveWeighted(1, 0);
+  EXPECT_EQ(s.num_observed(), 0u);
+  EXPECT_EQ(s.num_distinct(), 0u);
+}
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,103 @@
+#include "stats/hash_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace qpi {
+namespace {
+
+TEST(HashHistogram, EmptyHasNoCounts) {
+  HashHistogram h;
+  EXPECT_EQ(h.num_distinct(), 0u);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.Count(42), 0u);
+  EXPECT_EQ(h.UsedBytes(), 0u);
+}
+
+TEST(HashHistogram, IncrementReturnsNewCount) {
+  HashHistogram h;
+  EXPECT_EQ(h.Increment(5), 1u);
+  EXPECT_EQ(h.Increment(5), 2u);
+  EXPECT_EQ(h.Increment(7), 1u);
+  EXPECT_EQ(h.Count(5), 2u);
+  EXPECT_EQ(h.Count(7), 1u);
+  EXPECT_EQ(h.num_distinct(), 2u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HashHistogram, WeightedIncrement) {
+  HashHistogram h;
+  EXPECT_EQ(h.Increment(1, 10), 10u);
+  EXPECT_EQ(h.Increment(1, 5), 15u);
+  EXPECT_EQ(h.total_count(), 15u);
+}
+
+TEST(HashHistogram, ZeroKeyIsAValidKey) {
+  HashHistogram h;
+  h.Increment(0);
+  h.Increment(0);
+  EXPECT_EQ(h.Count(0), 2u);
+  EXPECT_EQ(h.num_distinct(), 1u);
+}
+
+TEST(HashHistogram, GrowPreservesCounts) {
+  HashHistogram h(16);
+  for (uint64_t k = 0; k < 1000; ++k) h.Increment(k, k + 1);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(h.Count(k), k + 1) << "key " << k;
+  }
+  EXPECT_EQ(h.num_distinct(), 1000u);
+}
+
+TEST(HashHistogram, MemoryAccountingTracksEntries) {
+  HashHistogram h;
+  for (uint64_t k = 0; k < 500; ++k) h.Increment(k);
+  EXPECT_EQ(h.UsedBytes(), 500 * HashHistogram::kEntryPayloadBytes);
+  EXPECT_GE(h.AllocatedBytes(), h.UsedBytes());
+  // Open addressing at <= 0.7 load: allocation stays within ~2.5x of use
+  // even right after a doubling (16 bytes/slot vs 12 accounted).
+  EXPECT_LE(h.AllocatedBytes(),
+            5 * h.UsedBytes());
+}
+
+TEST(HashHistogram, ForEachVisitsEveryEntryOnce) {
+  HashHistogram h;
+  for (uint64_t k = 10; k < 20; ++k) h.Increment(k, k);
+  std::unordered_map<uint64_t, uint64_t> seen;
+  h.ForEach([&](uint64_t key, uint64_t count) { seen[key] = count; });
+  ASSERT_EQ(seen.size(), 10u);
+  for (uint64_t k = 10; k < 20; ++k) EXPECT_EQ(seen[k], k);
+}
+
+TEST(HashHistogram, MatchesUnorderedMapOracleOnRandomWorkload) {
+  HashHistogram h;
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  Pcg32 rng(4242);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextBounded(2000);
+    uint64_t by = 1 + rng.NextBounded(3);
+    h.Increment(key, by);
+    oracle[key] += by;
+  }
+  EXPECT_EQ(h.num_distinct(), oracle.size());
+  for (const auto& [key, count] : oracle) {
+    ASSERT_EQ(h.Count(key), count) << "key " << key;
+  }
+}
+
+TEST(HistogramKeyCode, Int64IsIdentity) {
+  EXPECT_EQ(HistogramKeyCode(Value(int64_t{77})), 77u);
+}
+
+TEST(HistogramKeyCode, StringsHashStably) {
+  EXPECT_EQ(HistogramKeyCode(Value(std::string("k"))),
+            HistogramKeyCode(Value(std::string("k"))));
+  EXPECT_NE(HistogramKeyCode(Value(std::string("k"))),
+            HistogramKeyCode(Value(std::string("l"))));
+}
+
+}  // namespace
+}  // namespace qpi

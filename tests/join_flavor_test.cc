@@ -1,0 +1,224 @@
+// Semi / anti / probe-outer hash joins (the paper's Section 4.1.1
+// extension): operator correctness vs set-based oracles, schema shapes,
+// ONCE estimation exactness per flavour, and optimizer sanity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datagen/table_builder.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "exec/grace_hash_join.h"
+#include "plan/optimizer.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace {
+
+struct Fixture {
+  Catalog catalog;
+  ExecContext ctx;
+  Fixture() { ctx.catalog = &catalog; }
+  void Add(TablePtr t) {
+    ASSERT_TRUE(catalog.Register(t).ok());
+    ASSERT_TRUE(catalog.Analyze(t->name()).ok());
+  }
+  std::vector<Row> Run(PlanNodePtr plan, OperatorPtr* root_out = nullptr) {
+    OperatorPtr root;
+    Status s = CompilePlan(plan.get(), &ctx, &root);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    std::vector<Row> rows;
+    EXPECT_TRUE(QueryExecutor::Run(root.get(), &ctx, &rows, nullptr).ok());
+    if (root_out != nullptr) *root_out = std::move(root);
+    return rows;
+  }
+};
+
+TablePtr MakeKeyed(const std::string& name, std::vector<int64_t> keys) {
+  Schema schema({Column{name, "k", ValueType::kInt64},
+                 Column{name, "id", ValueType::kInt64}});
+  auto t = std::make_shared<Table>(name, schema);
+  int64_t id = 0;
+  for (int64_t k : keys) {
+    EXPECT_TRUE(t->Append({Value(k), Value(id++)}).ok());
+  }
+  return t;
+}
+
+TablePtr MakeSkewed(const std::string& name, uint64_t rows, double z,
+                    uint32_t domain, uint64_t peak, uint64_t seed) {
+  TableBuilder b(name);
+  b.AddColumn("k", std::make_unique<ZipfSpec>(z, domain, peak))
+      .AddColumn("id", std::make_unique<SequentialSpec>(0));
+  return b.Build(rows, seed);
+}
+
+TEST(JoinFlavor, SemiEmitsMatchingProbeRowsOnce) {
+  Fixture fx;
+  fx.Add(MakeKeyed("b", {1, 1, 1, 2}));  // duplicates must not multiply
+  fx.Add(MakeKeyed("p", {1, 2, 3, 1}));
+  std::vector<Row> rows = fx.Run(FlavoredHashJoinPlan(
+      ScanPlan("b"), ScanPlan("p"), "b.k", "p.k", JoinFlavor::kSemi));
+  // Probe rows with k in {1,2}: keys 1,2,1 → 3 rows, probe schema (2 cols).
+  ASSERT_EQ(rows.size(), 3u);
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_NE(r[0].AsInt64(), 3);
+  }
+}
+
+TEST(JoinFlavor, AntiEmitsNonMatchingProbeRows) {
+  Fixture fx;
+  fx.Add(MakeKeyed("b", {1, 2}));
+  fx.Add(MakeKeyed("p", {1, 2, 3, 4, 4}));
+  std::vector<Row> rows = fx.Run(FlavoredHashJoinPlan(
+      ScanPlan("b"), ScanPlan("p"), "b.k", "p.k", JoinFlavor::kAnti));
+  ASSERT_EQ(rows.size(), 3u);
+  for (const Row& r : rows) EXPECT_GE(r[0].AsInt64(), 3);
+}
+
+TEST(JoinFlavor, ProbeOuterPadsWithNulls) {
+  Fixture fx;
+  fx.Add(MakeKeyed("b", {1, 1}));
+  fx.Add(MakeKeyed("p", {1, 9}));
+  std::vector<Row> rows = fx.Run(FlavoredHashJoinPlan(
+      ScanPlan("b"), ScanPlan("p"), "b.k", "p.k", JoinFlavor::kProbeOuter));
+  // Probe row k=1 matches twice; probe row k=9 emitted once NULL-padded.
+  ASSERT_EQ(rows.size(), 3u);
+  int null_padded = 0;
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 4u);
+    if (r[0].is_null()) {
+      ++null_padded;
+      EXPECT_TRUE(r[1].is_null());
+      EXPECT_EQ(r[2].AsInt64(), 9);
+    }
+  }
+  EXPECT_EQ(null_padded, 1);
+}
+
+class FlavorSweep
+    : public ::testing::TestWithParam<std::tuple<JoinFlavor, double>> {};
+
+TEST_P(FlavorSweep, MatchesOracleAndEstimatesExactly) {
+  auto [flavor, z] = GetParam();
+  Fixture fx;
+  TablePtr build = MakeSkewed("b", 1200, z, 60, 1, 5);
+  TablePtr probe = MakeSkewed("p", 1500, z, 60, 2, 6);
+  fx.Add(build);
+  fx.Add(probe);
+
+  // Oracle counts.
+  std::map<int64_t, uint64_t> build_counts;
+  for (uint64_t i = 0; i < build->num_rows(); ++i) {
+    ++build_counts[build->RowAt(i)[0].AsInt64()];
+  }
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < probe->num_rows(); ++i) {
+    auto it = build_counts.find(probe->RowAt(i)[0].AsInt64());
+    uint64_t matches = it == build_counts.end() ? 0 : it->second;
+    switch (flavor) {
+      case JoinFlavor::kInner:
+        expected += matches;
+        break;
+      case JoinFlavor::kSemi:
+        expected += matches > 0 ? 1 : 0;
+        break;
+      case JoinFlavor::kAnti:
+        expected += matches == 0 ? 1 : 0;
+        break;
+      case JoinFlavor::kProbeOuter:
+        expected += std::max<uint64_t>(matches, 1);
+        break;
+    }
+  }
+
+  OperatorPtr root;
+  std::vector<Row> rows = fx.Run(
+      FlavoredHashJoinPlan(ScanPlan("b"), ScanPlan("p"), "b.k", "p.k", flavor),
+      &root);
+  EXPECT_EQ(rows.size(), expected);
+
+  auto* join = dynamic_cast<GraceHashJoinOp*>(root.get());
+  ASSERT_NE(join, nullptr);
+  ASSERT_NE(join->once_estimator(), nullptr);
+  EXPECT_TRUE(join->once_estimator()->Exact());
+  EXPECT_DOUBLE_EQ(join->once_estimator()->Estimate(),
+                   static_cast<double>(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavors, FlavorSweep,
+    ::testing::Combine(::testing::Values(JoinFlavor::kInner, JoinFlavor::kSemi,
+                                         JoinFlavor::kAnti,
+                                         JoinFlavor::kProbeOuter),
+                       ::testing::Values(0.0, 1.0, 2.0)));
+
+TEST(JoinFlavor, SemiAndOuterOptimizerEstimatesAreConsistent) {
+  Fixture fx;
+  fx.Add(MakeSkewed("b", 1000, 0.0, 100, 1, 7));
+  fx.Add(MakeSkewed("p", 2000, 0.0, 100, 2, 8));
+  OptimizerEstimator opt(&fx.catalog);
+
+  PlanNodePtr inner =
+      HashJoinPlan(ScanPlan("b"), ScanPlan("p"), "b.k", "p.k");
+  PlanNodePtr semi = FlavoredHashJoinPlan(ScanPlan("b"), ScanPlan("p"), "b.k",
+                                          "p.k", JoinFlavor::kSemi);
+  PlanNodePtr anti = FlavoredHashJoinPlan(ScanPlan("b"), ScanPlan("p"), "b.k",
+                                          "p.k", JoinFlavor::kAnti);
+  PlanNodePtr outer = FlavoredHashJoinPlan(ScanPlan("b"), ScanPlan("p"), "b.k",
+                                           "p.k", JoinFlavor::kProbeOuter);
+  for (PlanNode* p : {inner.get(), semi.get(), anti.get(), outer.get()}) {
+    ASSERT_TRUE(opt.Annotate(p).ok());
+  }
+  // semi + anti partition the probe input.
+  EXPECT_NEAR(semi->optimizer_cardinality + anti->optimizer_cardinality,
+              2000.0, 1e-6);
+  // outer = inner + anti.
+  EXPECT_NEAR(outer->optimizer_cardinality,
+              inner->optimizer_cardinality + anti->optimizer_cardinality,
+              1e-6);
+  EXPECT_LE(semi->optimizer_cardinality, 2000.0);
+}
+
+TEST(JoinFlavor, SemiDeriveSchemaIsProbeOnly) {
+  Fixture fx;
+  fx.Add(MakeKeyed("b", {1}));
+  fx.Add(MakeKeyed("p", {1}));
+  PlanNodePtr plan = FlavoredHashJoinPlan(ScanPlan("b"), ScanPlan("p"), "b.k",
+                                          "p.k", JoinFlavor::kSemi);
+  Schema schema;
+  ASSERT_TRUE(plan->DeriveSchema(fx.catalog, &schema).ok());
+  ASSERT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.column(0).QualifiedName(), "p.k");
+}
+
+TEST(JoinFlavor, NonInnerJoinBreaksPipelineChain) {
+  // A semi join above an inner join must not be enlisted in a pipeline
+  // estimator; the inner join below still gets its own estimation.
+  Fixture fx;
+  fx.Add(MakeSkewed("a", 500, 1.0, 30, 1, 1));
+  fx.Add(MakeSkewed("b", 500, 1.0, 30, 2, 2));
+  fx.Add(MakeSkewed("c", 500, 1.0, 30, 3, 3));
+  PlanNodePtr plan = FlavoredHashJoinPlan(
+      ScanPlan("a"),
+      HashJoinPlan(ScanPlan("b"), ScanPlan("c"), "b.k", "c.k"), "a.k", "c.k",
+      JoinFlavor::kSemi);
+  OperatorPtr root;
+  std::vector<Row> rows = fx.Run(std::move(plan), &root);
+  auto* top = dynamic_cast<GraceHashJoinOp*>(root.get());
+  auto* below = dynamic_cast<GraceHashJoinOp*>(top->child(1));
+  EXPECT_EQ(top->pipeline_estimator(), nullptr);
+  EXPECT_EQ(top->once_estimator(), nullptr);  // probe input clustered → dne
+  ASSERT_NE(below->once_estimator(), nullptr);
+  EXPECT_TRUE(below->once_estimator()->Exact());
+  EXPECT_GT(rows.size(), 0u);
+  // Semi output never exceeds the probe-side (lower join) output.
+  EXPECT_LE(rows.size(), below->tuples_emitted());
+}
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,56 @@
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/running_moments.h"
+
+namespace qpi {
+namespace {
+
+TEST(Normal, MedianIsZero) { EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9); }
+
+TEST(Normal, KnownQuantiles) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.841344746), 1.0, 1e-5);
+}
+
+TEST(Normal, SymmetricAroundHalf) {
+  for (double p : {0.6, 0.75, 0.9, 0.99, 0.9999}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1 - p), 1e-7);
+  }
+}
+
+TEST(Normal, ZAlphaPaperValue) {
+  // The paper: "for α = 99.99%, Z_α = 4" (the exact value is ~3.89).
+  double z = ZAlpha(0.9999);
+  EXPECT_NEAR(z, 3.8906, 1e-3);
+  EXPECT_NEAR(ZAlpha(0.95), 1.959964, 1e-5);
+}
+
+TEST(RunningMoments, MeanAndVariance) {
+  RunningMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Observe(x);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.Variance(), 4.0, 1e-12);  // classic population-variance set
+  EXPECT_NEAR(m.StdDev(), 2.0, 1e-12);
+  EXPECT_NEAR(m.StdError(), 2.0 / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningMoments, SingleObservationHasZeroVariance) {
+  RunningMoments m;
+  m.Observe(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.Variance(), 0.0);
+}
+
+TEST(RunningMoments, ConstantStreamHasZeroVariance) {
+  RunningMoments m;
+  for (int i = 0; i < 1000; ++i) m.Observe(7.5);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.5);
+  EXPECT_NEAR(m.Variance(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qpi

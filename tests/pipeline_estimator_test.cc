@@ -1,0 +1,267 @@
+// Pipeline push-down estimation (Section 4.1.4 / Algorithm 1): exactness
+// for same-attribute chains, different-attribute Case 1 and Case 2, the
+// unresolvable-configuration fallback, and wiring through the compiler.
+
+#include "estimators/pipeline_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/table_builder.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "exec/grace_hash_join.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace {
+
+struct EngineFixture {
+  Catalog catalog;
+  ExecContext ctx;
+  EngineFixture() { ctx.catalog = &catalog; }
+  void Add(TablePtr t) {
+    ASSERT_TRUE(catalog.Register(t).ok());
+    ASSERT_TRUE(catalog.Analyze(t->name()).ok());
+  }
+  std::vector<Row> Run(PlanNodePtr plan, OperatorPtr* root_out = nullptr) {
+    OperatorPtr root;
+    Status s = CompilePlan(plan.get(), &ctx, &root);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    std::vector<Row> rows;
+    EXPECT_TRUE(QueryExecutor::Run(root.get(), &ctx, &rows, nullptr).ok());
+    if (root_out != nullptr) *root_out = std::move(root);
+    return rows;
+  }
+};
+
+/// One-column-key table plus an extra attribute column "y".
+TablePtr TwoColTable(const std::string& name, uint64_t rows, double zx,
+                     uint32_t dx, uint64_t px, double zy, uint32_t dy,
+                     uint64_t py, uint64_t seed) {
+  TableBuilder b(name);
+  b.AddColumn("x", std::make_unique<ZipfSpec>(zx, dx, px))
+      .AddColumn("y", std::make_unique<ZipfSpec>(zy, dy, py));
+  return b.Build(rows, seed);
+}
+
+/// Count rows emitted by a sub-operator subtree oracle via actual run: we
+/// instead rely on the engine itself (operator correctness is covered in
+/// operators_test) and compare estimator claims against emitted counts.
+
+TEST(PipelineEstimator, SameAttributeChainExactForBothJoins) {
+  EngineFixture fx;
+  fx.Add(TwoColTable("a", 800, 1.0, 30, 1, 0.0, 5, 0, 11));
+  fx.Add(TwoColTable("b", 800, 1.0, 30, 2, 0.0, 5, 0, 22));
+  fx.Add(TwoColTable("c", 800, 1.0, 30, 3, 0.0, 5, 0, 33));
+
+  // a ⋈x (b ⋈x c): same attribute all the way down.
+  PlanNodePtr plan = HashJoinPlan(
+      ScanPlan("a"),
+      HashJoinPlan(ScanPlan("b"), ScanPlan("c"), "b.x", "c.x"), "a.x", "c.x");
+  OperatorPtr root;
+  std::vector<Row> rows = fx.Run(std::move(plan), &root);
+
+  auto* upper = dynamic_cast<GraceHashJoinOp*>(root.get());
+  ASSERT_NE(upper, nullptr);
+  auto* lower = dynamic_cast<GraceHashJoinOp*>(upper->child(1));
+  ASSERT_NE(lower, nullptr);
+  const PipelineJoinEstimator* est = upper->pipeline_estimator();
+  ASSERT_NE(est, nullptr);
+  ASSERT_EQ(est, lower->pipeline_estimator());
+  ASSERT_EQ(est->num_joins(), 2u);
+  EXPECT_TRUE(est->Resolved(0));
+  EXPECT_TRUE(est->Resolved(1));
+  EXPECT_TRUE(est->Exact());
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(0),
+                   static_cast<double>(lower->tuples_emitted()));
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(1), static_cast<double>(rows.size()));
+}
+
+TEST(PipelineEstimator, SameAttributeViaBuildRelationRefAlsoExact) {
+  // Referencing the upper probe attr as b.x (instead of c.x) routes through
+  // the Case-2 derived-histogram machinery but must stay exact.
+  EngineFixture fx;
+  fx.Add(TwoColTable("a", 800, 1.0, 20, 1, 0.0, 5, 0, 1));
+  fx.Add(TwoColTable("b", 800, 1.0, 20, 2, 0.0, 5, 0, 2));
+  fx.Add(TwoColTable("c", 800, 1.0, 20, 3, 0.0, 5, 0, 3));
+  PlanNodePtr plan = HashJoinPlan(
+      ScanPlan("a"),
+      HashJoinPlan(ScanPlan("b"), ScanPlan("c"), "b.x", "c.x"), "a.x", "b.x");
+  OperatorPtr root;
+  std::vector<Row> rows = fx.Run(std::move(plan), &root);
+  auto* upper = dynamic_cast<GraceHashJoinOp*>(root.get());
+  const PipelineJoinEstimator* est = upper->pipeline_estimator();
+  ASSERT_NE(est, nullptr);
+  EXPECT_TRUE(est->Resolved(1));
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(1), static_cast<double>(rows.size()));
+}
+
+TEST(PipelineEstimator, DifferentAttributesCase1Exact) {
+  // Upper join attribute comes from the lower *probe* relation C:
+  // a ⋈_{a.y=c.y} (b ⋈_{b.x=c.x} c).
+  EngineFixture fx;
+  fx.Add(TwoColTable("a", 1000, 2.0, 40, 1, 1.0, 25, 4, 5));
+  fx.Add(TwoColTable("b", 1000, 2.0, 40, 2, 1.0, 25, 5, 6));
+  fx.Add(TwoColTable("c", 1000, 2.0, 40, 3, 1.0, 25, 6, 7));
+  PlanNodePtr plan = HashJoinPlan(
+      ScanPlan("a"),
+      HashJoinPlan(ScanPlan("b"), ScanPlan("c"), "b.x", "c.x"), "a.y", "c.y");
+  OperatorPtr root;
+  std::vector<Row> rows = fx.Run(std::move(plan), &root);
+  auto* upper = dynamic_cast<GraceHashJoinOp*>(root.get());
+  auto* lower = dynamic_cast<GraceHashJoinOp*>(upper->child(1));
+  const PipelineJoinEstimator* est = upper->pipeline_estimator();
+  ASSERT_NE(est, nullptr);
+  EXPECT_TRUE(est->Exact());
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(0),
+                   static_cast<double>(lower->tuples_emitted()));
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(1), static_cast<double>(rows.size()));
+}
+
+TEST(PipelineEstimator, DifferentAttributesCase2Exact) {
+  // Upper join attribute comes from the lower *build* relation B:
+  // a ⋈_{a.y=b.y} (b ⋈_{b.x=c.x} c) — the derived-histogram case.
+  EngineFixture fx;
+  fx.Add(TwoColTable("a", 1000, 1.0, 40, 1, 1.0, 25, 4, 8));
+  fx.Add(TwoColTable("b", 1000, 1.0, 40, 2, 1.0, 25, 5, 9));
+  fx.Add(TwoColTable("c", 1000, 1.0, 40, 3, 1.0, 25, 6, 10));
+  PlanNodePtr plan = HashJoinPlan(
+      ScanPlan("a"),
+      HashJoinPlan(ScanPlan("b"), ScanPlan("c"), "b.x", "c.x"), "a.y", "b.y");
+  OperatorPtr root;
+  std::vector<Row> rows = fx.Run(std::move(plan), &root);
+  auto* upper = dynamic_cast<GraceHashJoinOp*>(root.get());
+  auto* lower = dynamic_cast<GraceHashJoinOp*>(upper->child(1));
+  const PipelineJoinEstimator* est = upper->pipeline_estimator();
+  ASSERT_NE(est, nullptr);
+  EXPECT_TRUE(est->Resolved(0));
+  EXPECT_TRUE(est->Resolved(1));
+  EXPECT_TRUE(est->Exact());
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(0),
+                   static_cast<double>(lower->tuples_emitted()));
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(1), static_cast<double>(rows.size()));
+  EXPECT_GT(est->HistogramBytesUsed(), 0u);
+}
+
+TEST(PipelineEstimator, ThreeJoinChainExact) {
+  EngineFixture fx;
+  // Keep fan-out modest: a 4-way skewed join's output is a sum of products
+  // of four per-value counts and explodes quickly.
+  fx.Add(TwoColTable("a", 250, 0.5, 40, 1, 0.0, 5, 0, 1));
+  fx.Add(TwoColTable("b", 250, 0.5, 40, 2, 0.0, 5, 0, 2));
+  fx.Add(TwoColTable("c", 250, 0.5, 40, 3, 0.0, 5, 0, 3));
+  fx.Add(TwoColTable("d", 250, 0.5, 40, 4, 0.0, 5, 0, 4));
+  // a ⋈x (b ⋈x (c ⋈x d)) — same attribute, three hash joins, driver d.
+  PlanNodePtr plan = HashJoinPlan(
+      ScanPlan("a"),
+      HashJoinPlan(ScanPlan("b"),
+                   HashJoinPlan(ScanPlan("c"), ScanPlan("d"), "c.x", "d.x"),
+                   "b.x", "d.x"),
+      "a.x", "d.x");
+  OperatorPtr root;
+  std::vector<Row> rows = fx.Run(std::move(plan), &root);
+  auto* top = dynamic_cast<GraceHashJoinOp*>(root.get());
+  const PipelineJoinEstimator* est = top->pipeline_estimator();
+  ASSERT_NE(est, nullptr);
+  ASSERT_EQ(est->num_joins(), 3u);
+  for (size_t k = 0; k < 3; ++k) EXPECT_TRUE(est->Resolved(k));
+  EXPECT_DOUBLE_EQ(est->EstimateForJoin(2), static_cast<double>(rows.size()));
+}
+
+TEST(PipelineEstimator, ConvergesMidDriverPassWithinCI) {
+  // Directly drive the estimator to check mid-pass accuracy.
+  Schema driver({Column{"c", "x", ValueType::kInt64}});
+  Schema build_b({Column{"b", "x", ValueType::kInt64}});
+  Schema build_a({Column{"a", "x", ValueType::kInt64}});
+  std::vector<PipelineJoinEstimator::JoinSpec> specs(2);
+  specs[0].build_schema = build_b;
+  specs[0].build_key_index = 0;
+  specs[0].probe_attr = Column{"c", "x", ValueType::kInt64};
+  specs[1].build_schema = build_a;
+  specs[1].build_key_index = 0;
+  specs[1].probe_attr = Column{"c", "x", ValueType::kInt64};
+  PipelineJoinEstimator est(driver, specs, [] { return 10000.0; });
+
+  ZipfGenerator za(1.0, 50, 1);
+  ZipfGenerator zb(1.0, 50, 2);
+  ZipfGenerator zc(1.0, 50, 3);
+  Pcg32 rng(77);
+  // Builds top-down: a then b.
+  for (int i = 0; i < 5000; ++i) {
+    est.ObserveBuildRow(1, {Value(za.Next(&rng))});
+  }
+  est.BuildComplete(1);
+  std::map<int64_t, uint64_t> nb;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = zb.Next(&rng);
+    ++nb[v];
+    est.ObserveBuildRow(0, {Value(v)});
+  }
+  est.BuildComplete(0);
+
+  // Exact upper-join size for the full driver stream, computed on the fly.
+  std::vector<int64_t> driver_vals;
+  for (int i = 0; i < 10000; ++i) driver_vals.push_back(zc.Next(&rng));
+  double exact_upper = 0;
+  for (int64_t v : driver_vals) {
+    exact_upper +=
+        static_cast<double>(est.build_histogram(1).Count(
+            static_cast<uint64_t>(v))) *
+        static_cast<double>(est.build_histogram(0).Count(
+            static_cast<uint64_t>(v)));
+  }
+
+  for (size_t i = 0; i < 1000; ++i) {
+    est.ObserveDriverRow({Value(driver_vals[i])});
+  }
+  // 10% in: within the (wide, 99.99%) CI of the true final value.
+  EXPECT_NEAR(est.EstimateForJoin(1), exact_upper,
+              est.ConfidenceHalfWidth(1) + 1e-9);
+  for (size_t i = 1000; i < driver_vals.size(); ++i) {
+    est.ObserveDriverRow({Value(driver_vals[i])});
+  }
+  est.DriverComplete();
+  EXPECT_DOUBLE_EQ(est.EstimateForJoin(1), exact_upper);
+}
+
+TEST(PipelineEstimator, UnresolvableDeepCase2FallsBack) {
+  // Join 1 depends on build of join 0; join 0 itself is Case 2 on nothing —
+  // construct probe attrs that do not exist anywhere: unresolved.
+  Schema driver({Column{"c", "x", ValueType::kInt64}});
+  Schema build_b({Column{"b", "x", ValueType::kInt64}});
+  std::vector<PipelineJoinEstimator::JoinSpec> specs(2);
+  specs[0].build_schema = build_b;
+  specs[0].build_key_index = 0;
+  specs[0].probe_attr = Column{"zzz", "q", ValueType::kInt64};  // nowhere
+  specs[1].build_schema = build_b;
+  specs[1].build_key_index = 0;
+  specs[1].probe_attr = Column{"c", "x", ValueType::kInt64};
+  PipelineJoinEstimator est(driver, specs, [] { return 1.0; });
+  EXPECT_FALSE(est.Resolved(0));
+  // Everything above an unresolved join is poisoned.
+  EXPECT_FALSE(est.Resolved(1));
+  EXPECT_DOUBLE_EQ(est.EstimateForJoin(0), 0.0);
+}
+
+TEST(PipelineEstimator, FreezeStopsDriverUpdates) {
+  Schema driver({Column{"c", "x", ValueType::kInt64}});
+  Schema build_b({Column{"b", "x", ValueType::kInt64}});
+  std::vector<PipelineJoinEstimator::JoinSpec> specs(1);
+  specs[0].build_schema = build_b;
+  specs[0].build_key_index = 0;
+  specs[0].probe_attr = Column{"c", "x", ValueType::kInt64};
+  PipelineJoinEstimator est(driver, specs, [] { return 100.0; });
+  est.ObserveBuildRow(0, {Value(int64_t{1})});
+  est.BuildComplete(0);
+  est.ObserveDriverRow({Value(int64_t{1})});
+  double before = est.EstimateForJoin(0);
+  est.Freeze();
+  est.ObserveDriverRow({Value(int64_t{1})});
+  EXPECT_EQ(est.driver_rows_seen(), 1u);
+  EXPECT_DOUBLE_EQ(est.EstimateForJoin(0), before);
+}
+
+}  // namespace
+}  // namespace qpi

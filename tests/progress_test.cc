@@ -1,0 +1,226 @@
+// gnm accounting, pipeline decomposition, baseline estimators, and the
+// end-to-end progress monitor across estimation modes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/table_builder.h"
+#include "estimators/baselines.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "progress/gnm.h"
+#include "progress/monitor.h"
+#include "progress/pipelines.h"
+
+namespace qpi {
+namespace {
+
+TEST(DneEstimator, ExtrapolatesLinearly) {
+  DneEstimator dne(500.0);
+  EXPECT_DOUBLE_EQ(dne.Estimate(1000.0), 500.0);  // optimizer before start
+  dne.Update(100, 40);
+  EXPECT_DOUBLE_EQ(dne.Estimate(1000.0), 400.0);
+  dne.Update(1000, 430);
+  EXPECT_DOUBLE_EQ(dne.Estimate(1000.0), 430.0);
+}
+
+TEST(ByteEstimator, BlendsOptimizerAndObservation) {
+  ByteEstimator byte(1000.0);
+  EXPECT_DOUBLE_EQ(byte.Estimate(1000.0), 1000.0);
+  byte.Update(100, 10);  // observed rate → 100 over the full input
+  // f = 0.1: 0.1 * 100 + 0.9 * 1000 = 910 — pulled hard toward optimizer.
+  EXPECT_DOUBLE_EQ(byte.Estimate(1000.0), 910.0);
+  byte.Update(1000, 100);
+  EXPECT_DOUBLE_EQ(byte.Estimate(1000.0), 100.0);  // converged at the end
+}
+
+TEST(ByteEstimator, ConvergesSlowerThanDneWhenOptimizerWrong) {
+  DneEstimator dne(1000.0);
+  ByteEstimator byte(1000.0);
+  dne.Update(100, 10);
+  byte.Update(100, 10);
+  double truth = 100.0;
+  EXPECT_LT(std::abs(dne.Estimate(1000.0) - truth),
+            std::abs(byte.Estimate(1000.0) - truth));
+}
+
+struct EngineFixture {
+  Catalog catalog;
+  ExecContext ctx;
+  EngineFixture() { ctx.catalog = &catalog; }
+  void Add(TablePtr t) {
+    ASSERT_TRUE(catalog.Register(t).ok());
+    ASSERT_TRUE(catalog.Analyze(t->name()).ok());
+  }
+};
+
+TablePtr SkewedTable(const std::string& name, uint64_t rows, double z,
+                     uint32_t domain, uint64_t peak, uint64_t seed) {
+  TableBuilder b(name);
+  b.AddColumn("k", std::make_unique<ZipfSpec>(z, domain, peak))
+      .AddColumn("v", std::make_unique<UniformIntSpec>(1, 100));
+  return b.Build(rows, seed);
+}
+
+PlanNodePtr TwoJoinAggPlan() {
+  return HashAggregatePlan(
+      HashJoinPlan(ScanPlan("a"),
+                   HashJoinPlan(ScanPlan("b"), ScanPlan("c"), "b.k", "c.k"),
+                   "a.k", "c.k"),
+      {"c.k"}, {AggregateSpec{AggregateSpec::Kind::kCountStar, ""}});
+}
+
+TEST(Pipelines, HashJoinChainDecomposition) {
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 100, 0.0, 10, 1, 1));
+  fx.Add(SkewedTable("b", 100, 0.0, 10, 2, 2));
+  fx.Add(SkewedTable("c", 100, 0.0, 10, 3, 3));
+  PlanNodePtr plan = TwoJoinAggPlan();
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+
+  std::vector<Pipeline> pipelines = PipelineDecomposer::Decompose(root.get());
+  // Expected: p0 = {agg}, p1 = {join_a, join_b, scan c} (probe chain),
+  // p2 = {scan a}, p3 = {scan b}.
+  ASSERT_EQ(pipelines.size(), 4u);
+  EXPECT_EQ(pipelines[0].ops.size(), 1u);  // aggregate alone
+  // The probe-chain pipeline has both joins and the driver scan.
+  bool found_chain = false;
+  for (const Pipeline& p : pipelines) {
+    if (p.ops.size() == 3) found_chain = true;
+  }
+  EXPECT_TRUE(found_chain);
+}
+
+TEST(Pipelines, MergeJoinSplitsBothIntakes) {
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 50, 0.0, 10, 1, 1));
+  fx.Add(SkewedTable("b", 50, 0.0, 10, 2, 2));
+  PlanNodePtr plan = MergeJoinPlan(ScanPlan("a"), ScanPlan("b"), "a.k", "b.k");
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  std::vector<Pipeline> pipelines = PipelineDecomposer::Decompose(root.get());
+  ASSERT_EQ(pipelines.size(), 3u);
+  EXPECT_EQ(pipelines[0].ops.size(), 1u);
+  std::string rendered = PipelinesToString(pipelines);
+  EXPECT_NE(rendered.find("MergeJoin"), std::string::npos);
+}
+
+TEST(Gnm, CurrentCallsSumsEmittedTuples) {
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 200, 0.0, 10, 1, 1));
+  fx.Add(SkewedTable("b", 200, 0.0, 10, 2, 2));
+  PlanNodePtr plan = HashJoinPlan(ScanPlan("a"), ScanPlan("b"), "a.k", "b.k");
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  GnmAccountant acc(root.get());
+  EXPECT_EQ(acc.CurrentCalls(), 0u);
+  uint64_t rows = 0;
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, &rows).ok());
+  EXPECT_EQ(acc.CurrentCalls(), 200 + 200 + rows);
+}
+
+TEST(Gnm, FinalEstimateEqualsTruth) {
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 300, 1.0, 20, 1, 1));
+  fx.Add(SkewedTable("b", 300, 1.0, 20, 2, 2));
+  PlanNodePtr plan = HashJoinPlan(ScanPlan("a"), ScanPlan("b"), "a.k", "b.k");
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
+  GnmAccountant acc(root.get());
+  EXPECT_DOUBLE_EQ(acc.TotalEstimate(),
+                   static_cast<double>(acc.CurrentCalls()));
+  GnmSnapshot snap = acc.Snapshot(0);
+  EXPECT_DOUBLE_EQ(snap.EstimatedProgress(), 1.0);
+}
+
+TEST(Gnm, FutureOperatorRefinedByInputRatio) {
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 100, 0.0, 10, 1, 1));
+  PlanNodePtr plan = HashAggregatePlan(
+      ScanPlan("a"), {"k"},
+      {AggregateSpec{AggregateSpec::Kind::kCountStar, ""}});
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  GnmAccountant acc(root.get());
+  // Nothing started: refined estimate equals the optimizer estimate.
+  EXPECT_DOUBLE_EQ(acc.RefinedEstimate(root.get()),
+                   root->optimizer_estimate());
+}
+
+class MonitorModeSweep : public ::testing::TestWithParam<EstimationMode> {};
+
+TEST_P(MonitorModeSweep, SnapshotsAreSaneAndConverge) {
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 2000, 1.0, 50, 1, 1));
+  fx.Add(SkewedTable("b", 2000, 1.0, 50, 2, 2));
+  fx.Add(SkewedTable("c", 2000, 1.0, 50, 3, 3));
+  fx.ctx.mode = GetParam();
+
+  PlanNodePtr plan = TwoJoinAggPlan();
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  ProgressMonitor monitor(root.get(), /*tick_interval=*/500);
+  monitor.InstallOn(&fx.ctx);
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
+  monitor.Finalize();
+
+  const auto& snaps = monitor.snapshots();
+  ASSERT_GE(snaps.size(), 3u);
+  double prev_calls = -1;
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_GE(snaps[i].current_calls, prev_calls);  // C(Q) monotone
+    prev_calls = snaps[i].current_calls;
+    EXPECT_GE(snaps[i].EstimatedProgress(), 0.0);
+    EXPECT_LE(snaps[i].EstimatedProgress(), 1.0);
+    EXPECT_GE(monitor.ActualProgressAt(i), 0.0);
+    EXPECT_LE(monitor.ActualProgressAt(i), 1.0);
+  }
+  // Terminal snapshot: exactly converged.
+  EXPECT_DOUBLE_EQ(snaps.back().EstimatedProgress(), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.RatioErrorAt(snaps.size() - 1), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MonitorModeSweep,
+                         ::testing::Values(EstimationMode::kNone,
+                                           EstimationMode::kOnce,
+                                           EstimationMode::kDne,
+                                           EstimationMode::kByte));
+
+TEST(Monitor, OnceBeatsDneMidQueryOnSkewedPipeline) {
+  // The Fig-8 claim in miniature: mid-run, ONCE's ratio error must be
+  // closer to 1 than dne's on a skew pipeline whose optimizer estimates
+  // are wrong.
+  auto mean_abs_log_ratio = [](EstimationMode mode) {
+    EngineFixture fx;
+    fx.Add(SkewedTable("a", 4000, 2.0, 100, 1, 1));
+    fx.Add(SkewedTable("b", 4000, 2.0, 100, 2, 2));
+    fx.Add(SkewedTable("c", 4000, 2.0, 100, 3, 3));
+    fx.ctx.mode = mode;
+    PlanNodePtr plan = TwoJoinAggPlan();
+    OperatorPtr root;
+    EXPECT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+    ProgressMonitor monitor(root.get(), 1000);
+    monitor.InstallOn(&fx.ctx);
+    EXPECT_TRUE(
+        QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
+    monitor.Finalize();
+    double total = 0;
+    size_t n = 0;
+    for (size_t i = 0; i + 1 < monitor.snapshots().size(); ++i) {
+      double r = monitor.RatioErrorAt(i);
+      if (r > 0) {
+        total += std::abs(std::log(r));
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+  };
+  EXPECT_LT(mean_abs_log_ratio(EstimationMode::kOnce),
+            mean_abs_log_ratio(EstimationMode::kDne));
+}
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace qpi {
+namespace {
+
+TEST(Pcg32, DeterministicGivenSeed) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint32(), b.NextUint32());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Pcg32, BoundedRoughlyUniform) {
+  Pcg32 rng(11);
+  std::map<uint32_t, int> counts;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (const auto& [v, c] : counts) {
+    (void)v;
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, UniformWhenZZero) {
+  ZipfGenerator zipf(0.0, 100);
+  for (uint32_t v = 1; v <= 100; ++v) {
+    EXPECT_NEAR(zipf.Probability(v), 0.01, 1e-12);
+  }
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  for (double z : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfGenerator zipf(z, 50);
+    double total = 0;
+    for (uint32_t v = 1; v <= 50; ++v) total += zipf.Probability(v);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "z=" << z;
+  }
+}
+
+TEST(Zipf, IdentityPermutationRanksDescend) {
+  ZipfGenerator zipf(1.0, 10, /*peak_seed=*/0);
+  for (uint32_t v = 1; v < 10; ++v) {
+    EXPECT_GT(zipf.Probability(v), zipf.Probability(v + 1));
+  }
+  // Zipf(1): p(1)/p(2) == 2.
+  EXPECT_NEAR(zipf.Probability(1) / zipf.Probability(2), 2.0, 1e-9);
+}
+
+TEST(Zipf, PeakSeedMovesTheFrequentValue) {
+  ZipfGenerator a(2.0, 1000, /*peak_seed=*/1);
+  ZipfGenerator b(2.0, 1000, /*peak_seed=*/2);
+  // The most frequent value should differ between permutations (probability
+  // of a coincidental match is 1/1000; these seeds are fixed and verified).
+  EXPECT_NE(a.ValueAtRank(0), b.ValueAtRank(0));
+}
+
+TEST(Zipf, SampleFrequenciesTrackProbabilities) {
+  ZipfGenerator zipf(1.0, 20, /*peak_seed=*/3);
+  Pcg32 rng(99);
+  std::map<int64_t, int> counts;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+  for (uint32_t v = 1; v <= 20; ++v) {
+    double expected = zipf.Probability(v) * kDraws;
+    EXPECT_NEAR(counts[v], expected, 5 * std::sqrt(expected) + 10)
+        << "value " << v;
+  }
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, HigherSkewConcentratesMass) {
+  double z = GetParam();
+  ZipfGenerator zipf(z, 100);
+  // Mass of the top-10 ranks grows with z; at z=0 it is exactly 0.1.
+  double top10 = 0;
+  for (uint32_t r = 0; r < 10; ++r) {
+    top10 += zipf.Probability(zipf.ValueAtRank(r));
+  }
+  if (z == 0.0) {
+    EXPECT_NEAR(top10, 0.1, 1e-9);
+  } else {
+    EXPECT_GT(top10, 0.1);
+  }
+  ZipfGenerator more_skewed(z + 0.5, 100);
+  double top10_more = 0;
+  for (uint32_t r = 0; r < 10; ++r) {
+    top10_more += more_skewed.Probability(more_skewed.ValueAtRank(r));
+  }
+  EXPECT_GT(top10_more, top10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,60 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace qpi {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({Column{"t1", "a", ValueType::kInt64},
+                 Column{"t1", "b", ValueType::kString},
+                 Column{"t2", "a", ValueType::kInt64}});
+}
+
+TEST(Schema, FindColumnUnqualifiedFirstMatchWins) {
+  Schema s = MakeSchema();
+  auto idx = s.FindColumn("a");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+}
+
+TEST(Schema, FindQualifiedDisambiguates) {
+  Schema s = MakeSchema();
+  auto idx = s.FindQualified("t2", "a");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 2u);
+}
+
+TEST(Schema, FindMissingReturnsNullopt) {
+  Schema s = MakeSchema();
+  EXPECT_FALSE(s.FindColumn("zzz").has_value());
+  EXPECT_FALSE(s.FindQualified("t3", "a").has_value());
+}
+
+TEST(Schema, ConcatKeepsProvenance) {
+  Schema left({Column{"l", "x", ValueType::kInt64}});
+  Schema right({Column{"r", "y", ValueType::kDouble}});
+  Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.num_columns(), 2u);
+  EXPECT_EQ(joined.column(0).QualifiedName(), "l.x");
+  EXPECT_EQ(joined.column(1).QualifiedName(), "r.y");
+}
+
+TEST(Schema, QualifiedNameOfComputedColumn) {
+  Column c{"", "count", ValueType::kInt64};
+  EXPECT_EQ(c.QualifiedName(), "count");
+}
+
+TEST(Schema, SameAttributeMatchesProvenance) {
+  Column c{"customer", "nationkey", ValueType::kInt64};
+  EXPECT_TRUE(c.SameAttribute("customer", "nationkey"));
+  EXPECT_FALSE(c.SameAttribute("orders", "nationkey"));
+}
+
+TEST(Schema, ToStringListsColumnsAndTypes) {
+  Schema s({Column{"t", "a", ValueType::kInt64}});
+  EXPECT_EQ(s.ToString(), "[t.a:INT64]");
+}
+
+}  // namespace
+}  // namespace qpi

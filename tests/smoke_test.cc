@@ -1,0 +1,57 @@
+// End-to-end smoke: generate a small skewed join, run it under ONCE
+// estimation, and check the estimate converges to the true cardinality.
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_like.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "exec/grace_hash_join.h"
+#include "progress/monitor.h"
+
+namespace qpi {
+namespace {
+
+TEST(Smoke, SkewedHashJoinConvergesToExactCardinality) {
+  TpchLikeGenerator gen(7);
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register(gen.MakeSkewedCustomer(0.05, 1.0, 500,
+                                                   /*peak_seed=*/1, "c1"))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .Register(gen.MakeSkewedCustomer(0.05, 1.0, 500,
+                                                   /*peak_seed=*/2, "c2"))
+                  .ok());
+  ASSERT_TRUE(catalog.Analyze("c1").ok());
+  ASSERT_TRUE(catalog.Analyze("c2").ok());
+
+  PlanNodePtr plan = HashJoinPlan(ScanPlan("c1"), ScanPlan("c2"),
+                                  "c1.nationkey", "c2.nationkey");
+
+  ExecContext ctx;
+  ctx.catalog = &catalog;
+  ctx.mode = EstimationMode::kOnce;
+
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+
+  ProgressMonitor monitor(root.get(), /*tick_interval=*/1000);
+  monitor.InstallOn(&ctx);
+
+  uint64_t rows = 0;
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &ctx, nullptr, &rows).ok());
+  monitor.Finalize();
+
+  auto* join = dynamic_cast<GraceHashJoinOp*>(root.get());
+  ASSERT_NE(join, nullptr);
+  ASSERT_NE(join->once_estimator(), nullptr);
+  EXPECT_TRUE(join->once_estimator()->Exact());
+  EXPECT_DOUBLE_EQ(join->once_estimator()->Estimate(),
+                   static_cast<double>(rows));
+  EXPECT_GT(rows, 0u);
+  EXPECT_GT(monitor.snapshots().size(), 2u);
+}
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "storage/block_sampler.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace qpi {
+namespace {
+
+TablePtr MakeIntTable(const std::string& name, int64_t rows) {
+  Schema schema({Column{name, "k", ValueType::kInt64},
+                 Column{name, "v", ValueType::kInt64}});
+  auto table = std::make_shared<Table>(name, schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(table->Append({Value(i), Value(i % 10)}).ok());
+  }
+  return table;
+}
+
+TEST(Table, AppendAndRowAt) {
+  TablePtr t = MakeIntTable("t", 1000);
+  EXPECT_EQ(t->num_rows(), 1000u);
+  EXPECT_EQ(t->RowAt(0)[0].AsInt64(), 0);
+  EXPECT_EQ(t->RowAt(999)[0].AsInt64(), 999);
+  EXPECT_EQ(t->RowAt(500)[1].AsInt64(), 500 % 10);
+}
+
+TEST(Table, BlocksFillToCapacity) {
+  TablePtr t = MakeIntTable("t", static_cast<int64_t>(kRowsPerBlock) * 3 + 5);
+  EXPECT_EQ(t->num_blocks(), 4u);
+  EXPECT_EQ(t->block(0).num_rows(), kRowsPerBlock);
+  EXPECT_EQ(t->block(3).num_rows(), 5u);
+}
+
+TEST(Table, AppendArityMismatchFails) {
+  TablePtr t = MakeIntTable("t", 1);
+  Status s = t->Append({Value(int64_t{1})});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BlockSampler, ZeroFractionIsSequential) {
+  TablePtr t = MakeIntTable("t", 2000);
+  Pcg32 rng(1);
+  ScanOrder order = BlockSampler::MakeOrder(*t, 0.0, &rng);
+  EXPECT_EQ(order.sample_block_count, 0u);
+  for (size_t i = 0; i < order.block_order.size(); ++i) {
+    EXPECT_EQ(order.block_order[i], i);
+  }
+}
+
+TEST(BlockSampler, CoversEveryBlockExactlyOnce) {
+  TablePtr t = MakeIntTable("t", 5000);
+  Pcg32 rng(2);
+  ScanOrder order = BlockSampler::MakeOrder(*t, 0.25, &rng);
+  std::set<uint32_t> ids(order.block_order.begin(), order.block_order.end());
+  EXPECT_EQ(ids.size(), t->num_blocks());
+  EXPECT_EQ(order.block_order.size(), t->num_blocks());
+}
+
+TEST(BlockSampler, SamplePrefixSizeMatchesFraction) {
+  TablePtr t = MakeIntTable("t", static_cast<int64_t>(kRowsPerBlock) * 100);
+  Pcg32 rng(3);
+  ScanOrder order = BlockSampler::MakeOrder(*t, 0.10, &rng);
+  EXPECT_EQ(order.sample_block_count, 10u);
+  EXPECT_EQ(order.sample_row_count, 10 * kRowsPerBlock);
+}
+
+TEST(BlockSampler, RemainderIsSortedForSequentialIO) {
+  TablePtr t = MakeIntTable("t", static_cast<int64_t>(kRowsPerBlock) * 50);
+  Pcg32 rng(4);
+  ScanOrder order = BlockSampler::MakeOrder(*t, 0.2, &rng);
+  EXPECT_TRUE(std::is_sorted(
+      order.block_order.begin() +
+          static_cast<long>(order.sample_block_count),
+      order.block_order.end()));
+}
+
+TEST(BlockSampler, DifferentSeedsDifferentSamples) {
+  TablePtr t = MakeIntTable("t", static_cast<int64_t>(kRowsPerBlock) * 200);
+  Pcg32 rng_a(5);
+  Pcg32 rng_b(6);
+  ScanOrder a = BlockSampler::MakeOrder(*t, 0.1, &rng_a);
+  ScanOrder b = BlockSampler::MakeOrder(*t, 0.1, &rng_b);
+  EXPECT_NE(std::vector<uint32_t>(
+                a.block_order.begin(),
+                a.block_order.begin() + static_cast<long>(a.sample_block_count)),
+            std::vector<uint32_t>(b.block_order.begin(),
+                                  b.block_order.begin() +
+                                      static_cast<long>(b.sample_block_count)));
+}
+
+TEST(Catalog, RegisterAndFind) {
+  Catalog catalog;
+  TablePtr t = MakeIntTable("orders", 10);
+  ASSERT_TRUE(catalog.Register(t).ok());
+  EXPECT_EQ(catalog.Find("orders"), t);
+  EXPECT_EQ(catalog.Find("missing"), nullptr);
+}
+
+TEST(Catalog, DuplicateRegistrationFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(MakeIntTable("t", 1)).ok());
+  Status s = catalog.Register(MakeIntTable("t", 1));
+  EXPECT_EQ(s.code(), Status::Code::kAlreadyExists);
+}
+
+TEST(Catalog, AnalyzeComputesColumnStats) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(MakeIntTable("t", 1000)).ok());
+  ASSERT_TRUE(catalog.Analyze("t").ok());
+  const TableStats* stats = catalog.Stats("t");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 1000u);
+  EXPECT_EQ(stats->columns[0].num_distinct, 1000u);  // k is dense
+  EXPECT_EQ(stats->columns[1].num_distinct, 10u);    // v = k % 10
+  EXPECT_EQ(stats->columns[0].min.AsInt64(), 0);
+  EXPECT_EQ(stats->columns[0].max.AsInt64(), 999);
+}
+
+TEST(Catalog, AnalyzeMissingTableFails) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.Analyze("nope").code(), Status::Code::kNotFound);
+  EXPECT_EQ(catalog.Stats("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace qpi
