@@ -222,9 +222,10 @@ bench/CMakeFiles/bench_fig6_pipeline_diff_attr.dir/bench_fig6_pipeline_diff_attr
  /root/repo/src/datagen/tpch_like.h /root/repo/src/storage/catalog.h \
  /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
  /root/repo/src/exec/compiler.h /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/stats/normal.h \
- /root/repo/src/plan/plan_node.h /root/repo/src/plan/expr.h \
- /root/repo/src/exec/executor.h /root/repo/src/common/table_printer.h \
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/stats/normal.h /root/repo/src/plan/plan_node.h \
+ /root/repo/src/plan/expr.h /root/repo/src/exec/executor.h \
+ /root/repo/src/common/table_printer.h \
  /root/repo/src/estimators/pipeline_join.h \
  /root/repo/src/stats/frequency_stats.h \
  /root/repo/src/stats/hash_histogram.h \

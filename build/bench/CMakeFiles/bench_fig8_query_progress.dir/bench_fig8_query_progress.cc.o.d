@@ -221,8 +221,8 @@ bench/CMakeFiles/bench_fig8_query_progress.dir/bench_fig8_query_progress.cc.o: \
  /root/repo/src/datagen/tpch_like.h /root/repo/src/storage/catalog.h \
  /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
  /root/repo/src/exec/compiler.h /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/stats/normal.h \
- /root/repo/src/plan/plan_node.h /root/repo/src/plan/expr.h \
- /root/repo/src/exec/executor.h /root/repo/src/common/table_printer.h \
- /root/repo/src/progress/monitor.h /root/repo/src/progress/gnm.h \
- /root/repo/src/progress/pipelines.h
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/stats/normal.h /root/repo/src/plan/plan_node.h \
+ /root/repo/src/plan/expr.h /root/repo/src/exec/executor.h \
+ /root/repo/src/common/table_printer.h /root/repo/src/progress/monitor.h \
+ /root/repo/src/progress/gnm.h /root/repo/src/progress/pipelines.h

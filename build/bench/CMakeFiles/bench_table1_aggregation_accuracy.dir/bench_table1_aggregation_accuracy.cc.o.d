@@ -224,9 +224,10 @@ bench/CMakeFiles/bench_table1_aggregation_accuracy.dir/bench_table1_aggregation_
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
  /root/repo/src/exec/compiler.h /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/stats/normal.h \
- /root/repo/src/plan/plan_node.h /root/repo/src/plan/expr.h \
- /root/repo/src/exec/executor.h /root/repo/src/common/table_printer.h \
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/stats/normal.h /root/repo/src/plan/plan_node.h \
+ /root/repo/src/plan/expr.h /root/repo/src/exec/executor.h \
+ /root/repo/src/common/table_printer.h \
  /root/repo/src/estimators/group_count.h \
  /root/repo/src/stats/frequency_stats.h \
  /root/repo/src/stats/hash_histogram.h

@@ -244,7 +244,8 @@ examples/CMakeFiles/groupby_monitor.dir/groupby_monitor.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/storage/catalog.h \
- /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
- /root/repo/src/plan/plan_node.h /root/repo/src/plan/expr.h \
- /root/repo/src/exec/compiler.h /root/repo/src/exec/executor.h
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/storage/catalog.h /root/repo/src/stats/equi_depth.h \
+ /usr/include/c++/12/cstddef /root/repo/src/plan/plan_node.h \
+ /root/repo/src/plan/expr.h /root/repo/src/exec/compiler.h \
+ /root/repo/src/exec/executor.h

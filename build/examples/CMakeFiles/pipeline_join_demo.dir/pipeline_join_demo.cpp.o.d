@@ -215,10 +215,10 @@ examples/CMakeFiles/pipeline_join_demo.dir/pipeline_join_demo.cpp.o: \
  /root/repo/src/storage/table.h /root/repo/src/common/row.h \
  /root/repo/src/common/schema.h /usr/include/c++/12/optional \
  /root/repo/src/common/status.h /root/repo/src/exec/compiler.h \
- /root/repo/src/exec/operator.h /root/repo/src/exec/exec_context.h \
- /root/repo/src/stats/normal.h /root/repo/src/storage/catalog.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/exec/operator.h /usr/include/c++/12/atomic \
+ /root/repo/src/exec/exec_context.h /root/repo/src/stats/normal.h \
+ /root/repo/src/storage/catalog.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
  /root/repo/src/plan/plan_node.h /root/repo/src/plan/expr.h \

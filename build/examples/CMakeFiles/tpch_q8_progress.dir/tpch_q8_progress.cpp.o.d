@@ -220,7 +220,7 @@ examples/CMakeFiles/tpch_q8_progress.dir/tpch_q8_progress.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
  /root/repo/src/exec/compiler.h /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/stats/normal.h \
- /root/repo/src/plan/plan_node.h /root/repo/src/plan/expr.h \
- /root/repo/src/exec/executor.h /root/repo/src/progress/monitor.h \
- /root/repo/src/progress/gnm.h
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/stats/normal.h /root/repo/src/plan/plan_node.h \
+ /root/repo/src/plan/expr.h /root/repo/src/exec/executor.h \
+ /root/repo/src/progress/monitor.h /root/repo/src/progress/gnm.h

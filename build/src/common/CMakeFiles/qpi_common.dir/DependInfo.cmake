@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/schema.cc" "src/common/CMakeFiles/qpi_common.dir/schema.cc.o" "gcc" "src/common/CMakeFiles/qpi_common.dir/schema.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/qpi_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/qpi_common.dir/status.cc.o.d"
   "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/qpi_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/qpi_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/qpi_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/qpi_common.dir/thread_pool.cc.o.d"
   "/root/repo/src/common/value.cc" "src/common/CMakeFiles/qpi_common.dir/value.cc.o" "gcc" "src/common/CMakeFiles/qpi_common.dir/value.cc.o.d"
   "/root/repo/src/common/zipf.cc" "src/common/CMakeFiles/qpi_common.dir/zipf.cc.o" "gcc" "src/common/CMakeFiles/qpi_common.dir/zipf.cc.o.d"
   )

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/qpi_common.dir/status.cc.o.d"
   "CMakeFiles/qpi_common.dir/table_printer.cc.o"
   "CMakeFiles/qpi_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/qpi_common.dir/thread_pool.cc.o"
+  "CMakeFiles/qpi_common.dir/thread_pool.cc.o.d"
   "CMakeFiles/qpi_common.dir/value.cc.o"
   "CMakeFiles/qpi_common.dir/value.cc.o.d"
   "CMakeFiles/qpi_common.dir/zipf.cc.o"

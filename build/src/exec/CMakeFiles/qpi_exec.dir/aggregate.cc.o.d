@@ -242,10 +242,11 @@ src/exec/CMakeFiles/qpi_exec.dir/aggregate.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/common/rng.h \
- /root/repo/src/storage/catalog.h /root/repo/src/stats/equi_depth.h \
- /usr/include/c++/12/cstddef /root/repo/src/storage/table.h \
- /root/repo/src/plan/plan_node.h /root/repo/src/plan/expr.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/common/rng.h /root/repo/src/storage/catalog.h \
+ /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
+ /root/repo/src/storage/table.h /root/repo/src/plan/plan_node.h \
+ /root/repo/src/plan/expr.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

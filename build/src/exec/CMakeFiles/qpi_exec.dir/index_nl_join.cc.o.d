@@ -235,12 +235,13 @@ src/exec/CMakeFiles/qpi_exec.dir/index_nl_join.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/exec/operator.h \
- /root/repo/src/common/row.h /root/repo/src/common/schema.h \
- /usr/include/c++/12/optional /root/repo/src/common/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/common/rng.h \
- /root/repo/src/storage/catalog.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/row.h \
+ /root/repo/src/common/schema.h /usr/include/c++/12/optional \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/exec/exec_context.h \
+ /root/repo/src/common/rng.h /root/repo/src/storage/catalog.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
  /root/repo/src/storage/table.h

@@ -242,9 +242,10 @@ src/exec/CMakeFiles/qpi_exec.dir/merge_join.cc.o: \
  /root/repo/src/common/status.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/stats/frequency_stats.h /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/common/rng.h \
- /root/repo/src/storage/catalog.h /root/repo/src/stats/equi_depth.h \
- /usr/include/c++/12/cstddef /root/repo/src/storage/table.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/common/rng.h /root/repo/src/storage/catalog.h \
+ /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
+ /root/repo/src/storage/table.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -237,9 +237,10 @@ src/exec/CMakeFiles/qpi_exec.dir/sort.cc.o: /root/repo/src/exec/sort.cc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/exec/operator.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/common/rng.h \
- /root/repo/src/storage/catalog.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /root/repo/src/exec/exec_context.h \
+ /root/repo/src/common/rng.h /root/repo/src/storage/catalog.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/stats/equi_depth.h /usr/include/c++/12/cstddef \
  /root/repo/src/storage/table.h /usr/include/c++/12/algorithm \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/progress/concurrent_multi_query.cc" "src/progress/CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o.d"
   "/root/repo/src/progress/gnm.cc" "src/progress/CMakeFiles/qpi_progress.dir/gnm.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/gnm.cc.o.d"
   "/root/repo/src/progress/monitor.cc" "src/progress/CMakeFiles/qpi_progress.dir/monitor.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/monitor.cc.o.d"
   "/root/repo/src/progress/multi_query.cc" "src/progress/CMakeFiles/qpi_progress.dir/multi_query.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/multi_query.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o"
+  "CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o.d"
   "CMakeFiles/qpi_progress.dir/gnm.cc.o"
   "CMakeFiles/qpi_progress.dir/gnm.cc.o.d"
   "CMakeFiles/qpi_progress.dir/monitor.cc.o"

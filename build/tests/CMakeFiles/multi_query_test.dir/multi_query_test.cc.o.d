@@ -198,9 +198,9 @@ tests/CMakeFiles/multi_query_test.dir/multi_query_test.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/exec/executor.h \
- /root/repo/src/exec/operator.h /root/repo/src/common/row.h \
- /root/repo/src/common/value.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/exec/operator.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/row.h /root/repo/src/common/value.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -289,7 +289,6 @@ tests/CMakeFiles/multi_query_test.dir/multi_query_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \

@@ -11,11 +11,20 @@
 //   qpi_shell --csv t=/path/t.csv  # load your own data
 //   echo "SELECT ..." | qpi_shell  # batch mode
 // With no piped input and no terminal, three canned queries run as a demo.
+//
+// Shell commands (backslash-prefixed lines):
+//   \queue <sql>     queue a statement without running it
+//   \runall-mt [N]   run the queued statements (or the canned demo batch if
+//                    the queue is empty) on N pool workers (default 4) with a
+//                    live combined progress bar from the monitor thread
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <unistd.h>
 
@@ -23,6 +32,7 @@
 #include "datagen/tpch_like.h"
 #include "exec/compiler.h"
 #include "exec/executor.h"
+#include "progress/concurrent_multi_query.h"
 #include "progress/monitor.h"
 #include "sql/planner.h"
 #include "storage/csv.h"
@@ -88,6 +98,121 @@ void RunQuery(Catalog* catalog, const std::string& sql) {
   }
 }
 
+const char* kDemoBatch[] = {
+    "SELECT * FROM customer WHERE acctbal > 9000.0",
+    "SELECT custkey, COUNT(*), SUM(totalprice) FROM orders "
+    "GROUP BY custkey ORDER BY custkey",
+    "SELECT * FROM orders JOIN lineitem "
+    "ON orders.orderkey = lineitem.orderkey "
+    "WHERE totalprice > 400000.0",
+};
+
+void DrawCombined(const ConcurrentMultiQueryExecutor& mq) {
+  const int kWidth = 30;
+  double combined = mq.CombinedProgress();
+  int filled = static_cast<int>(combined * kWidth);
+  std::printf("\r  [");
+  for (int i = 0; i < kWidth; ++i) std::printf(i < filled ? "#" : " ");
+  std::printf("] %5.1f%% |", combined * 100);
+  for (size_t i = 0; i < mq.num_queries(); ++i) {
+    std::printf(" q%zu:%3.0f%%", i, mq.QueryProgress(i) * 100);
+  }
+  std::fflush(stdout);
+}
+
+/// \runall-mt — run every queued statement on a worker pool, polling the
+/// concurrent executor's lock-free snapshots from this (the UI) thread.
+void RunAllConcurrent(Catalog* catalog, std::vector<std::string>* queued,
+                      size_t workers) {
+  if (queued->empty()) {
+    std::printf("queue empty; running the canned demo batch.\n");
+    for (const char* sql : kDemoBatch) queued->push_back(sql);
+  }
+
+  ConcurrentMultiQueryExecutor::Options options;
+  options.num_workers = workers;
+  ConcurrentMultiQueryExecutor mq(options);
+  SqlPlanner planner(catalog);
+  for (size_t i = 0; i < queued->size(); ++i) {
+    const std::string& sql = (*queued)[i];
+    PlanNodePtr plan;
+    Status s = planner.PlanQuery(sql, &plan);
+    if (!s.ok()) {
+      std::printf("error in q%zu (%s): %s\n", i, sql.c_str(),
+                  s.ToString().c_str());
+      queued->clear();
+      return;
+    }
+    auto ctx = std::make_unique<ExecContext>();
+    ctx->catalog = catalog;
+    ctx->mode = EstimationMode::kOnce;
+    OperatorPtr root;
+    s = CompilePlan(plan.get(), ctx.get(), &root);
+    if (s.ok()) {
+      s = mq.Add("q" + std::to_string(i), std::move(root), std::move(ctx));
+    }
+    if (!s.ok()) {
+      std::printf("error in q%zu: %s\n", i, s.ToString().c_str());
+      queued->clear();
+      return;
+    }
+  }
+
+  std::printf("running %zu quer%s on %zu worker(s)...\n", queued->size(),
+              queued->size() == 1 ? "y" : "ies", workers);
+  Timer timer;
+  Status run_status;
+  std::thread runner([&] { run_status = mq.RunAll(); });
+  while (!mq.AllDone()) {
+    DrawCombined(mq);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  runner.join();
+  DrawCombined(mq);
+  std::printf("\n");
+  double seconds = timer.ElapsedSeconds();
+  if (!run_status.ok()) {
+    std::printf("error: %s\n", run_status.ToString().c_str());
+  }
+  for (size_t i = 0; i < mq.num_queries(); ++i) {
+    std::printf("  q%zu: %llu row(s)  %s\n", i,
+                static_cast<unsigned long long>(mq.entry(i).rows_emitted.load()),
+                (*queued)[i].c_str());
+  }
+  std::printf("  %zu quer%s in %.3f s\n", queued->size(),
+              queued->size() == 1 ? "y" : "ies", seconds);
+  queued->clear();
+}
+
+/// Dispatches `\`-prefixed shell commands; returns false for SQL lines.
+bool HandleCommand(Catalog* catalog, const std::string& line,
+                   std::vector<std::string>* queued) {
+  if (line.empty() || line[0] != '\\') return false;
+  if (line.rfind("\\queue ", 0) == 0) {
+    queued->push_back(line.substr(7));
+    std::printf("queued (%zu pending)\n", queued->size());
+  } else if (line.rfind("\\runall-mt", 0) == 0) {
+    size_t workers = 4;
+    std::string arg = line.substr(std::strlen("\\runall-mt"));
+    if (!arg.empty()) {
+      try {
+        workers = std::stoul(arg);
+      } catch (...) {
+        workers = 0;
+      }
+      if (workers == 0) {
+        std::printf("usage: \\runall-mt [num_workers >= 1]\n");
+        return true;
+      }
+    }
+    RunAllConcurrent(catalog, queued, workers);
+  } else {
+    std::printf("unknown command %s (try \\queue, \\runall-mt)\n",
+                line.c_str());
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,10 +266,14 @@ int main(int argc, char** argv) {
 
   bool interactive = isatty(STDIN_FILENO);
   if (interactive) {
-    std::printf("Enter SQL (one statement per line), Ctrl-D to exit.\n");
+    std::printf(
+        "Enter SQL (one statement per line), Ctrl-D to exit.\n"
+        "\\queue <sql> defers a statement; \\runall-mt [N] runs the queue "
+        "concurrently.\n");
   }
 
   std::string line;
+  std::vector<std::string> queued;
   bool saw_input = false;
   while (true) {
     if (interactive) std::printf("qpi> ");
@@ -152,19 +281,13 @@ int main(int argc, char** argv) {
     saw_input = true;
     if (line.empty()) continue;
     if (line == "quit" || line == "exit") break;
+    if (HandleCommand(&catalog, line, &queued)) continue;
     RunQuery(&catalog, line);
   }
 
   if (!saw_input && !interactive) {
     std::printf("No input; running demo queries.\n\n");
-    for (const char* sql : {
-             "SELECT * FROM customer WHERE acctbal > 9000.0",
-             "SELECT custkey, COUNT(*), SUM(totalprice) FROM orders "
-             "GROUP BY custkey ORDER BY custkey",
-             "SELECT * FROM orders JOIN lineitem "
-             "ON orders.orderkey = lineitem.orderkey "
-             "WHERE totalprice > 400000.0",
-         }) {
+    for (const char* sql : kDemoBatch) {
       std::printf("qpi> %s\n", sql);
       RunQuery(&catalog, sql);
       std::printf("\n");

@@ -1,0 +1,53 @@
+#ifndef QPI_COMMON_THREAD_POOL_H_
+#define QPI_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qpi {
+
+/// \brief Fixed-size worker pool executing submitted tasks FIFO.
+///
+/// The concurrent multi-query executor runs each registered query to
+/// completion as one task, so the pool size is the engine's degree of
+/// query parallelism. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks (Wait semantics), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Never blocks; the queue is unbounded.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing. Establishes a
+  /// happens-before edge from all task bodies to the caller's return.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_THREAD_POOL_H_

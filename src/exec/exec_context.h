@@ -1,6 +1,7 @@
 #ifndef QPI_EXEC_EXEC_CONTEXT_H_
 #define QPI_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <functional>
 
 #include "common/rng.h"
@@ -48,6 +49,18 @@ struct ExecContext {
   void Tick() {
     if (tick) tick();
   }
+
+  /// Cooperative cancellation flag, checked in the operator tick path.
+  /// May be flipped from any thread; the executing query then drains as if
+  /// it hit end-of-stream. Relaxed ordering suffices: the flag carries no
+  /// payload, only "stop soon", and the pool join publishes final state.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace qpi

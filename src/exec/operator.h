@@ -1,6 +1,7 @@
 #ifndef QPI_EXEC_OPERATOR_H_
 #define QPI_EXEC_OPERATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,14 +45,26 @@ class Operator {
     return OpenImpl();
   }
 
-  /// Produce the next output row; false at end of stream.
+  /// Produce the next output row; false at end of stream. Counter and state
+  /// writes are relaxed atomics: only the executing thread mutates them, but
+  /// a concurrent progress monitor may read them at any time (see DESIGN.md,
+  /// "Threading model").
   bool Next(Row* out) {
-    if (state_ == OpState::kNotStarted) state_ = OpState::kRunning;
-    if (!NextImpl(out)) {
-      state_ = OpState::kFinished;
+    if (state_.load(std::memory_order_relaxed) == OpState::kNotStarted) {
+      state_.store(OpState::kRunning, std::memory_order_relaxed);
+    }
+    // Cooperative cancellation: a cancelled query drains as if every
+    // operator simultaneously hit end-of-stream, so Close() still runs and
+    // the final counters are self-consistent.
+    if (ctx_ != nullptr && ctx_->IsCancelled()) {
+      state_.store(OpState::kFinished, std::memory_order_relaxed);
       return false;
     }
-    ++emitted_;
+    if (!NextImpl(out)) {
+      state_.store(OpState::kFinished, std::memory_order_relaxed);
+      return false;
+    }
+    emitted_.fetch_add(1, std::memory_order_relaxed);
     if (ctx_ != nullptr) ctx_->Tick();
     return true;
   }
@@ -64,10 +77,16 @@ class Operator {
 
   const Schema& schema() const { return schema_; }
   const std::string& label() const { return label_; }
-  OpState state() const { return state_; }
 
-  /// K_i — getnext() calls answered so far.
-  uint64_t tuples_emitted() const { return emitted_; }
+  /// Safe to call from a monitor thread (relaxed atomic load).
+  OpState state() const { return state_.load(std::memory_order_relaxed); }
+
+  /// K_i — getnext() calls answered so far. Safe to call from a monitor
+  /// thread (relaxed atomic load); the count may lag the executing thread
+  /// by a few tuples but is never torn.
+  uint64_t tuples_emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
 
   /// The optimizer's static estimate of this operator's output size.
   double optimizer_estimate() const { return optimizer_estimate_; }
@@ -111,8 +130,8 @@ class Operator {
   Schema schema_;
   std::string label_;
   std::vector<std::unique_ptr<Operator>> children_;
-  OpState state_ = OpState::kNotStarted;
-  uint64_t emitted_ = 0;
+  std::atomic<OpState> state_{OpState::kNotStarted};
+  std::atomic<uint64_t> emitted_{0};
   double optimizer_estimate_ = 0.0;
 };
 

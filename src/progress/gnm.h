@@ -30,17 +30,24 @@ struct GnmSnapshot {
 ///    ratio between its inputs' live estimates and their optimizer
 ///    estimates — the simplified form of the future-pipeline bound
 ///    refinement of Chaudhuri et al. [9] (see DESIGN.md).
+/// Thread-safety: CurrentCalls() only reads the per-operator atomic
+/// counters (relaxed loads) and is safe from any thread while the query
+/// executes — this is the monitor thread's "relaxed-read path".
+/// TotalEstimate() / Snapshot() additionally read live estimator
+/// internals, which only the thread executing the query may touch; a
+/// concurrent executor publishes those snapshots from the worker's tick
+/// path through a SnapshotSlot (see DESIGN.md, "Threading model").
 class GnmAccountant {
  public:
   explicit GnmAccountant(Operator* root);
 
-  /// C(Q) right now.
+  /// C(Q) right now. Safe from any thread (relaxed atomic loads).
   uint64_t CurrentCalls() const;
 
-  /// Live estimate of T(Q).
+  /// Live estimate of T(Q). Executing thread only.
   double TotalEstimate() const;
 
-  /// Take a snapshot (tick recorded for plotting).
+  /// Take a snapshot (tick recorded for plotting). Executing thread only.
   GnmSnapshot Snapshot(uint64_t tick = 0) const;
 
   /// Live N_i estimate for one operator under the classification above.

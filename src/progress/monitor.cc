@@ -27,6 +27,10 @@ void ProgressMonitor::OnTick() {
 }
 
 void ProgressMonitor::Finalize() {
+  // OnTick already snapshotted this very tick when the run length is a
+  // multiple of the interval; appending again would duplicate the terminal
+  // observation (and double-count it in downstream error averages).
+  if (!snapshots_.empty() && snapshots_.back().tick == ticks_) return;
   snapshots_.push_back(accountant_.Snapshot(ticks_));
 }
 
@@ -41,9 +45,12 @@ double ProgressMonitor::ActualProgressAt(size_t i) const {
 }
 
 double ProgressMonitor::RatioErrorAt(size_t i) const {
-  double est = snapshots_[i].EstimatedProgress();
-  if (est <= 0) return 0.0;
-  return ActualProgressAt(i) / est;
+  // R = T(Q)/T̂(Q). With est_i = C_i/T̂_i and actual_i = C_i/T, the
+  // identity R_i = est_i / actual_i holds (Section 5.1): overestimated
+  // progress (T̂ too small) gives R > 1.
+  double actual = ActualProgressAt(i);
+  if (actual <= 0) return 0.0;
+  return snapshots_[i].EstimatedProgress() / actual;
 }
 
 }  // namespace qpi

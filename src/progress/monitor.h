@@ -25,7 +25,9 @@ class ProgressMonitor {
   /// Chain onto `ctx->tick` (preserves any existing callback).
   void InstallOn(ExecContext* ctx);
 
-  /// Take the terminal snapshot (call after the query drains).
+  /// Take the terminal snapshot (call after the query drains). A no-op
+  /// when OnTick already snapshotted at the current tick, so the terminal
+  /// observation is never duplicated.
   void Finalize();
 
   const std::vector<GnmSnapshot>& snapshots() const { return snapshots_; }
@@ -36,8 +38,9 @@ class ProgressMonitor {
   /// Actual progress at snapshot i (C_i / C_final); valid after Finalize.
   double ActualProgressAt(size_t i) const;
 
-  /// Ratio error R = actual_progress / estimated_progress = T̂ over T
-  /// inverted per the paper's Section 5.1 identity; valid after Finalize.
+  /// Ratio error R = T(Q) / T̂(Q) of the paper's Section 5.1, computed via
+  /// the identity R = estimated_progress / actual_progress; R > 1 means
+  /// progress was overestimated at snapshot i. Valid after Finalize.
   double RatioErrorAt(size_t i) const;
 
  private:

@@ -49,6 +49,10 @@ Status MultiQueryExecutor::RunAll(uint64_t quantum) {
   while (any_left) {
     any_left = false;
     for (size_t i = 0; i < entries_.size(); ++i) {
+      // Entries that were already done contribute no quantum, so sampling
+      // them would just duplicate the previous history point once per
+      // finished query per round.
+      if (entries_[i]->done) continue;
       bool has_more = false;
       QPI_RETURN_NOT_OK(Step(i, quantum, &has_more));
       any_left = any_left || has_more;
@@ -70,7 +74,12 @@ double MultiQueryExecutor::QueryProgress(size_t i) const {
   const Entry& entry = *entries_[i];
   if (entry.done) return 1.0;
   GnmSnapshot snap = entry.accountant->Snapshot();
-  return snap.EstimatedProgress();
+  // Clamp like CombinedProgress: an undershooting T̂ must not surface as
+  // progress above 100%.
+  if (snap.total_estimate <= 0) return 0.0;
+  double p = snap.current_calls / snap.total_estimate;
+  if (p < 0.0) return 0.0;
+  return p > 1.0 ? 1.0 : p;
 }
 
 double MultiQueryExecutor::CombinedProgress() const {

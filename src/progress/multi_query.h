@@ -43,7 +43,8 @@ class MultiQueryExecutor {
   Status Step(size_t index, uint64_t quantum, bool* has_more);
 
   /// Round-robin all unfinished queries until completion, taking a
-  /// combined-progress snapshot after every quantum.
+  /// combined-progress snapshot after every quantum actually executed
+  /// (already-finished entries contribute no history points).
   Status RunAll(uint64_t quantum);
 
   size_t num_queries() const { return entries_.size(); }

@@ -117,6 +117,43 @@ TEST_F(MultiQueryTest, CombinedHistoryIsEventuallyComplete) {
   }
 }
 
+TEST_F(MultiQueryTest, CombinedHistorySamplesOnlyExecutedQuanta) {
+  // Scan-only workload with a quantum that does not divide either row
+  // count: every recorded sample follows at least one newly emitted row,
+  // so the history is strictly increasing. The old RunAll appended one
+  // sample per entry per round — including for entries that finished
+  // rounds earlier — padding the tail with duplicates.
+  MultiQueryExecutor mq;
+  AddQuery(&mq, "q0", ScanPlan("a"));  // 2000 rows
+  AddQuery(&mq, "q1", ScanPlan("c"));  // 500 rows
+  ASSERT_TRUE(mq.RunAll(/*quantum=*/300).ok());
+  const std::vector<double>& history = mq.combined_history();
+  // q0 drains in ceil(2000/300)=7 steps, q1 in ceil(500/300)=2.
+  EXPECT_EQ(history.size(), 9u);
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GT(history[i], history[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(history.back(), 1.0);
+}
+
+TEST_F(MultiQueryTest, QueryProgressClampedUnderUndershootingEstimate) {
+  // Drive a query exactly to its last output row without letting the root
+  // observe end-of-stream: C(Q) is then at its maximum while the query
+  // still counts as running. Whatever T̂ the estimators hold, the reported
+  // per-query progress must stay within [0, 1], like CombinedProgress.
+  uint64_t join_rows =
+      SoloRowCount(HashJoinPlan(ScanPlan("a"), ScanPlan("b"), "a.k", "b.k"));
+  MultiQueryExecutor mq;
+  AddQuery(&mq, "join",
+           HashJoinPlan(ScanPlan("a"), ScanPlan("b"), "a.k", "b.k"));
+  bool more = false;
+  ASSERT_TRUE(mq.Step(0, join_rows, &more).ok());
+  EXPECT_TRUE(more);
+  double p = mq.QueryProgress(0);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
 TEST_F(MultiQueryTest, AddRejectsNullInputs) {
   MultiQueryExecutor mq;
   EXPECT_EQ(mq.Add("bad", nullptr, nullptr).code(),

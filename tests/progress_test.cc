@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "datagen/table_builder.h"
@@ -188,6 +189,82 @@ INSTANTIATE_TEST_SUITE_P(Modes, MonitorModeSweep,
                                            EstimationMode::kOnce,
                                            EstimationMode::kDne,
                                            EstimationMode::kByte));
+
+TEST(Monitor, FinalizeDoesNotDuplicateTerminalSnapshot) {
+  // With tick_interval=1, OnTick snapshots on every tick, including the
+  // last one — Finalize must then be a no-op instead of appending a
+  // duplicate terminal observation.
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 100, 0.0, 10, 1, 1));
+  PlanNodePtr plan = ScanPlan("a");
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  ProgressMonitor monitor(root.get(), /*tick_interval=*/1);
+  monitor.InstallOn(&fx.ctx);
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
+  monitor.Finalize();
+
+  const auto& snaps = monitor.snapshots();
+  ASSERT_EQ(snaps.size(), static_cast<size_t>(monitor.TrueTotalCalls()));
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_LT(snaps[i - 1].tick, snaps[i].tick);  // ticks strictly increase
+  }
+  // Finalize is idempotent.
+  monitor.Finalize();
+  EXPECT_EQ(monitor.snapshots().size(), snaps.size());
+}
+
+TEST(Monitor, FinalizeStillAppendsWhenLastTickUnsampled) {
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 100, 0.0, 10, 1, 1));
+  PlanNodePtr plan = ScanPlan("a");
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  // 100 ticks with interval 64: snapshots at tick 64 only; Finalize must
+  // add the terminal one at tick 100.
+  ProgressMonitor monitor(root.get(), /*tick_interval=*/64);
+  monitor.InstallOn(&fx.ctx);
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
+  monitor.Finalize();
+  ASSERT_EQ(monitor.snapshots().size(), 2u);
+  EXPECT_EQ(monitor.snapshots().back().tick, 100u);
+  EXPECT_DOUBLE_EQ(monitor.snapshots().back().EstimatedProgress(), 1.0);
+}
+
+TEST(Monitor, RatioErrorMatchesPaperOrientation) {
+  // Section 5.1: R = T(Q)/T̂(Q) = estimated_progress / actual_progress.
+  // On these mismatched-peak Zipf(2) tables the uniformity optimizer badly
+  // OVERestimates the join pipeline, so the dne baseline's T̂ is too large
+  // for most of the run: estimated progress lags actual progress and R
+  // must come out well BELOW 1. The pre-fix inverted ratio reported those
+  // same snapshots as R > 1 — i.e., it claimed the monitor was
+  // overestimating progress while it was underestimating it.
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 4000, 2.0, 100, 1, 1));
+  fx.Add(SkewedTable("b", 4000, 2.0, 100, 2, 2));
+  fx.Add(SkewedTable("c", 4000, 2.0, 100, 3, 3));
+  fx.ctx.mode = EstimationMode::kDne;
+  PlanNodePtr plan = TwoJoinAggPlan();
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  ProgressMonitor monitor(root.get(), /*tick_interval=*/1000);
+  monitor.InstallOn(&fx.ctx);
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
+  monitor.Finalize();
+
+  double min_ratio = 1e300;
+  for (size_t i = 0; i < monitor.snapshots().size(); ++i) {
+    double actual = monitor.ActualProgressAt(i);
+    if (actual <= 0) continue;
+    double expected =
+        monitor.snapshots()[i].EstimatedProgress() / actual;
+    EXPECT_DOUBLE_EQ(monitor.RatioErrorAt(i), expected);
+    min_ratio = std::min(min_ratio, monitor.RatioErrorAt(i));
+  }
+  EXPECT_LT(min_ratio, 0.5);
+  // Terminal snapshot: exact convergence, R = 1 in either orientation.
+  EXPECT_DOUBLE_EQ(monitor.RatioErrorAt(monitor.snapshots().size() - 1), 1.0);
+}
 
 TEST(Monitor, OnceBeatsDneMidQueryOnSkewedPipeline) {
   // The Fig-8 claim in miniature: mid-run, ONCE's ratio error must be
