@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_approx_histogram.dir/bench_ablation_approx_histogram.cc.o"
+  "CMakeFiles/bench_ablation_approx_histogram.dir/bench_ablation_approx_histogram.cc.o.d"
+  "bench_ablation_approx_histogram"
+  "bench_ablation_approx_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_approx_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_concurrent_throughput.cc" "bench/CMakeFiles/bench_concurrent_throughput.dir/bench_concurrent_throughput.cc.o" "gcc" "bench/CMakeFiles/bench_concurrent_throughput.dir/bench_concurrent_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/progress/CMakeFiles/qpi_progress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exec/CMakeFiles/qpi_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/estimators/CMakeFiles/qpi_estimators.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/plan/CMakeFiles/qpi_plan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/qpi_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/qpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/qpi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pipeline_same_attr.dir/bench_fig5_pipeline_same_attr.cc.o"
+  "CMakeFiles/bench_fig5_pipeline_same_attr.dir/bench_fig5_pipeline_same_attr.cc.o.d"
+  "bench_fig5_pipeline_same_attr"
+  "bench_fig5_pipeline_same_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pipeline_same_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

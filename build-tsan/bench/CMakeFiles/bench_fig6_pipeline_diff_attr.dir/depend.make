@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_pipeline_diff_attr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_query_progress.dir/bench_fig8_query_progress.cc.o"
+  "CMakeFiles/bench_fig8_query_progress.dir/bench_fig8_query_progress.cc.o.d"
+  "bench_fig8_query_progress"
+  "bench_fig8_query_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_query_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

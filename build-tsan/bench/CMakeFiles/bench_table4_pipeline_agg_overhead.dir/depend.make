@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_pipeline_agg_overhead.
+# This may be replaced when dependencies are built.

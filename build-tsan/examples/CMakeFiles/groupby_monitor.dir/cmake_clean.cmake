@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_monitor.dir/groupby_monitor.cpp.o"
+  "CMakeFiles/groupby_monitor.dir/groupby_monitor.cpp.o.d"
+  "groupby_monitor"
+  "groupby_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

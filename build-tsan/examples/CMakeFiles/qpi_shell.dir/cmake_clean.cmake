@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_shell.dir/qpi_shell.cpp.o"
+  "CMakeFiles/qpi_shell.dir/qpi_shell.cpp.o.d"
+  "qpi_shell"
+  "qpi_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_q8_progress.dir/tpch_q8_progress.cpp.o"
+  "CMakeFiles/tpch_q8_progress.dir/tpch_q8_progress.cpp.o.d"
+  "tpch_q8_progress"
+  "tpch_q8_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_q8_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

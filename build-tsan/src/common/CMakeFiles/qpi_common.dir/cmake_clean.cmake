@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_common.dir/row.cc.o"
+  "CMakeFiles/qpi_common.dir/row.cc.o.d"
+  "CMakeFiles/qpi_common.dir/schema.cc.o"
+  "CMakeFiles/qpi_common.dir/schema.cc.o.d"
+  "CMakeFiles/qpi_common.dir/status.cc.o"
+  "CMakeFiles/qpi_common.dir/status.cc.o.d"
+  "CMakeFiles/qpi_common.dir/table_printer.cc.o"
+  "CMakeFiles/qpi_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/qpi_common.dir/thread_pool.cc.o"
+  "CMakeFiles/qpi_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/qpi_common.dir/value.cc.o"
+  "CMakeFiles/qpi_common.dir/value.cc.o.d"
+  "CMakeFiles/qpi_common.dir/zipf.cc.o"
+  "CMakeFiles/qpi_common.dir/zipf.cc.o.d"
+  "libqpi_common.a"
+  "libqpi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

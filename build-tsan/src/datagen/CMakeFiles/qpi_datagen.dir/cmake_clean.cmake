@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_datagen.dir/table_builder.cc.o"
+  "CMakeFiles/qpi_datagen.dir/table_builder.cc.o.d"
+  "CMakeFiles/qpi_datagen.dir/tpch_like.cc.o"
+  "CMakeFiles/qpi_datagen.dir/tpch_like.cc.o.d"
+  "libqpi_datagen.a"
+  "libqpi_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/approx_join.cc" "src/estimators/CMakeFiles/qpi_estimators.dir/approx_join.cc.o" "gcc" "src/estimators/CMakeFiles/qpi_estimators.dir/approx_join.cc.o.d"
+  "/root/repo/src/estimators/group_count.cc" "src/estimators/CMakeFiles/qpi_estimators.dir/group_count.cc.o" "gcc" "src/estimators/CMakeFiles/qpi_estimators.dir/group_count.cc.o.d"
+  "/root/repo/src/estimators/join_once.cc" "src/estimators/CMakeFiles/qpi_estimators.dir/join_once.cc.o" "gcc" "src/estimators/CMakeFiles/qpi_estimators.dir/join_once.cc.o.d"
+  "/root/repo/src/estimators/pipeline_join.cc" "src/estimators/CMakeFiles/qpi_estimators.dir/pipeline_join.cc.o" "gcc" "src/estimators/CMakeFiles/qpi_estimators.dir/pipeline_join.cc.o.d"
+  "/root/repo/src/estimators/theta_join.cc" "src/estimators/CMakeFiles/qpi_estimators.dir/theta_join.cc.o" "gcc" "src/estimators/CMakeFiles/qpi_estimators.dir/theta_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/qpi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/qpi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/plan/CMakeFiles/qpi_plan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/qpi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_estimators.dir/approx_join.cc.o"
+  "CMakeFiles/qpi_estimators.dir/approx_join.cc.o.d"
+  "CMakeFiles/qpi_estimators.dir/group_count.cc.o"
+  "CMakeFiles/qpi_estimators.dir/group_count.cc.o.d"
+  "CMakeFiles/qpi_estimators.dir/join_once.cc.o"
+  "CMakeFiles/qpi_estimators.dir/join_once.cc.o.d"
+  "CMakeFiles/qpi_estimators.dir/pipeline_join.cc.o"
+  "CMakeFiles/qpi_estimators.dir/pipeline_join.cc.o.d"
+  "CMakeFiles/qpi_estimators.dir/theta_join.cc.o"
+  "CMakeFiles/qpi_estimators.dir/theta_join.cc.o.d"
+  "libqpi_estimators.a"
+  "libqpi_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

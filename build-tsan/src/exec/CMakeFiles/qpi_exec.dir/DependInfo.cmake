@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/qpi_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/compiler.cc" "src/exec/CMakeFiles/qpi_exec.dir/compiler.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/compiler.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/exec/CMakeFiles/qpi_exec.dir/exec_context.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/exec_context.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/qpi_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/exec/CMakeFiles/qpi_exec.dir/filter.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/filter.cc.o.d"
+  "/root/repo/src/exec/grace_hash_join.cc" "src/exec/CMakeFiles/qpi_exec.dir/grace_hash_join.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/grace_hash_join.cc.o.d"
+  "/root/repo/src/exec/index_nl_join.cc" "src/exec/CMakeFiles/qpi_exec.dir/index_nl_join.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/index_nl_join.cc.o.d"
+  "/root/repo/src/exec/merge_join.cc" "src/exec/CMakeFiles/qpi_exec.dir/merge_join.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/merge_join.cc.o.d"
+  "/root/repo/src/exec/seq_scan.cc" "src/exec/CMakeFiles/qpi_exec.dir/seq_scan.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/seq_scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/exec/CMakeFiles/qpi_exec.dir/sort.cc.o" "gcc" "src/exec/CMakeFiles/qpi_exec.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/qpi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/qpi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/qpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/plan/CMakeFiles/qpi_plan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/estimators/CMakeFiles/qpi_estimators.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_exec.dir/aggregate.cc.o"
+  "CMakeFiles/qpi_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/compiler.cc.o"
+  "CMakeFiles/qpi_exec.dir/compiler.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/exec_context.cc.o"
+  "CMakeFiles/qpi_exec.dir/exec_context.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/executor.cc.o"
+  "CMakeFiles/qpi_exec.dir/executor.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/filter.cc.o"
+  "CMakeFiles/qpi_exec.dir/filter.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/grace_hash_join.cc.o"
+  "CMakeFiles/qpi_exec.dir/grace_hash_join.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/index_nl_join.cc.o"
+  "CMakeFiles/qpi_exec.dir/index_nl_join.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/merge_join.cc.o"
+  "CMakeFiles/qpi_exec.dir/merge_join.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/seq_scan.cc.o"
+  "CMakeFiles/qpi_exec.dir/seq_scan.cc.o.d"
+  "CMakeFiles/qpi_exec.dir/sort.cc.o"
+  "CMakeFiles/qpi_exec.dir/sort.cc.o.d"
+  "libqpi_exec.a"
+  "libqpi_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

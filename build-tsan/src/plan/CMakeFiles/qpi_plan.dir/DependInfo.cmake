@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/expr.cc" "src/plan/CMakeFiles/qpi_plan.dir/expr.cc.o" "gcc" "src/plan/CMakeFiles/qpi_plan.dir/expr.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/plan/CMakeFiles/qpi_plan.dir/optimizer.cc.o" "gcc" "src/plan/CMakeFiles/qpi_plan.dir/optimizer.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/plan/CMakeFiles/qpi_plan.dir/plan_node.cc.o" "gcc" "src/plan/CMakeFiles/qpi_plan.dir/plan_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/qpi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/qpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/qpi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

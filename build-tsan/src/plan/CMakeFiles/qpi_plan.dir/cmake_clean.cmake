@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_plan.dir/expr.cc.o"
+  "CMakeFiles/qpi_plan.dir/expr.cc.o.d"
+  "CMakeFiles/qpi_plan.dir/optimizer.cc.o"
+  "CMakeFiles/qpi_plan.dir/optimizer.cc.o.d"
+  "CMakeFiles/qpi_plan.dir/plan_node.cc.o"
+  "CMakeFiles/qpi_plan.dir/plan_node.cc.o.d"
+  "libqpi_plan.a"
+  "libqpi_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

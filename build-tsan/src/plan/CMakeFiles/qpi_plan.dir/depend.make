@@ -1,0 +1,2 @@
+# Empty dependencies file for qpi_plan.
+# This may be replaced when dependencies are built.

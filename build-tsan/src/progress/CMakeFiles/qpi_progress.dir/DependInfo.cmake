@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/progress/concurrent_multi_query.cc" "src/progress/CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o.d"
+  "/root/repo/src/progress/gnm.cc" "src/progress/CMakeFiles/qpi_progress.dir/gnm.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/gnm.cc.o.d"
+  "/root/repo/src/progress/monitor.cc" "src/progress/CMakeFiles/qpi_progress.dir/monitor.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/monitor.cc.o.d"
+  "/root/repo/src/progress/multi_query.cc" "src/progress/CMakeFiles/qpi_progress.dir/multi_query.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/multi_query.cc.o.d"
+  "/root/repo/src/progress/pipelines.cc" "src/progress/CMakeFiles/qpi_progress.dir/pipelines.cc.o" "gcc" "src/progress/CMakeFiles/qpi_progress.dir/pipelines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/exec/CMakeFiles/qpi_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/estimators/CMakeFiles/qpi_estimators.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/plan/CMakeFiles/qpi_plan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/qpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/qpi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

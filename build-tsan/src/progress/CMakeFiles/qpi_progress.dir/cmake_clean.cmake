@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o"
+  "CMakeFiles/qpi_progress.dir/concurrent_multi_query.cc.o.d"
+  "CMakeFiles/qpi_progress.dir/gnm.cc.o"
+  "CMakeFiles/qpi_progress.dir/gnm.cc.o.d"
+  "CMakeFiles/qpi_progress.dir/monitor.cc.o"
+  "CMakeFiles/qpi_progress.dir/monitor.cc.o.d"
+  "CMakeFiles/qpi_progress.dir/multi_query.cc.o"
+  "CMakeFiles/qpi_progress.dir/multi_query.cc.o.d"
+  "CMakeFiles/qpi_progress.dir/pipelines.cc.o"
+  "CMakeFiles/qpi_progress.dir/pipelines.cc.o.d"
+  "libqpi_progress.a"
+  "libqpi_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

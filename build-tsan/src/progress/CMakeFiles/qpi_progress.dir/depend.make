@@ -1,0 +1,2 @@
+# Empty dependencies file for qpi_progress.
+# This may be replaced when dependencies are built.

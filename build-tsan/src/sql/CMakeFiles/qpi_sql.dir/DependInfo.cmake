@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/qpi_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/qpi_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/qpi_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/qpi_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/sql/CMakeFiles/qpi_sql.dir/planner.cc.o" "gcc" "src/sql/CMakeFiles/qpi_sql.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/qpi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/plan/CMakeFiles/qpi_plan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/qpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/qpi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_sql.dir/lexer.cc.o"
+  "CMakeFiles/qpi_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/qpi_sql.dir/parser.cc.o"
+  "CMakeFiles/qpi_sql.dir/parser.cc.o.d"
+  "CMakeFiles/qpi_sql.dir/planner.cc.o"
+  "CMakeFiles/qpi_sql.dir/planner.cc.o.d"
+  "libqpi_sql.a"
+  "libqpi_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

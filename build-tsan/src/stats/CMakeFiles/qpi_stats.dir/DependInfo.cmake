@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bucket_histogram.cc" "src/stats/CMakeFiles/qpi_stats.dir/bucket_histogram.cc.o" "gcc" "src/stats/CMakeFiles/qpi_stats.dir/bucket_histogram.cc.o.d"
+  "/root/repo/src/stats/equi_depth.cc" "src/stats/CMakeFiles/qpi_stats.dir/equi_depth.cc.o" "gcc" "src/stats/CMakeFiles/qpi_stats.dir/equi_depth.cc.o.d"
+  "/root/repo/src/stats/frequency_stats.cc" "src/stats/CMakeFiles/qpi_stats.dir/frequency_stats.cc.o" "gcc" "src/stats/CMakeFiles/qpi_stats.dir/frequency_stats.cc.o.d"
+  "/root/repo/src/stats/hash_histogram.cc" "src/stats/CMakeFiles/qpi_stats.dir/hash_histogram.cc.o" "gcc" "src/stats/CMakeFiles/qpi_stats.dir/hash_histogram.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/qpi_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/qpi_stats.dir/normal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/qpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_stats.dir/bucket_histogram.cc.o"
+  "CMakeFiles/qpi_stats.dir/bucket_histogram.cc.o.d"
+  "CMakeFiles/qpi_stats.dir/equi_depth.cc.o"
+  "CMakeFiles/qpi_stats.dir/equi_depth.cc.o.d"
+  "CMakeFiles/qpi_stats.dir/frequency_stats.cc.o"
+  "CMakeFiles/qpi_stats.dir/frequency_stats.cc.o.d"
+  "CMakeFiles/qpi_stats.dir/hash_histogram.cc.o"
+  "CMakeFiles/qpi_stats.dir/hash_histogram.cc.o.d"
+  "CMakeFiles/qpi_stats.dir/normal.cc.o"
+  "CMakeFiles/qpi_stats.dir/normal.cc.o.d"
+  "libqpi_stats.a"
+  "libqpi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_storage.dir/block_sampler.cc.o"
+  "CMakeFiles/qpi_storage.dir/block_sampler.cc.o.d"
+  "CMakeFiles/qpi_storage.dir/catalog.cc.o"
+  "CMakeFiles/qpi_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/qpi_storage.dir/csv.cc.o"
+  "CMakeFiles/qpi_storage.dir/csv.cc.o.d"
+  "CMakeFiles/qpi_storage.dir/table.cc.o"
+  "CMakeFiles/qpi_storage.dir/table.cc.o.d"
+  "libqpi_storage.a"
+  "libqpi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

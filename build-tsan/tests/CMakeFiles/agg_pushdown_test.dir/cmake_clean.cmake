@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_pushdown_test.dir/agg_pushdown_test.cc.o"
+  "CMakeFiles/agg_pushdown_test.dir/agg_pushdown_test.cc.o.d"
+  "agg_pushdown_test"
+  "agg_pushdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for agg_pushdown_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_progress_test.dir/concurrent_progress_test.cc.o"
+  "CMakeFiles/concurrent_progress_test.dir/concurrent_progress_test.cc.o.d"
+  "concurrent_progress_test"
+  "concurrent_progress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_progress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

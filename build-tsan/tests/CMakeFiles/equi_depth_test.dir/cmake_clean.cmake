@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equi_depth_test.dir/equi_depth_test.cc.o"
+  "CMakeFiles/equi_depth_test.dir/equi_depth_test.cc.o.d"
+  "equi_depth_test"
+  "equi_depth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equi_depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

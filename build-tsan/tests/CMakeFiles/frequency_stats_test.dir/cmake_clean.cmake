@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_stats_test.dir/frequency_stats_test.cc.o"
+  "CMakeFiles/frequency_stats_test.dir/frequency_stats_test.cc.o.d"
+  "frequency_stats_test"
+  "frequency_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_estimator_test.dir/group_estimator_test.cc.o"
+  "CMakeFiles/group_estimator_test.dir/group_estimator_test.cc.o.d"
+  "group_estimator_test"
+  "group_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_histogram_test.dir/hash_histogram_test.cc.o"
+  "CMakeFiles/hash_histogram_test.dir/hash_histogram_test.cc.o.d"
+  "hash_histogram_test"
+  "hash_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

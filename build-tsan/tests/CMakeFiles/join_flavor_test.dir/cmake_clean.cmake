@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_flavor_test.dir/join_flavor_test.cc.o"
+  "CMakeFiles/join_flavor_test.dir/join_flavor_test.cc.o.d"
+  "join_flavor_test"
+  "join_flavor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_flavor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_once_estimator_test.dir/join_once_estimator_test.cc.o"
+  "CMakeFiles/join_once_estimator_test.dir/join_once_estimator_test.cc.o.d"
+  "join_once_estimator_test"
+  "join_once_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_once_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

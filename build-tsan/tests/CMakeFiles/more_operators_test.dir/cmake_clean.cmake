@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/more_operators_test.dir/more_operators_test.cc.o"
+  "CMakeFiles/more_operators_test.dir/more_operators_test.cc.o.d"
+  "more_operators_test"
+  "more_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/more_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

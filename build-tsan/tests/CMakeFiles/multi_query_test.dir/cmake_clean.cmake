@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_query_test.dir/multi_query_test.cc.o"
+  "CMakeFiles/multi_query_test.dir/multi_query_test.cc.o.d"
+  "multi_query_test"
+  "multi_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multikey_join_test.dir/multikey_join_test.cc.o"
+  "CMakeFiles/multikey_join_test.dir/multikey_join_test.cc.o.d"
+  "multikey_join_test"
+  "multikey_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multikey_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normal_test.dir/normal_test.cc.o"
+  "CMakeFiles/normal_test.dir/normal_test.cc.o.d"
+  "normal_test"
+  "normal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

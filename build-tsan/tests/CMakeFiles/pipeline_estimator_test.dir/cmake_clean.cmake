@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_estimator_test.dir/pipeline_estimator_test.cc.o"
+  "CMakeFiles/pipeline_estimator_test.dir/pipeline_estimator_test.cc.o.d"
+  "pipeline_estimator_test"
+  "pipeline_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_optimizer_test.dir/plan_optimizer_test.cc.o"
+  "CMakeFiles/plan_optimizer_test.dir/plan_optimizer_test.cc.o.d"
+  "plan_optimizer_test"
+  "plan_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

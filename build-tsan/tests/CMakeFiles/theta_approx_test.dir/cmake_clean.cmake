@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_approx_test.dir/theta_approx_test.cc.o"
+  "CMakeFiles/theta_approx_test.dir/theta_approx_test.cc.o.d"
+  "theta_approx_test"
+  "theta_approx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
