@@ -40,7 +40,11 @@ Series RunJoin(double z, uint32_t domain) {
           series.ratio_at_fraction[fraction] = est->Estimate();
         }
       });
-  wb.ctx.tick = [&sampler] { sampler.Tick(); };
+  // Tuple-granular sampling: the figure's estimate trajectory is defined at
+  // exact probe fractions, so run this accuracy harness at batch size 1
+  // (identical tick ordering to the row-at-a-time engine).
+  wb.ctx.batch_size = 1;
+  wb.ctx.AddTickObserver(&sampler);
 
   Status s = root->Open(&wb.ctx);
   if (!s.ok()) std::abort();

@@ -46,7 +46,10 @@ Trajectories RunComparison(bench::Workbench* wb, PlanNodePtr plan,
         out.dne[fraction] = join->DneEstimate();
         out.byte[fraction] = join->ByteEstimate();
       });
-  wb->ctx.tick = [&sampler] { sampler.Tick(); };
+  // Tuple-granular sampling (see bench_fig3): the accuracy trajectory is
+  // defined at exact join-phase fractions.
+  wb->ctx.batch_size = 1;
+  wb->ctx.AddTickObserver(&sampler);
 
   uint64_t rows = 0;
   Status s = QueryExecutor::Run(root.get(), &wb->ctx, nullptr, &rows);

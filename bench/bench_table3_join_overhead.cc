@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "bench/overhead_json.h"
 
 namespace qpi {
 namespace {
@@ -35,14 +36,16 @@ const Dataset& GetDataset(int sf_permille) {
 }
 
 /// state.range(0) = SF in permille; state.range(1) = sample size in
-/// percent; state.range(2) = estimation on/off. The scan order (and thus
-/// the sort/partition cost) is held identical within a (SF, sample) pair so
-/// the on/off delta isolates the estimation framework's cost, as in the
-/// paper's Table 3.
+/// percent; state.range(2) = estimation on/off; state.range(3) = batch
+/// size (1 = the old row-at-a-time tick granularity). The scan order (and
+/// thus the sort/partition cost) is held identical within a (SF, sample,
+/// batch) triple so the on/off delta isolates the estimation framework's
+/// cost, as in the paper's Table 3.
 void RunJoin(benchmark::State& state, PlanKind kind) {
   const Dataset& ds = GetDataset(static_cast<int>(state.range(0)));
   int sample_pct = static_cast<int>(state.range(1));
   bool estimation = state.range(2) != 0;
+  size_t batch_size = static_cast<size_t>(state.range(3));
 
   uint64_t rows_out = 0;
   for (auto _ : state) {
@@ -52,6 +55,7 @@ void RunJoin(benchmark::State& state, PlanKind kind) {
     wb.Add(ds.lineitem);
     wb.ctx.mode = estimation ? EstimationMode::kOnce : EstimationMode::kNone;
     wb.ctx.sample_fraction = sample_pct / 100.0;
+    wb.ctx.batch_size = batch_size;
     // Identical scan order for on/off runs: the sampler consumes the same
     // deterministic RNG stream.
     wb.ctx.rng = Pcg32(0xbe9cbe9cULL);
@@ -82,11 +86,16 @@ void BM_MergeJoin(benchmark::State& state) {
 void JoinArgs(benchmark::internal::Benchmark* b) {
   for (int sf : {20, 50, 100}) {
     for (int sample : {1, 10}) {
-      for (int est : {0, 1}) b->Args({sf, sample, est});
+      for (int est : {0, 1}) {
+        for (int batch : {1, 64, 256, 1024}) b->Args({sf, sample, est, batch});
+      }
     }
   }
   b->Unit(benchmark::kMillisecond);
-  b->ArgNames({"SFpermille", "sample_pct", "estimation"});
+  b->ArgNames({"SFpermille", "sample_pct", "estimation", "batch"});
+  // Three repetitions per configuration; the JSON recorder keeps the
+  // minimum, which filters scheduler noise out of the paired overheads.
+  b->Repetitions(3);
 }
 
 BENCHMARK(BM_HashJoin)->Apply(JoinArgs);
@@ -95,4 +104,6 @@ BENCHMARK(BM_MergeJoin)->Apply(JoinArgs);
 }  // namespace
 }  // namespace qpi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return qpi::bench::RunOverheadBenchmarks(argc, argv, "BENCH_overhead.json");
+}

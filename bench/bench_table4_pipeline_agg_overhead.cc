@@ -13,6 +13,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "bench/overhead_json.h"
 #include "exec/aggregate.h"
 
 namespace qpi {
@@ -53,11 +54,12 @@ const PipelineData& GetPipelineData() {
 }
 
 /// state.range(0): 1 = Case 1, 2 = Case 2; state.range(1): 0 = estimation
-/// off, 1 = ONCE with a 10% sample.
+/// off, 1 = ONCE with a 10% sample; state.range(2) = batch size.
 void BM_PipelineJoin(benchmark::State& state) {
   const PipelineData& ds = GetPipelineData();
   bool case2 = state.range(0) == 2;
   bool estimate = state.range(1) == 1;
+  size_t batch_size = static_cast<size_t>(state.range(2));
 
   for (auto _ : state) {
     state.PauseTiming();
@@ -69,6 +71,7 @@ void BM_PipelineJoin(benchmark::State& state) {
     // Identical scan order in both runs: the on/off delta isolates the
     // estimation cost.
     wb.ctx.sample_fraction = 0.10;
+    wb.ctx.batch_size = batch_size;
     wb.ctx.rng = Pcg32(0xbe9cbe9cULL);
     // Lower join on k1; upper join on k2 from probe (Case 1) or build
     // (Case 2) of the lower join.
@@ -86,13 +89,18 @@ void BM_PipelineJoin(benchmark::State& state) {
   }
 }
 
-BENCHMARK(BM_PipelineJoin)
-    ->Args({1, 0})
-    ->Args({1, 1})
-    ->Args({2, 0})
-    ->Args({2, 1})
-    ->ArgNames({"case", "estimation"})
-    ->Unit(benchmark::kMillisecond);
+void PipelineArgs(benchmark::internal::Benchmark* b) {
+  for (int c : {1, 2}) {
+    for (int est : {0, 1}) {
+      for (int batch : {1, 64, 256, 1024}) b->Args({c, est, batch});
+    }
+  }
+  b->ArgNames({"case", "estimation", "batch"});
+  b->Unit(benchmark::kMillisecond);
+  b->Repetitions(3);
+}
+
+BENCHMARK(BM_PipelineJoin)->Apply(PipelineArgs);
 
 // ---- (b) aggregation overhead -----------------------------------------------
 
@@ -108,10 +116,11 @@ const TablePtr& GetOrders(int sf_permille) {
 }
 
 /// state.range(0) = SF permille; state.range(1): 0 = off, 1 = GEE only,
-/// 2 = MLE only, 3 = adaptive chooser.
+/// 2 = MLE only, 3 = adaptive chooser; state.range(2) = batch size.
 void BM_GroupBy(benchmark::State& state) {
   const TablePtr& orders = GetOrders(static_cast<int>(state.range(0)));
   int mode = static_cast<int>(state.range(1));
+  size_t batch_size = static_cast<size_t>(state.range(2));
 
   for (auto _ : state) {
     state.PauseTiming();
@@ -119,6 +128,7 @@ void BM_GroupBy(benchmark::State& state) {
     wb.Add(orders);
     wb.ctx.mode = mode == 0 ? EstimationMode::kNone : EstimationMode::kOnce;
     wb.ctx.sample_fraction = 0.10;
+    wb.ctx.batch_size = batch_size;
     wb.ctx.rng = Pcg32(0xbe9cbe9cULL);
     PlanNodePtr plan = HashAggregatePlan(
         ScanPlan("orders"), {"custkey"},
@@ -142,10 +152,13 @@ void BM_GroupBy(benchmark::State& state) {
 
 void GroupByArgs(benchmark::internal::Benchmark* b) {
   for (int sf : {50, 100, 200}) {
-    for (int mode : {0, 1, 2, 3}) b->Args({sf, mode});
+    for (int mode : {0, 1, 2, 3}) {
+      for (int batch : {1, 64, 256, 1024}) b->Args({sf, mode, batch});
+    }
   }
-  b->ArgNames({"SFpermille", "estimator"});
+  b->ArgNames({"SFpermille", "estimator", "batch"});
   b->Unit(benchmark::kMillisecond);
+  b->Repetitions(3);
 }
 
 BENCHMARK(BM_GroupBy)->Apply(GroupByArgs);
@@ -153,4 +166,7 @@ BENCHMARK(BM_GroupBy)->Apply(GroupByArgs);
 }  // namespace
 }  // namespace qpi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return qpi::bench::RunOverheadBenchmarks(argc, argv,
+                                           "BENCH_overhead_table4.json");
+}

@@ -60,8 +60,10 @@ inline TablePtr SkewedCustomer(const std::string& name, uint64_t rows,
 }
 
 /// Sample `fn` whenever `position()` crosses one of `fractions * total`,
-/// driven from the engine tick callback. Returns the installed callback.
-class FractionSampler {
+/// driven from the engine tick stream (install with
+/// `ctx.AddTickObserver(&sampler)`). Accuracy harnesses that must observe
+/// every crossing at tuple granularity should pin `ctx.batch_size = 1`.
+class FractionSampler : public TickObserver {
  public:
   FractionSampler(std::vector<double> fractions, double total,
                   std::function<uint64_t()> position,
@@ -78,6 +80,8 @@ class FractionSampler {
       ++next_;
     }
   }
+
+  void OnTick(uint64_t) override { Tick(); }
 
  private:
   std::vector<double> fractions_;

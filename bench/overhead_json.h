@@ -1,0 +1,215 @@
+#ifndef QPI_BENCH_OVERHEAD_JSON_H_
+#define QPI_BENCH_OVERHEAD_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qpi {
+namespace bench {
+
+/// \brief Console reporter that additionally records every finished run and
+/// writes a machine-readable overhead summary.
+///
+/// The overhead benches encode their configuration in named benchmark args
+/// ("BM_HashJoin/SFpermille:20/sample_pct:1/estimation:1/batch:256"). The
+/// recorder pairs each estimation-on run with the estimation-off run that
+/// shares every other arg and emits
+///     overhead % = (t_on - t_off) / t_off · 100
+/// per (benchmark, mode, batch size) into a JSON file, so the perf
+/// trajectory of the estimation framework is tracked across PRs by tooling
+/// instead of eyeballs. The pairing key is "estimation" (on/off) or
+/// "estimator" (0 = off, 1..n = estimator variants).
+class OverheadRecorder : public benchmark::ConsoleReporter {
+ public:
+  explicit OverheadRecorder(std::string json_path)
+      : json_path_(std::move(json_path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      RecordedRun rec;
+      ParseName(run.benchmark_name(), &rec);
+      rec.real_time = run.GetAdjustedRealTime();
+      rec.cpu_time = run.GetAdjustedCPUTime();
+      rec.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      // Repetitions of the same configuration are folded by taking the
+      // minimum — the standard noise-robust location estimate for
+      // benchmark timings (scheduler interference only ever adds time).
+      for (RecordedRun& prev : runs_) {
+        if (prev.name == rec.name && prev.args == rec.args) {
+          prev.real_time = std::min(prev.real_time, rec.real_time);
+          prev.cpu_time = std::min(prev.cpu_time, rec.cpu_time);
+          rec.name.clear();
+          break;
+        }
+      }
+      if (!rec.name.empty()) runs_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  /// Write the recorded runs + paired overhead table. Returns false (after
+  /// printing a diagnostic) when the file cannot be created.
+  bool WriteJson() const {
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "overhead_json: cannot write %s\n",
+                   json_path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"runs\": [\n");
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      const RecordedRun& r = runs_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"args\": {", r.name.c_str());
+      for (size_t a = 0; a < r.args.size(); ++a) {
+        std::fprintf(f, "%s\"%s\": %s", a == 0 ? "" : ", ",
+                     r.args[a].first.c_str(), r.args[a].second.c_str());
+      }
+      std::fprintf(f,
+                   "}, \"real_time\": %.6f, \"cpu_time\": %.6f, "
+                   "\"time_unit\": \"%s\"}%s\n",
+                   r.real_time, r.cpu_time, r.time_unit.c_str(),
+                   i + 1 < runs_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"overhead\": [\n");
+    std::vector<std::string> lines = OverheadLines();
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", lines[i].c_str(),
+                   i + 1 < lines.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("overhead summary written to %s\n", json_path_.c_str());
+    return true;
+  }
+
+ private:
+  struct RecordedRun {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> args;
+    double real_time = 0.0;
+    double cpu_time = 0.0;
+    std::string time_unit;
+  };
+
+  static bool IsPairingKey(const std::string& key) {
+    return key == "estimation" || key == "estimator";
+  }
+
+  /// "BM_X/k1:v1/k2:v2" -> name "BM_X", args [(k1,v1),(k2,v2)]. Unnamed
+  /// positional args become ("argN", value).
+  static void ParseName(const std::string& full, RecordedRun* rec) {
+    size_t start = 0;
+    size_t index = 0;
+    while (start <= full.size()) {
+      size_t slash = full.find('/', start);
+      std::string part = full.substr(
+          start, slash == std::string::npos ? std::string::npos
+                                            : slash - start);
+      if (rec->name.empty()) {
+        rec->name = part;
+      } else if (!part.empty()) {
+        size_t colon = part.find(':');
+        if (colon == std::string::npos) {
+          rec->args.emplace_back("arg" + std::to_string(index), part);
+        } else {
+          rec->args.emplace_back(part.substr(0, colon),
+                                 part.substr(colon + 1));
+        }
+        ++index;
+      }
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+  }
+
+  /// Key identifying an (estimation-off, estimation-on) pair: the name and
+  /// every arg except the pairing key itself.
+  static std::string PairKey(const RecordedRun& r) {
+    std::string key = r.name;
+    for (const auto& [k, v] : r.args) {
+      if (IsPairingKey(k)) continue;
+      key += "/" + k + ":" + v;
+    }
+    return key;
+  }
+
+  std::vector<std::string> OverheadLines() const {
+    // Overhead is paired on CPU time: the estimation framework's cost is
+    // in-process work, and wall time on shared machines carries scheduler
+    // noise that swamps single-digit-percent deltas.
+    // Baselines: pairing-key value "0".
+    std::map<std::string, double> baseline;
+    for (const RecordedRun& r : runs_) {
+      for (const auto& [k, v] : r.args) {
+        if (IsPairingKey(k) && v == "0") baseline[PairKey(r)] = r.cpu_time;
+      }
+    }
+    std::vector<std::string> lines;
+    char buf[512];
+    for (const RecordedRun& r : runs_) {
+      std::string mode_key, mode_value;
+      for (const auto& [k, v] : r.args) {
+        if (IsPairingKey(k) && v != "0") {
+          mode_key = k;
+          mode_value = v;
+        }
+      }
+      if (mode_key.empty()) continue;
+      auto it = baseline.find(PairKey(r));
+      if (it == baseline.end() || it->second <= 0) continue;
+      double pct = (r.cpu_time - it->second) / it->second * 100.0;
+      std::string args_json;
+      for (const auto& [k, v] : r.args) {
+        if (IsPairingKey(k)) continue;
+        args_json += "\"" + k + "\": " + v + ", ";
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"%s\", %s\"%s\": %s, \"time_off\": %.6f, "
+                    "\"time_on\": %.6f, \"time_unit\": \"%s\", "
+                    "\"overhead_pct\": %.4f}",
+                    r.name.c_str(), args_json.c_str(), mode_key.c_str(),
+                    mode_value.c_str(), it->second, r.cpu_time,
+                    r.time_unit.c_str(), pct);
+      lines.emplace_back(buf);
+    }
+    return lines;
+  }
+
+  std::string json_path_;
+  std::vector<RecordedRun> runs_;
+};
+
+/// Shared main() body for the overhead benches: run with the recorder,
+/// then write `json_path`. Random interleaving is turned on by default
+/// (overridable on the command line): the paired on/off runs are spread
+/// across the session instead of executing minutes apart, so slow machine
+/// drift (thermal, scheduler) cancels out of the overhead deltas.
+inline int RunOverheadBenchmarks(int argc, char** argv,
+                                 const char* json_path) {
+  std::vector<char*> args(argv, argv + argc);
+  char interleave[] = "--benchmark_enable_random_interleaving=true";
+  // Inserted after argv[0] so explicit command-line flags still win.
+  args.insert(args.begin() + (args.empty() ? 0 : 1), interleave);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  OverheadRecorder reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace qpi
+
+#endif  // QPI_BENCH_OVERHEAD_JSON_H_

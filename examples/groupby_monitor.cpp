@@ -41,7 +41,7 @@ void RunOne(double z) {
   std::printf("%10s %12s %12s %12s %10s %8s\n", "rows seen", "GEE", "MLE",
               "chosen", "gamma^2", "picks");
   uint64_t next_report = 10000;
-  ctx.tick = [&] {
+  FunctionTickObserver report_hook([&](uint64_t) {
     const AdaptiveGroupEstimator* est = agg->group_estimator();
     if (est == nullptr) return;
     uint64_t t = est->stats().num_observed();
@@ -52,7 +52,8 @@ void RunOne(double z) {
                   est->MleOnly(), est->Estimate(), est->Gamma2(),
                   est->ChosenEstimator().c_str());
     }
-  };
+  });
+  ctx.AddTickObserver(&report_hook);
 
   uint64_t rows = 0;
   if (!QueryExecutor::Run(root.get(), &ctx, nullptr, &rows).ok()) return;

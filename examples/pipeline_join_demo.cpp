@@ -65,7 +65,7 @@ int main() {
   std::printf("%12s %16s %16s %18s\n", "driver rows", "lower estimate",
               "upper estimate", "upper 99.99% CI");
   uint64_t next_report = 2000;
-  ctx.tick = [&] {
+  FunctionTickObserver report_hook([&](uint64_t) {
     if (est->driver_rows_seen() >= next_report) {
       next_report += 5000;
       std::printf("%12llu %16.0f %16.0f %12.0f\n",
@@ -73,7 +73,8 @@ int main() {
                   est->EstimateForJoin(0), est->EstimateForJoin(1),
                   est->ConfidenceHalfWidth(1));
     }
-  };
+  });
+  ctx.AddTickObserver(&report_hook);
 
   uint64_t rows = 0;
   s = QueryExecutor::Run(root.get(), &ctx, nullptr, &rows);

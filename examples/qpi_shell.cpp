@@ -72,11 +72,15 @@ void RunQuery(Catalog* catalog, const std::string& sql) {
 
   GnmAccountant accountant(root.get());
   uint64_t ticks = 0;
-  ctx.tick = [&] {
-    if (++ticks % 100000 == 0) {
+  uint64_t last_draw = 0;
+  FunctionTickObserver progress_hook([&](uint64_t n) {
+    ticks += n;
+    if (ticks - last_draw >= 100000) {
+      last_draw = ticks;
       DrawProgress(accountant.Snapshot().EstimatedProgress());
     }
-  };
+  });
+  ctx.AddTickObserver(&progress_hook);
 
   Timer timer;
   std::vector<Row> rows;

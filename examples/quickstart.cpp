@@ -77,15 +77,17 @@ int main() {
   monitor.InstallOn(&ctx);
   GnmAccountant accountant(root.get());
   uint64_t redraw = 0;
-  auto previous_tick = ctx.tick;
-  ctx.tick = [&] {
-    previous_tick();
-    if (++redraw % 65536 == 0) {
+  uint64_t last_draw = 0;
+  FunctionTickObserver draw_hook([&](uint64_t n) {
+    redraw += n;
+    if (redraw - last_draw >= 65536) {
+      last_draw = redraw;
       GnmSnapshot snap = accountant.Snapshot();
       DrawBar(snap.EstimatedProgress(), snap.current_calls,
               snap.total_estimate);
     }
-  };
+  });
+  ctx.AddTickObserver(&draw_hook);
 
   uint64_t rows = 0;
   s = QueryExecutor::Run(root.get(), &ctx, nullptr, &rows);

@@ -37,6 +37,35 @@ void OnceBinaryJoinEstimator::ObserveProbeKey(uint64_t key) {
   ++probe_seen_;
 }
 
+void OnceBinaryJoinEstimator::ObserveProbeKeys(const uint64_t* keys,
+                                               size_t n) {
+  if (frozen_ || n == 0) return;
+  QPI_DCHECK(build_complete_);
+  double sum = contribution_sum_;
+  for (size_t i = 0; i < n; ++i) {
+    double matches = static_cast<double>(build_hist_.Count(keys[i]));
+    double c = 0.0;
+    switch (contribution_) {
+      case Contribution::kInner:
+        c = matches;
+        break;
+      case Contribution::kSemi:
+        c = matches > 0 ? 1.0 : 0.0;
+        break;
+      case Contribution::kAnti:
+        c = matches > 0 ? 0.0 : 1.0;
+        break;
+      case Contribution::kProbeOuter:
+        c = matches > 0 ? matches : 1.0;
+        break;
+    }
+    sum += c;
+    contribution_moments_.Observe(c);
+  }
+  contribution_sum_ = sum;
+  probe_seen_ += n;
+}
+
 double OnceBinaryJoinEstimator::Estimate() const {
   if (probe_seen_ == 0) return 0.0;
   double mean = contribution_sum_ / static_cast<double>(probe_seen_);

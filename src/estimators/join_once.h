@@ -52,6 +52,12 @@ class OnceBinaryJoinEstimator {
   /// One probe-input tuple's join key, seen in the partitioning/sort pass.
   void ObserveProbeKey(uint64_t key);
 
+  /// Batched form: observe `n` probe keys in one call. Equivalent to n
+  /// ObserveProbeKey calls but amortizes the frozen check and member
+  /// loads across the batch — the hot path of the batch-at-a-time probe
+  /// partitioning phase.
+  void ObserveProbeKeys(const uint64_t* keys, size_t n);
+
   /// Mark the probe partitioning pass finished: the estimate is now exact
   /// provided estimation was never frozen early.
   void ProbeComplete() { probe_complete_ = true; }

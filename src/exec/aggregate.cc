@@ -51,14 +51,15 @@ uint64_t AggregateBaseOp::GroupKeyCode(const Row& row) const {
   return h;
 }
 
-void AggregateBaseOp::ObserveIntakeRow(const Row& row) {
-  ++input_consumed_;
+void AggregateBaseOp::ObserveIntakeBatch(const RowBatch& batch) {
+  input_consumed_ += batch.size();
   if (estimator_ == nullptr || estimation_frozen_) return;
-  if (child(0)->ProducesRandomStream()) {
-    estimator_->Observe(GroupKeyCode(row));
-  } else {
-    estimation_frozen_ = true;
+  size_t run = static_cast<size_t>(batch.random_run());
+  if (run > batch.size()) run = batch.size();
+  for (size_t i = 0; i < run; ++i) {
+    estimator_->Observe(GroupKeyCode(batch.row(i)));
   }
+  if (run < batch.size()) estimation_frozen_ = true;
 }
 
 void AggregateBaseOp::IntakeComplete(uint64_t exact_groups) {
@@ -105,12 +106,14 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
                       std::move(aggregates), std::move(output_schema),
                       "HashAggregate") {}
 
-bool HashAggregateOp::NextImpl(Row* out) {
-  if (!intake_done_) {
-    Row row;
-    uint64_t num_groups = 0;
-    while (child(0)->Next(&row)) {
-      ObserveIntakeRow(row);
+void HashAggregateOp::DoIntake() {
+  RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                 : RowBatch::kDefaultCapacity);
+  uint64_t num_groups = 0;
+  while (child(0)->NextBatch(&batch)) {
+    ObserveIntakeBatch(batch);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Row& row = batch.row(i);
       uint64_t code = GroupKeyCode(row);
       std::vector<Accumulator>& bucket = groups_[code];
       Accumulator* acc = nullptr;
@@ -142,17 +145,17 @@ bool HashAggregateOp::NextImpl(Row* out) {
         }
       }
     }
-    IntakeComplete(num_groups);
-    emit_order_.reserve(num_groups);
-    for (const auto& [code, bucket] : groups_) {
-      (void)code;
-      for (const Accumulator& acc : bucket) emit_order_.push_back(&acc);
-    }
-    emit_pos_ = 0;
   }
-  if (emit_pos_ >= emit_order_.size()) return false;
-  const Accumulator& acc = *emit_order_[emit_pos_];
-  ++emit_pos_;
+  IntakeComplete(num_groups);
+  emit_order_.reserve(num_groups);
+  for (const auto& [code, bucket] : groups_) {
+    (void)code;
+    for (const Accumulator& acc : bucket) emit_order_.push_back(&acc);
+  }
+  emit_pos_ = 0;
+}
+
+void HashAggregateOp::FillOutputRow(const Accumulator& acc, Row* out) const {
   out->clear();
   out->reserve(group_indices_.size() + aggregates_.size());
   for (const Value& v : acc.group_values) out->push_back(v);
@@ -163,7 +166,24 @@ bool HashAggregateOp::NextImpl(Row* out) {
       out->emplace_back(acc.sums[a]);
     }
   }
+}
+
+bool HashAggregateOp::NextImpl(Row* out) {
+  if (!intake_done_) DoIntake();
+  if (emit_pos_ >= emit_order_.size()) return false;
+  FillOutputRow(*emit_order_[emit_pos_], out);
+  ++emit_pos_;
   return true;
+}
+
+void HashAggregateOp::NextBatchImpl(RowBatch* out) {
+  if (!intake_done_) DoIntake();
+  while (!out->full() && emit_pos_ < emit_order_.size()) {
+    FillOutputRow(*emit_order_[emit_pos_], out->NextSlot());
+    out->CommitSlot();
+    ++emit_pos_;
+  }
+  CountEmitted(out->size());
 }
 
 void HashAggregateOp::CloseImpl() {
@@ -181,37 +201,56 @@ SortAggregateOp::SortAggregateOp(OperatorPtr child,
                       std::move(aggregates), std::move(output_schema),
                       "SortAggregate") {}
 
-bool SortAggregateOp::NextImpl(Row* out) {
-  if (!intake_done_) {
-    Row row;
-    while (child(0)->Next(&row)) {
-      ObserveIntakeRow(row);
-      rows_.push_back(std::move(row));
+void SortAggregateOp::DoIntake() {
+  RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                 : RowBatch::kDefaultCapacity);
+  while (child(0)->NextBatch(&batch)) {
+    ObserveIntakeBatch(batch);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      rows_.push_back(std::move(batch.row(i)));
     }
-    std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
-      for (size_t g : group_indices_) {
-        int cmp = a[g].Compare(b[g]);
-        if (cmp != 0) return cmp < 0;
-      }
-      return false;
-    });
-    // Count groups exactly: one per equal-key run.
-    uint64_t num_groups = 0;
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      if (i == 0) {
-        ++num_groups;
-        continue;
-      }
-      for (size_t g : group_indices_) {
-        if (rows_[i][g].Compare(rows_[i - 1][g]) != 0) {
-          ++num_groups;
-          break;
-        }
-      }
-    }
-    IntakeComplete(num_groups);
-    pos_ = 0;
   }
+  std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
+    for (size_t g : group_indices_) {
+      int cmp = a[g].Compare(b[g]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+  // Count groups exactly: one per equal-key run.
+  uint64_t num_groups = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i == 0) {
+      ++num_groups;
+      continue;
+    }
+    for (size_t g : group_indices_) {
+      if (rows_[i][g].Compare(rows_[i - 1][g]) != 0) {
+        ++num_groups;
+        break;
+      }
+    }
+  }
+  IntakeComplete(num_groups);
+  pos_ = 0;
+}
+
+bool SortAggregateOp::NextImpl(Row* out) {
+  if (!intake_done_) DoIntake();
+  return EmitGroup(out);
+}
+
+void SortAggregateOp::NextBatchImpl(RowBatch* out) {
+  if (!intake_done_) DoIntake();
+  while (!out->full()) {
+    Row* slot = out->NextSlot();
+    if (!EmitGroup(slot)) break;
+    out->CommitSlot();
+  }
+  CountEmitted(out->size());
+}
+
+bool SortAggregateOp::EmitGroup(Row* out) {
   if (pos_ >= rows_.size()) return false;
   // Fold the current equal-key run.
   size_t start = pos_;

@@ -64,8 +64,12 @@ class AggregateBaseOp : public Operator {
   /// Combined 64-bit key code of the grouping columns of `row`.
   uint64_t GroupKeyCode(const Row& row) const;
 
-  /// Called by subclasses for every intake row (estimator bookkeeping).
-  void ObserveIntakeRow(const Row& row);
+  /// Called by subclasses for every intake batch (estimator bookkeeping):
+  /// advances input_consumed by batch.size() and feeds the group estimator
+  /// the batch's leading random run, freezing estimation at the first row
+  /// past it — the same per-tuple freeze decision the row path made via
+  /// child(0)->ProducesRandomStream().
+  void ObserveIntakeBatch(const RowBatch& batch);
   void IntakeComplete(uint64_t exact_groups);
 
   std::vector<size_t> group_indices_;
@@ -90,6 +94,7 @@ class HashAggregateOp : public AggregateBaseOp {
 
  protected:
   bool NextImpl(Row* out) override;
+  void NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -98,6 +103,9 @@ class HashAggregateOp : public AggregateBaseOp {
     uint64_t count = 0;
     std::vector<double> sums;
   };
+
+  void DoIntake();
+  void FillOutputRow(const Accumulator& acc, Row* out) const;
 
   // Key: combined group-key code; collisions resolved by chaining on the
   // actual group values.
@@ -116,9 +124,13 @@ class SortAggregateOp : public AggregateBaseOp {
 
  protected:
   bool NextImpl(Row* out) override;
+  void NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
+  void DoIntake();
+  bool EmitGroup(Row* out);
+
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };

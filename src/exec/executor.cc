@@ -1,15 +1,21 @@
 #include "exec/executor.h"
 
+#include "common/row_batch.h"
+
 namespace qpi {
 
 Status QueryExecutor::Run(Operator* root, ExecContext* ctx,
                           std::vector<Row>* sink, uint64_t* rows_emitted) {
   QPI_RETURN_NOT_OK(root->Open(ctx));
-  Row row;
+  RowBatch batch(ctx->batch_size);
   uint64_t count = 0;
-  while (root->Next(&row)) {
-    ++count;
-    if (sink != nullptr) sink->push_back(row);
+  while (root->NextBatch(&batch)) {
+    count += batch.size();
+    if (sink != nullptr) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        sink->push_back(batch.row(i));
+      }
+    }
   }
   root->Close();
   if (rows_emitted != nullptr) *rows_emitted = count;

@@ -17,11 +17,42 @@ FilterOp::FilterOp(OperatorPtr child, std::unique_ptr<BoundPredicate> predicate,
   SetSchema(this->child(0)->schema());
 }
 
+Status FilterOp::OpenImpl() {
+  in_ = RowBatch(ctx_ != nullptr ? ctx_->batch_size : RowBatch::kDefaultCapacity);
+  in_pos_ = 0;
+  in_valid_ = false;
+  random_over_ = false;
+  return Status::OK();
+}
+
 bool FilterOp::NextImpl(Row* out) {
   while (child(0)->Next(out)) {
     if (predicate_->Evaluate(*out)) return true;
   }
   return false;
+}
+
+void FilterOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full()) {
+    if (!in_valid_ || in_pos_ >= in_.size()) {
+      if (!child(0)->NextBatch(&in_)) break;
+      in_valid_ = true;
+      in_pos_ = 0;
+    }
+    while (in_pos_ < in_.size() && !out->full()) {
+      size_t i = in_pos_++;
+      // A row-at-a-time consumer would check the child's randomness after
+      // each consumed tuple — rows past the run boundary end it whether or
+      // not they pass the predicate.
+      if (i >= in_.random_run()) random_over_ = true;
+      if (predicate_->Evaluate(in_.row(i))) {
+        *out->NextSlot() = std::move(in_.row(i));
+        out->CommitSlot();
+        if (!random_over_) out->bump_random_run();
+      }
+    }
+  }
+  CountEmitted(out->size());
 }
 
 double FilterOp::CurrentCardinalityEstimate() const {
@@ -49,6 +80,36 @@ bool ProjectOp::NextImpl(Row* out) {
   out->reserve(indices_.size());
   for (size_t idx : indices_) out->push_back(std::move(input[idx]));
   return true;
+}
+
+Status ProjectOp::OpenImpl() {
+  in_ = RowBatch(ctx_ != nullptr ? ctx_->batch_size : RowBatch::kDefaultCapacity);
+  in_pos_ = 0;
+  in_valid_ = false;
+  random_over_ = false;
+  return Status::OK();
+}
+
+void ProjectOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full()) {
+    if (!in_valid_ || in_pos_ >= in_.size()) {
+      if (!child(0)->NextBatch(&in_)) break;
+      in_valid_ = true;
+      in_pos_ = 0;
+    }
+    while (in_pos_ < in_.size() && !out->full()) {
+      size_t i = in_pos_++;
+      if (i >= in_.random_run()) random_over_ = true;
+      Row& input = in_.row(i);
+      Row* slot = out->NextSlot();
+      slot->clear();
+      slot->reserve(indices_.size());
+      for (size_t idx : indices_) slot->push_back(std::move(input[idx]));
+      out->CommitSlot();
+      if (!random_over_) out->bump_random_run();
+    }
+  }
+  CountEmitted(out->size());
 }
 
 }  // namespace qpi

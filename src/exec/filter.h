@@ -23,10 +23,16 @@ class FilterOp : public Operator {
   }
 
  protected:
+  Status OpenImpl() override;
   bool NextImpl(Row* out) override;
+  void NextBatchImpl(RowBatch* out) override;
 
  private:
   std::unique_ptr<BoundPredicate> predicate_;
+  RowBatch in_;
+  size_t in_pos_ = 0;
+  bool in_valid_ = false;
+  bool random_over_ = false;
 };
 
 /// \brief Projection (π) down to a fixed set of column indices.
@@ -46,10 +52,16 @@ class ProjectOp : public Operator {
   }
 
  protected:
+  Status OpenImpl() override;
   bool NextImpl(Row* out) override;
+  void NextBatchImpl(RowBatch* out) override;
 
  private:
   std::vector<size_t> indices_;
+  RowBatch in_;
+  size_t in_pos_ = 0;
+  bool in_valid_ = false;
+  bool random_over_ = false;
 };
 
 }  // namespace qpi

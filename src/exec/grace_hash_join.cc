@@ -124,44 +124,64 @@ Status GraceHashJoinOp::OpenImpl() {
 }
 
 void GraceHashJoinOp::RunBuildPhase() {
-  Row row;
-  while (build_child()->Next(&row)) {
-    uint64_t key = BuildKeyCode(row);
-    size_t part = PartitionMix(key) % num_partitions_;
-    if (once_ != nullptr) once_->ObserveBuildKey(key);
-    if (pipeline_ != nullptr) pipeline_->ObserveBuildRow(pipeline_index_, row);
-    build_parts_[part].push_back(std::move(row));
-    ++build_rows_;
+  RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                 : RowBatch::kDefaultCapacity);
+  std::vector<uint64_t> keys;
+  keys.reserve(batch.capacity());
+  while (build_child()->NextBatch(&batch)) {
+    size_t n = batch.size();
+    keys.clear();
+    for (size_t i = 0; i < n; ++i) keys.push_back(BuildKeyCode(batch.row(i)));
+    if (once_ != nullptr) {
+      for (size_t i = 0; i < n; ++i) once_->ObserveBuildKey(keys[i]);
+    }
+    if (pipeline_ != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        pipeline_->ObserveBuildRow(pipeline_index_, batch.row(i));
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      size_t part = PartitionMix(keys[i]) % num_partitions_;
+      build_parts_[part].push_back(std::move(batch.row(i)));
+    }
+    build_rows_ += n;
   }
   if (once_ != nullptr) once_->BuildComplete();
   if (pipeline_ != nullptr) pipeline_->BuildComplete(pipeline_index_);
 }
 
 void GraceHashJoinOp::RunProbePartitionPhase() {
-  Row row;
+  RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                 : RowBatch::kDefaultCapacity);
+  std::vector<uint64_t> keys;
+  keys.reserve(batch.capacity());
   bool feed_pipeline = pipeline_ != nullptr && pipeline_lowest_;
-  while (probe_child()->Next(&row)) {
-    uint64_t key = ProbeKeyCode(row);
-    size_t part = PartitionMix(key) % num_partitions_;
-    ++probe_partition_consumed_;
+  while (probe_child()->NextBatch(&batch)) {
+    size_t n = batch.size();
+    keys.clear();
+    for (size_t i = 0; i < n; ++i) keys.push_back(ProbeKeyCode(batch.row(i)));
+    probe_partition_consumed_ += n;
 
     // The estimation window: refine while the probe stream is still a
     // random prefix, freeze the moment it stops being one (Section 4.4).
+    // The batch's random_run marks the same per-tuple boundary the row
+    // path found via probe_child()->ProducesRandomStream().
+    size_t run = static_cast<size_t>(batch.random_run());
+    if (run > n) run = n;
     if (once_ != nullptr && !once_->frozen()) {
-      if (probe_child()->ProducesRandomStream()) {
-        once_->ObserveProbeKey(key);
-      } else {
-        once_->Freeze();
-      }
+      once_->ObserveProbeKeys(keys.data(), run);
+      if (run < n) once_->Freeze();
     }
     if (feed_pipeline && !pipeline_->frozen()) {
-      if (probe_child()->ProducesRandomStream()) {
-        pipeline_->ObserveDriverRow(row);
-      } else {
-        pipeline_->Freeze();
+      for (size_t i = 0; i < run; ++i) {
+        pipeline_->ObserveDriverRow(batch.row(i));
       }
+      if (run < n) pipeline_->Freeze();
     }
-    probe_parts_[part].push_back(std::move(row));
+    for (size_t i = 0; i < n; ++i) {
+      size_t part = PartitionMix(keys[i]) % num_partitions_;
+      probe_parts_[part].push_back(std::move(batch.row(i)));
+    }
   }
   if (once_ != nullptr) once_->ProbeComplete();
   if (feed_pipeline) pipeline_->DriverComplete();
@@ -178,6 +198,25 @@ bool GraceHashJoinOp::NextImpl(Row* out) {
     phase_ = Phase::kDone;
   }
   return false;
+}
+
+void GraceHashJoinOp::NextBatchImpl(RowBatch* out) {
+  if (phase_ == Phase::kInit) {
+    RunBuildPhase();
+    RunProbePartitionPhase();
+    phase_ = Phase::kJoin;
+  }
+  if (phase_ == Phase::kJoin) {
+    while (!out->full()) {
+      Row* slot = out->NextSlot();
+      if (!AdvanceJoin(slot)) {
+        phase_ = Phase::kDone;
+        break;
+      }
+      out->CommitSlot();
+    }
+  }
+  CountEmitted(out->size());
 }
 
 bool GraceHashJoinOp::AdvanceJoin(Row* out) {

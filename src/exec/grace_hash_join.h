@@ -87,6 +87,7 @@ class GraceHashJoinOp : public Operator {
  protected:
   Status OpenImpl() override;
   bool NextImpl(Row* out) override;
+  void NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:

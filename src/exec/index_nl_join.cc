@@ -35,12 +35,16 @@ bool IndexNestedLoopsJoinOp::NextImpl(Row* out) {
   if (!index_built_) {
     // Preprocessing: materialize the inner input and build the temporary
     // index; the estimation histogram rides along, as in a hash join build.
-    Row row;
-    while (child(1)->Next(&row)) {
-      uint64_t key = HistogramKeyCode(row[inner_key_index_]);
-      if (once_ != nullptr) once_->ObserveBuildKey(key);
-      index_[key].push_back(inner_rows_.size());
-      inner_rows_.push_back(std::move(row));
+    RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                   : RowBatch::kDefaultCapacity);
+    while (child(1)->NextBatch(&batch)) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Row& row = batch.row(i);
+        uint64_t key = HistogramKeyCode(row[inner_key_index_]);
+        if (once_ != nullptr) once_->ObserveBuildKey(key);
+        index_[key].push_back(inner_rows_.size());
+        inner_rows_.push_back(std::move(row));
+      }
     }
     if (once_ != nullptr) once_->BuildComplete();
     index_built_ = true;

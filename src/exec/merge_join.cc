@@ -43,15 +43,21 @@ void MergeJoinOp::EnlistInPipeline(
 }
 
 void MergeJoinOp::RunIntakePhases() {
-  Row row;
+  RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                 : RowBatch::kDefaultCapacity);
   // Left intake: the sort sees every left tuple, so the histogram can be
   // built before any output is produced.
-  while (child(0)->Next(&row)) {
-    if (once_ != nullptr) {
-      once_->ObserveBuildKey(HistogramKeyCode(row[left_key_index_]));
+  while (child(0)->NextBatch(&batch)) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Row& row = batch.row(i);
+      if (once_ != nullptr) {
+        once_->ObserveBuildKey(HistogramKeyCode(row[left_key_index_]));
+      }
+      if (pipeline_ != nullptr) {
+        pipeline_->ObserveBuildRow(pipeline_index_, row);
+      }
+      left_rows_.push_back(std::move(row));
     }
-    if (pipeline_ != nullptr) pipeline_->ObserveBuildRow(pipeline_index_, row);
-    left_rows_.push_back(std::move(row));
   }
   if (once_ != nullptr) once_->BuildComplete();
   if (pipeline_ != nullptr) pipeline_->BuildComplete(pipeline_index_);
@@ -61,24 +67,33 @@ void MergeJoinOp::RunIntakePhases() {
   });
 
   // Right intake: probe the left histogram while the input is still in
-  // random order, before sorting destroys that property.
+  // random order, before sorting destroys that property. The batch's
+  // random_run marks the same per-tuple freeze boundary the row path saw
+  // via child(1)->ProducesRandomStream().
   bool feed_pipeline = pipeline_ != nullptr && pipeline_lowest_;
-  while (child(1)->Next(&row)) {
+  std::vector<uint64_t> keys;
+  keys.reserve(batch.capacity());
+  while (child(1)->NextBatch(&batch)) {
+    size_t n = batch.size();
+    size_t run = static_cast<size_t>(batch.random_run());
+    if (run > n) run = n;
     if (once_ != nullptr && !once_->frozen()) {
-      if (child(1)->ProducesRandomStream()) {
-        once_->ObserveProbeKey(HistogramKeyCode(row[right_key_index_]));
-      } else {
-        once_->Freeze();
+      keys.clear();
+      for (size_t i = 0; i < run; ++i) {
+        keys.push_back(HistogramKeyCode(batch.row(i)[right_key_index_]));
       }
+      once_->ObserveProbeKeys(keys.data(), run);
+      if (run < n) once_->Freeze();
     }
     if (feed_pipeline && !pipeline_->frozen()) {
-      if (child(1)->ProducesRandomStream()) {
-        pipeline_->ObserveDriverRow(row);
-      } else {
-        pipeline_->Freeze();
+      for (size_t i = 0; i < run; ++i) {
+        pipeline_->ObserveDriverRow(batch.row(i));
       }
+      if (run < n) pipeline_->Freeze();
     }
-    right_rows_.push_back(std::move(row));
+    for (size_t i = 0; i < n; ++i) {
+      right_rows_.push_back(std::move(batch.row(i)));
+    }
   }
   if (once_ != nullptr) once_->ProbeComplete();
   if (feed_pipeline) pipeline_->DriverComplete();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/row.h"
+#include "common/row_batch.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
@@ -65,7 +66,32 @@ class Operator {
       return false;
     }
     emitted_.fetch_add(1, std::memory_order_relaxed);
-    if (ctx_ != nullptr) ctx_->Tick();
+    if (ctx_ != nullptr) ctx_->Tick(1);
+    return true;
+  }
+
+  /// Batch-at-a-time entry point: fill `out` with up to out->capacity()
+  /// rows; false (with an empty batch) at end of stream. Progress
+  /// accounting is amortized — `emitted_` advances by batch.size() in one
+  /// relaxed atomic add (inside NextBatchImpl, via CountEmitted) and the
+  /// context receives a single Tick(n), so gnm's K_i counts the same
+  /// tuples as the row path at a fraction of the bookkeeping cost.
+  bool NextBatch(RowBatch* out) {
+    out->Clear();
+    if (state_.load(std::memory_order_relaxed) == OpState::kNotStarted) {
+      state_.store(OpState::kRunning, std::memory_order_relaxed);
+    }
+    if (ctx_ != nullptr && ctx_->IsCancelled()) {
+      state_.store(OpState::kFinished, std::memory_order_relaxed);
+      return false;
+    }
+    NextBatchImpl(out);
+    uint64_t n = out->size();
+    if (n == 0) {
+      state_.store(OpState::kFinished, std::memory_order_relaxed);
+      return false;
+    }
+    if (ctx_ != nullptr) ctx_->Tick(n);
     return true;
   }
 
@@ -120,7 +146,43 @@ class Operator {
  protected:
   virtual Status OpenImpl() { return Status::OK(); }
   virtual bool NextImpl(Row* out) = 0;
+
+  /// Fill `out` with up to out->capacity() rows and call
+  /// CountEmitted(out->size()) before returning; an empty batch means end
+  /// of stream. Implementations must also set the batch's random_run to
+  /// the number of leading rows that a row-at-a-time consumer would have
+  /// observed under ProducesRandomStream() == true.
+  ///
+  /// The default adapter loops NextImpl so every operator works on the
+  /// batch path unchanged. It evaluates ProducesRandomStream() after each
+  /// row lands, but counts all rows in one add at the end — an operator
+  /// whose ProducesRandomStream() depends on its own live tuples_emitted()
+  /// (only SeqScan in this engine) needs a native override to keep the
+  /// run boundary exact.
+  virtual void NextBatchImpl(RowBatch* out) {
+    bool in_run = true;
+    while (!out->full()) {
+      Row* slot = out->NextSlot();
+      if (!NextImpl(slot)) break;
+      out->CommitSlot();
+      if (in_run && ProducesRandomStream()) {
+        out->bump_random_run();
+      } else {
+        in_run = false;
+      }
+    }
+    CountEmitted(out->size());
+  }
+
   virtual void CloseImpl() {}
+
+  /// Advance K_i by `n` tuples in one relaxed atomic add. NextBatchImpl
+  /// implementations own their counting (the wrapper does not add), so a
+  /// native impl may count mid-batch if its estimation logic reads
+  /// tuples_emitted().
+  void CountEmitted(uint64_t n) {
+    if (n != 0) emitted_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   void SetSchema(Schema schema) { schema_ = std::move(schema); }
 

@@ -34,6 +34,33 @@ bool SeqScanOp::NextImpl(Row* out) {
   return false;
 }
 
+void SeqScanOp::NextBatchImpl(RowBatch* out) {
+  uint64_t start = tuples_emitted();
+  while (!out->full() && block_pos_ < order_.block_order.size()) {
+    const Block& block = table_->block(order_.block_order[block_pos_]);
+    if (row_pos_ < block.num_rows()) {
+      *out->NextSlot() = block.row(row_pos_);
+      out->CommitSlot();
+      ++row_pos_;
+    } else {
+      ++block_pos_;
+      row_pos_ = 0;
+    }
+  }
+  uint64_t n = out->size();
+  CountEmitted(n);
+  if (order_.sample_block_count == 0) {
+    out->set_random_run(n);
+  } else {
+    // Row-path consumers check ProducesRandomStream() *after* the emitting
+    // Next() (emitted is already k+1), so 0-based row k of this batch was
+    // observed as random iff start + k + 1 < sample_row_count.
+    uint64_t src = order_.sample_row_count;
+    uint64_t run = (src > start + 1) ? src - 1 - start : 0;
+    out->set_random_run(run < n ? run : n);
+  }
+}
+
 uint64_t SeqScanOp::random_prefix_rows() const {
   if (order_.sample_block_count == 0) return table_->num_rows();
   return order_.sample_row_count;

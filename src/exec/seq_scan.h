@@ -34,6 +34,7 @@ class SeqScanOp : public Operator {
  protected:
   Status OpenImpl() override;
   bool NextImpl(Row* out) override;
+  void NextBatchImpl(RowBatch* out) override;
 
  private:
   TablePtr table_;

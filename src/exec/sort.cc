@@ -26,8 +26,13 @@ SortOp::SortOp(OperatorPtr child, std::vector<size_t> key_indices)
 
 bool SortOp::NextImpl(Row* out) {
   if (!intake_done_) {
-    Row row;
-    while (child(0)->Next(&row)) rows_.push_back(std::move(row));
+    RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                   : RowBatch::kDefaultCapacity);
+    while (child(0)->NextBatch(&batch)) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        rows_.push_back(std::move(batch.row(i)));
+      }
+    }
     std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
       for (size_t k : key_indices_) {
         int cmp = a[k].Compare(b[k]);
@@ -85,10 +90,14 @@ bool NestedLoopsJoinOp::Matches(const Value& outer, const Value& inner) const {
 
 bool NestedLoopsJoinOp::NextImpl(Row* out) {
   if (!inner_materialized_) {
-    Row row;
-    while (child(1)->Next(&row)) {
-      if (theta_ != nullptr) theta_->ObserveInnerKey(row[inner_key_index_]);
-      inner_rows_.push_back(std::move(row));
+    RowBatch batch(ctx_ != nullptr ? ctx_->batch_size
+                                   : RowBatch::kDefaultCapacity);
+    while (child(1)->NextBatch(&batch)) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Row& row = batch.row(i);
+        if (theta_ != nullptr) theta_->ObserveInnerKey(row[inner_key_index_]);
+        inner_rows_.push_back(std::move(row));
+      }
     }
     if (theta_ != nullptr) theta_->InnerComplete();
     inner_materialized_ = true;

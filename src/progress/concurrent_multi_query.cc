@@ -30,29 +30,50 @@ Status ConcurrentMultiQueryExecutor::Add(std::string name, OperatorPtr root,
   return Status::OK();
 }
 
+namespace {
+
+/// Publishes a full snapshot from the executing worker whenever the tick
+/// count crosses a publish_interval boundary. Ticks arrive in batch-sized
+/// jumps, so the crossing check replaces the row path's modulo (the
+/// publication lag is bounded by one batch).
+class SlotPublisher : public TickObserver {
+ public:
+  SlotPublisher(ConcurrentMultiQueryExecutor::Entry* entry, uint64_t interval)
+      : entry_(entry), interval_(interval) {}
+
+  void OnTick(uint64_t n) override {
+    entry_->ticks += n;
+    if (entry_->ticks - last_publish_ >= interval_) {
+      last_publish_ = entry_->ticks;
+      entry_->slot.Store(entry_->accountant->Snapshot(entry_->ticks));
+    }
+  }
+
+ private:
+  ConcurrentMultiQueryExecutor::Entry* entry_;
+  uint64_t interval_;
+  uint64_t last_publish_ = 0;
+};
+
+}  // namespace
+
 void ConcurrentMultiQueryExecutor::RunOne(Entry* entry) {
   // Full snapshots need TotalEstimate(), whose estimator internals are
   // only safe to read on the thread executing the query — so publication
   // rides the engine tick, on this worker, every publish_interval ticks.
-  auto previous = std::move(entry->ctx->tick);
-  const uint64_t interval = options_.publish_interval;
-  entry->ctx->tick = [entry, interval,
-                      previous = std::move(previous)] {
-    if (previous) previous();
-    if (++entry->ticks % interval == 0) {
-      entry->slot.Store(entry->accountant->Snapshot(entry->ticks));
-    }
-  };
+  SlotPublisher publisher(entry, options_.publish_interval);
+  entry->ctx->AddTickObserver(&publisher);
 
   Status s = entry->root->Open(entry->ctx.get());
   if (s.ok()) {
-    Row row;
-    while (entry->root->Next(&row)) {
-      entry->rows_emitted.fetch_add(1, std::memory_order_relaxed);
+    RowBatch batch(entry->ctx->batch_size);
+    while (entry->root->NextBatch(&batch)) {
+      entry->rows_emitted.fetch_add(batch.size(), std::memory_order_relaxed);
     }
     entry->root->Close();
   }
   entry->status = std::move(s);
+  entry->ctx->RemoveTickObserver(&publisher);
   // Terminal snapshot: every operator is finished (or cancelled into the
   // finished state), so T̂ equals C and estimated progress is exactly 1.
   entry->slot.Store(entry->accountant->Snapshot(entry->ticks));
@@ -99,6 +120,12 @@ void ConcurrentMultiQueryExecutor::Sample() {
   }
   combined_slot_.Store(combined_snap);
   std::lock_guard<std::mutex> lock(history_mu_);
+  // Keep the recorded combined trajectory monotone: between two samples a
+  // worker may publish a larger T̂ for a batch it just absorbed, which must
+  // not read as the workload moving backwards.
+  if (!combined_history_.empty() && combined < combined_history_.back()) {
+    combined = combined_history_.back();
+  }
   combined_history_.push_back(combined);
   for (size_t i = 0; i < per_query.size(); ++i) {
     query_histories_[i].push_back(per_query[i]);
@@ -154,14 +181,24 @@ bool ConcurrentMultiQueryExecutor::AllDone() const {
 
 double ConcurrentMultiQueryExecutor::QueryProgress(size_t i) const {
   QPI_CHECK(i < entries_.size());
-  const Entry& entry = *entries_[i];
+  Entry& entry = *entries_[i];
   if (entry.done.load(std::memory_order_acquire)) return 1.0;
   GnmSnapshot snap = entry.slot.Load();
   double live = static_cast<double>(entry.accountant->CurrentCalls());
   if (live > snap.current_calls) snap.current_calls = live;
+  if (snap.total_estimate < snap.current_calls) {
+    snap.total_estimate = snap.current_calls;
+  }
   double p = snap.EstimatedProgress();
-  if (p < 0.0) return 0.0;
-  return p > 1.0 ? 1.0 : p;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // CAS-max monotone floor: batch-granular publications must never make
+  // the reported progress of a running query decrease.
+  double floor = entry.progress_floor.load(std::memory_order_relaxed);
+  while (p > floor && !entry.progress_floor.compare_exchange_weak(
+                          floor, p, std::memory_order_relaxed)) {
+  }
+  return p > floor ? p : floor;
 }
 
 double ConcurrentMultiQueryExecutor::CombinedProgress() const {

@@ -63,6 +63,10 @@ class ConcurrentMultiQueryExecutor {
     std::atomic<bool> done{false};
     Status status;      ///< worker-written; read after RunAll returns
     uint64_t ticks = 0; ///< worker-local tick count (not shared)
+    /// Monotone floor under QueryProgress(): counters advance by whole
+    /// batches between T̂ publications, and a freshly published (larger)
+    /// T̂ must not make already-reported progress run backwards.
+    std::atomic<double> progress_floor{0.0};
   };
 
   ConcurrentMultiQueryExecutor() : ConcurrentMultiQueryExecutor(Options()) {}

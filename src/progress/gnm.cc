@@ -47,6 +47,13 @@ GnmSnapshot GnmAccountant::Snapshot(uint64_t tick) const {
   snap.tick = tick;
   snap.current_calls = static_cast<double>(CurrentCalls());
   snap.total_estimate = TotalEstimate();
+  // T(Q) ≥ C(Q) by definition (work already done is part of the total);
+  // an undershooting T̂ — possible mid-batch, when counters advance by a
+  // whole batch between estimator refreshes — must not surface as
+  // progress above 1.
+  if (snap.total_estimate < snap.current_calls) {
+    snap.total_estimate = snap.current_calls;
+  }
   return snap;
 }
 

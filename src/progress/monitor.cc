@@ -12,16 +12,15 @@ ProgressMonitor::ProgressMonitor(Operator* root, uint64_t tick_interval)
 }
 
 void ProgressMonitor::InstallOn(ExecContext* ctx) {
-  auto previous = std::move(ctx->tick);
-  ctx->tick = [this, previous = std::move(previous)] {
-    if (previous) previous();
-    OnTick();
-  };
+  ctx->AddTickObserver(this);
 }
 
-void ProgressMonitor::OnTick() {
-  ++ticks_;
-  if (ticks_ % tick_interval_ == 0) {
+void ProgressMonitor::OnTick(uint64_t n) {
+  ticks_ += n;
+  // Interval-crossing check instead of a modulo: the count may jump by a
+  // whole batch, and every crossed boundary still yields (one) snapshot.
+  if (ticks_ - last_snapshot_tick_ >= tick_interval_) {
+    last_snapshot_tick_ = ticks_;
     snapshots_.push_back(accountant_.Snapshot(ticks_));
   }
 }

@@ -12,17 +12,19 @@ namespace qpi {
 
 /// \brief Samples gnm progress while a query runs.
 ///
-/// Hooks the engine's per-tuple tick and takes a GnmSnapshot every
-/// `tick_interval` ticks (plus one at the very end via Finalize()). After
-/// the run, the true T(Q) is known — it equals the final C(Q) — so each
-/// snapshot can be rendered as (actual progress, estimated progress), the
-/// two curves of the paper's Figure 8, or as the ratio error
+/// Observes the engine's tick stream (one OnTick(n) per emitted batch) and
+/// takes a GnmSnapshot whenever the cumulative tick count crosses a
+/// `tick_interval` boundary (plus one at the very end via Finalize()).
+/// After the run, the true T(Q) is known — it equals the final C(Q) — so
+/// each snapshot can be rendered as (actual progress, estimated progress),
+/// the two curves of the paper's Figure 8, or as the ratio error
 /// R = T(Q) / T̂(Q) of Section 5.1.
-class ProgressMonitor {
+class ProgressMonitor : public TickObserver {
  public:
   ProgressMonitor(Operator* root, uint64_t tick_interval);
 
-  /// Chain onto `ctx->tick` (preserves any existing callback).
+  /// Register on the context's tick-observer list (coexists with any other
+  /// observers already installed).
   void InstallOn(ExecContext* ctx);
 
   /// Take the terminal snapshot (call after the query drains). A no-op
@@ -43,13 +45,17 @@ class ProgressMonitor {
   /// progress was overestimated at snapshot i. Valid after Finalize.
   double RatioErrorAt(size_t i) const;
 
- private:
-  void OnTick();
+  /// Ticks may arrive in batch-sized jumps; a snapshot is taken whenever
+  /// the count crosses an interval boundary (at most one per batch, so the
+  /// sampling lag is bounded by one batch).
+  void OnTick(uint64_t n) override;
 
+ private:
   Operator* root_;
   GnmAccountant accountant_;
   uint64_t tick_interval_;
   uint64_t ticks_ = 0;
+  uint64_t last_snapshot_tick_ = 0;
   std::vector<GnmSnapshot> snapshots_;
 };
 

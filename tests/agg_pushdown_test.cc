@@ -91,16 +91,19 @@ TEST(AggPushDown, EstimateAvailableBeforeAggregateConsumesAnything) {
   auto* agg = dynamic_cast<AggregateBaseOp*>(root.get());
   auto* join = dynamic_cast<GraceHashJoinOp*>(agg->child(0));
 
-  // Capture the aggregate's live estimate mid-driver-pass via ticks.
+  // Capture the aggregate's live estimate mid-driver-pass via ticks. Ticks
+  // arrive batch-granular, so trigger on crossing the threshold rather
+  // than an exact match.
   double mid_estimate = -1;
-  fx.ctx.tick = [&] {
+  FunctionTickObserver capture_hook([&](uint64_t) {
     const PipelineJoinEstimator* p = join->pipeline_estimator();
-    if (mid_estimate < 0 && p != nullptr && p->driver_rows_seen() == 6000) {
+    if (mid_estimate < 0 && p != nullptr && p->driver_rows_seen() >= 6000) {
       // The aggregate has consumed nothing, yet reports a live estimate.
       EXPECT_EQ(agg->input_consumed(), 0u);
       mid_estimate = agg->CurrentCardinalityEstimate();
     }
-  };
+  });
+  fx.ctx.AddTickObserver(&capture_hook);
   uint64_t rows = 0;
   ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, &rows).ok());
   ASSERT_GT(mid_estimate, 0);

@@ -199,6 +199,8 @@ TEST(Monitor, FinalizeDoesNotDuplicateTerminalSnapshot) {
   PlanNodePtr plan = ScanPlan("a");
   OperatorPtr root;
   ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  // Tuple-granular ticks: this test counts one snapshot per Next() call.
+  fx.ctx.batch_size = 1;
   ProgressMonitor monitor(root.get(), /*tick_interval=*/1);
   monitor.InstallOn(&fx.ctx);
   ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
@@ -221,7 +223,8 @@ TEST(Monitor, FinalizeStillAppendsWhenLastTickUnsampled) {
   OperatorPtr root;
   ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
   // 100 ticks with interval 64: snapshots at tick 64 only; Finalize must
-  // add the terminal one at tick 100.
+  // add the terminal one at tick 100. Needs tuple-granular ticks.
+  fx.ctx.batch_size = 1;
   ProgressMonitor monitor(root.get(), /*tick_interval=*/64);
   monitor.InstallOn(&fx.ctx);
   ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
