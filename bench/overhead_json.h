@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,10 +27,30 @@ namespace bench {
 /// trajectory of the estimation framework is tracked across PRs by tooling
 /// instead of eyeballs. The pairing key is "estimation" (on/off) or
 /// "estimator" (0 = off, 1..n = estimator variants).
+///
+/// The same machinery doubles as a scaling recorder: construct with
+/// PairingSpec{"threads", "1", /*speedup_on_real_time=*/true} and every
+/// "threads:N" run is paired with the "threads:1" run sharing its other
+/// args, emitting speedup = t_1 / t_N on wall time (parallel speedup is a
+/// wall-clock property; CPU time grows with the thread count).
 class OverheadRecorder : public benchmark::ConsoleReporter {
  public:
+  /// How runs are paired and what the paired metric means.
+  struct PairingSpec {
+    /// Named benchmark arg to pair on; empty = legacy estimation keys.
+    std::string key;
+    /// Value of `key` identifying the baseline run of each pair.
+    std::string baseline = "0";
+    /// true: pair on real time and emit "speedup" = t_base / t.
+    /// false: pair on CPU time and emit "overhead_pct".
+    bool speedup_on_real_time = false;
+  };
+
   explicit OverheadRecorder(std::string json_path)
       : json_path_(std::move(json_path)) {}
+
+  OverheadRecorder(std::string json_path, PairingSpec spec)
+      : json_path_(std::move(json_path)), spec_(std::move(spec)) {}
 
   void ReportRuns(const std::vector<Run>& reports) override {
     for (const Run& run : reports) {
@@ -63,13 +85,17 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
                    json_path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"runs\": [\n");
+    // Host parallelism is part of the record: a flat speedup curve on a
+    // single-CPU container is an environmental fact, not a regression.
+    std::fprintf(f, "{\n  \"host_cpus\": %u,\n  \"runs\": [\n",
+                 std::thread::hardware_concurrency());
     for (size_t i = 0; i < runs_.size(); ++i) {
       const RecordedRun& r = runs_[i];
       std::fprintf(f, "    {\"name\": \"%s\", \"args\": {", r.name.c_str());
       for (size_t a = 0; a < r.args.size(); ++a) {
         std::fprintf(f, "%s\"%s\": %s", a == 0 ? "" : ", ",
-                     r.args[a].first.c_str(), r.args[a].second.c_str());
+                     r.args[a].first.c_str(),
+                     JsonValue(r.args[a].second).c_str());
       }
       std::fprintf(f,
                    "}, \"real_time\": %.6f, \"cpu_time\": %.6f, "
@@ -77,7 +103,8 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
                    r.real_time, r.cpu_time, r.time_unit.c_str(),
                    i + 1 < runs_.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"overhead\": [\n");
+    std::fprintf(f, "  ],\n  \"%s\": [\n",
+                 spec_.speedup_on_real_time ? "speedup" : "overhead");
     std::vector<std::string> lines = OverheadLines();
     for (size_t i = 0; i < lines.size(); ++i) {
       std::fprintf(f, "    %s%s\n", lines[i].c_str(),
@@ -98,8 +125,29 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
     std::string time_unit;
   };
 
-  static bool IsPairingKey(const std::string& key) {
+  bool IsPairingKey(const std::string& key) const {
+    if (!spec_.key.empty()) return key == spec_.key;
     return key == "estimation" || key == "estimator";
+  }
+
+  /// Name parts the benchmark library appends to describe the harness
+  /// ("iterations:1", "repeats:3", "manual_time", "process_time") rather
+  /// than the measured configuration; identical across paired runs, so
+  /// keeping them out of args keeps pair keys and the JSON clean.
+  static bool IsHarnessPart(const std::string& key,
+                            const std::string& value) {
+    if (key == "iterations" || key == "repeats") return true;
+    return key.empty() && (value == "manual_time" ||
+                           value == "process_time" || value == "real_time");
+  }
+
+  /// A bare number passes through as a JSON number; anything else is
+  /// emitted as a quoted string.
+  static std::string JsonValue(const std::string& v) {
+    char* end = nullptr;
+    std::strtod(v.c_str(), &end);
+    if (!v.empty() && end != nullptr && *end == '\0') return v;
+    return "\"" + v + "\"";
   }
 
   /// "BM_X/k1:v1/k2:v2" -> name "BM_X", args [(k1,v1),(k2,v2)]. Unnamed
@@ -116,11 +164,13 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
         rec->name = part;
       } else if (!part.empty()) {
         size_t colon = part.find(':');
-        if (colon == std::string::npos) {
-          rec->args.emplace_back("arg" + std::to_string(index), part);
-        } else {
-          rec->args.emplace_back(part.substr(0, colon),
-                                 part.substr(colon + 1));
+        std::string key =
+            colon == std::string::npos ? "" : part.substr(0, colon);
+        std::string value =
+            colon == std::string::npos ? part : part.substr(colon + 1);
+        if (!IsHarnessPart(key, value)) {
+          if (key.empty()) key = "arg" + std::to_string(index);
+          rec->args.emplace_back(std::move(key), std::move(value));
         }
         ++index;
       }
@@ -131,7 +181,7 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
 
   /// Key identifying an (estimation-off, estimation-on) pair: the name and
   /// every arg except the pairing key itself.
-  static std::string PairKey(const RecordedRun& r) {
+  std::string PairKey(const RecordedRun& r) const {
     std::string key = r.name;
     for (const auto& [k, v] : r.args) {
       if (IsPairingKey(k)) continue;
@@ -143,12 +193,17 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
   std::vector<std::string> OverheadLines() const {
     // Overhead is paired on CPU time: the estimation framework's cost is
     // in-process work, and wall time on shared machines carries scheduler
-    // noise that swamps single-digit-percent deltas.
-    // Baselines: pairing-key value "0".
+    // noise that swamps single-digit-percent deltas. Speedup is paired on
+    // real time: parallelism buys wall clock, not CPU cycles.
+    // Baselines: pairing-key value `spec_.baseline` ("0" for the legacy
+    // estimation pairs).
     std::map<std::string, double> baseline;
     for (const RecordedRun& r : runs_) {
       for (const auto& [k, v] : r.args) {
-        if (IsPairingKey(k) && v == "0") baseline[PairKey(r)] = r.cpu_time;
+        if (IsPairingKey(k) && v == spec_.baseline) {
+          baseline[PairKey(r)] =
+              spec_.speedup_on_real_time ? r.real_time : r.cpu_time;
+        }
       }
     }
     std::vector<std::string> lines;
@@ -156,7 +211,7 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
     for (const RecordedRun& r : runs_) {
       std::string mode_key, mode_value;
       for (const auto& [k, v] : r.args) {
-        if (IsPairingKey(k) && v != "0") {
+        if (IsPairingKey(k) && v != spec_.baseline) {
           mode_key = k;
           mode_value = v;
         }
@@ -164,25 +219,37 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
       if (mode_key.empty()) continue;
       auto it = baseline.find(PairKey(r));
       if (it == baseline.end() || it->second <= 0) continue;
-      double pct = (r.cpu_time - it->second) / it->second * 100.0;
+      double time = spec_.speedup_on_real_time ? r.real_time : r.cpu_time;
       std::string args_json;
       for (const auto& [k, v] : r.args) {
         if (IsPairingKey(k)) continue;
-        args_json += "\"" + k + "\": " + v + ", ";
+        args_json += "\"" + k + "\": " + JsonValue(v) + ", ";
       }
-      std::snprintf(buf, sizeof(buf),
-                    "{\"name\": \"%s\", %s\"%s\": %s, \"time_off\": %.6f, "
-                    "\"time_on\": %.6f, \"time_unit\": \"%s\", "
-                    "\"overhead_pct\": %.4f}",
-                    r.name.c_str(), args_json.c_str(), mode_key.c_str(),
-                    mode_value.c_str(), it->second, r.cpu_time,
-                    r.time_unit.c_str(), pct);
+      if (spec_.speedup_on_real_time) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\": \"%s\", %s\"%s\": %s, \"time_base\": %.6f, "
+                      "\"time\": %.6f, \"time_unit\": \"%s\", "
+                      "\"speedup\": %.4f}",
+                      r.name.c_str(), args_json.c_str(), mode_key.c_str(),
+                      mode_value.c_str(), it->second, time,
+                      r.time_unit.c_str(), it->second / time);
+      } else {
+        double pct = (time - it->second) / it->second * 100.0;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\": \"%s\", %s\"%s\": %s, \"time_off\": %.6f, "
+                      "\"time_on\": %.6f, \"time_unit\": \"%s\", "
+                      "\"overhead_pct\": %.4f}",
+                      r.name.c_str(), args_json.c_str(), mode_key.c_str(),
+                      mode_value.c_str(), it->second, time,
+                      r.time_unit.c_str(), pct);
+      }
       lines.emplace_back(buf);
     }
     return lines;
   }
 
   std::string json_path_;
+  PairingSpec spec_;
   std::vector<RecordedRun> runs_;
 };
 
@@ -191,8 +258,9 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
 /// (overridable on the command line): the paired on/off runs are spread
 /// across the session instead of executing minutes apart, so slow machine
 /// drift (thermal, scheduler) cancels out of the overhead deltas.
-inline int RunOverheadBenchmarks(int argc, char** argv,
-                                 const char* json_path) {
+inline int RunOverheadBenchmarks(
+    int argc, char** argv, const char* json_path,
+    OverheadRecorder::PairingSpec spec = OverheadRecorder::PairingSpec{}) {
   std::vector<char*> args(argv, argv + argc);
   char interleave[] = "--benchmark_enable_random_interleaving=true";
   // Inserted after argv[0] so explicit command-line flags still win.
@@ -202,7 +270,7 @@ inline int RunOverheadBenchmarks(int argc, char** argv,
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
-  OverheadRecorder reporter(json_path);
+  OverheadRecorder reporter(json_path, std::move(spec));
   benchmark::RunSpecifiedBenchmarks(&reporter);
   reporter.WriteJson();
   benchmark::Shutdown();

@@ -1,0 +1,92 @@
+#ifndef QPI_COMMON_ROW_BATCH_QUEUE_H_
+#define QPI_COMMON_ROW_BATCH_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/row_batch.h"
+
+namespace qpi {
+
+/// \brief Bounded multi-producer / single-consumer queue of RowBatches.
+///
+/// The emission channel of the partition-parallel join phase: worker tasks
+/// push full batches, the operator's merging NextBatch pops them on the
+/// query's driving thread. The capacity bound is the backpressure that
+/// keeps a fast producer from materializing the whole join output — a
+/// blocked producer parks on `can_push_` until the consumer drains.
+///
+/// Synchronization is one mutex + two condition variables at *batch*
+/// granularity: with the default batch size of 1024 rows, the lock is
+/// touched once per ~1024 tuples, which is noise next to the per-tuple
+/// hash probes on either side.
+///
+/// Shutdown protocol:
+///  - the last producer calls Close() — pending batches stay poppable and
+///    Pop() returns false once the queue drains;
+///  - the consumer calls Abort() when it stops early (cancellation, early
+///    Close) — pending batches are discarded and every blocked producer
+///    wakes with Push() == false, so tasks drain promptly instead of
+///    deadlocking against a consumer that will never pop again.
+class RowBatchQueue {
+ public:
+  explicit RowBatchQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while the queue is full. Returns false (batch dropped) once
+  /// the queue has been aborted.
+  bool Push(RowBatch&& batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_push_.wait(lock,
+                   [this] { return aborted_ || queue_.size() < capacity_; });
+    if (aborted_) return false;
+    queue_.push_back(std::move(batch));
+    can_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and producers remain. Returns false
+  /// when the queue is closed and drained (or aborted).
+  bool Pop(RowBatch* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [this] { return aborted_ || closed_ || !queue_.empty(); });
+    if (aborted_ || queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    can_push_.notify_one();
+    return true;
+  }
+
+  /// Producer side: no further pushes will arrive; the consumer drains
+  /// what is buffered and then sees end-of-stream.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    can_pop_.notify_all();
+  }
+
+  /// Consumer side: discard buffered batches and unblock every producer.
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+    closed_ = true;
+    queue_.clear();
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<RowBatch> queue_;
+  size_t capacity_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_ROW_BATCH_QUEUE_H_

@@ -1,0 +1,51 @@
+#ifndef QPI_COMMON_THREAD_GUARD_H_
+#define QPI_COMMON_THREAD_GUARD_H_
+
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+
+namespace qpi {
+
+/// \brief Asserts that a code path stays on a single thread.
+///
+/// The ONCE estimators are deliberately *not* thread-safe: the paper's
+/// estimation windows (build pass, probe-partition pass) are sequential
+/// phases, and the intra-query parallel layer is built around keeping them
+/// that way — only the join phase and scan morsels fan out. This guard
+/// makes the contract executable: the first Check() adopts the calling
+/// thread as owner, every later Check() aborts if a different thread shows
+/// up (i.e. someone moved estimator observation into a parallel phase).
+///
+/// Cost: one thread-id load and one relaxed atomic load per Check(), so it
+/// is cheap enough to keep on batch-granular observation entry points in
+/// release builds.
+class ThreadAffinityGuard {
+ public:
+  void Check() {
+    std::thread::id self = std::this_thread::get_id();
+    std::thread::id owner = owner_.load(std::memory_order_relaxed);
+    if (owner == std::thread::id()) {
+      // First observation: adopt this thread. A lost race means another
+      // thread observed concurrently, which the comparison below catches.
+      if (owner_.compare_exchange_strong(owner, self,
+                                         std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    QPI_CHECK(owner == self &&
+              "estimator observed from a parallel phase (sequential-phase "
+              "contract violated)");
+  }
+
+  /// Forget the owner (e.g. a fresh execution of the same plan).
+  void Reset() { owner_.store(std::thread::id(), std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::thread::id> owner_{std::thread::id()};
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_THREAD_GUARD_H_

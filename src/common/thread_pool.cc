@@ -34,6 +34,28 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+size_t TaskGroup::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

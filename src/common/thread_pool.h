@@ -15,7 +15,9 @@ namespace qpi {
 ///
 /// The concurrent multi-query executor runs each registered query to
 /// completion as one task, so the pool size is the engine's degree of
-/// query parallelism. Tasks must not throw.
+/// query parallelism; the intra-query layer (morsel scans, partition-
+/// parallel joins) schedules its tasks on a per-query pool through
+/// TaskGroup below. Tasks must not throw.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).
@@ -46,6 +48,41 @@ class ThreadPool {
   size_t active_ = 0;  // tasks currently executing
   bool stop_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// \brief A cancellable group of tasks scheduled on a shared ThreadPool.
+///
+/// ThreadPool::Wait() drains the *whole* pool; a query that fans its join
+/// partitions or scan morsels out onto a shared pool must be able to wait
+/// for (and tear down) just its own tasks. TaskGroup wraps each submitted
+/// task with completion bookkeeping so Wait() blocks only on this group's
+/// outstanding work, establishing the same happens-before edge from every
+/// task body to the waiter's return. The destructor waits, so a group can
+/// never outlive work that references the owning operator's state.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue a task on the underlying pool. Never blocks. Tasks that must
+  /// stop early (cancellation, consumer gone) should observe their own
+  /// abort flag; the group only tracks completion.
+  void Submit(std::function<void()> task);
+
+  /// Block until every task submitted *to this group* has finished.
+  void Wait();
+
+  /// Tasks submitted but not yet finished (advisory; racy by nature).
+  size_t outstanding() const;
+
+ private:
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t outstanding_ = 0;
 };
 
 }  // namespace qpi

@@ -15,6 +15,7 @@ OnceBinaryJoinEstimator::OnceBinaryJoinEstimator(
 
 void OnceBinaryJoinEstimator::ObserveProbeKey(uint64_t key) {
   if (frozen_) return;
+  guard_.Check();
   QPI_DCHECK(build_complete_);
   double matches = static_cast<double>(build_hist_.Count(key));
   double n = 0.0;
@@ -40,6 +41,7 @@ void OnceBinaryJoinEstimator::ObserveProbeKey(uint64_t key) {
 void OnceBinaryJoinEstimator::ObserveProbeKeys(const uint64_t* keys,
                                                size_t n) {
   if (frozen_ || n == 0) return;
+  guard_.Check();
   QPI_DCHECK(build_complete_);
   double sum = contribution_sum_;
   for (size_t i = 0; i < n; ++i) {

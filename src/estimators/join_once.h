@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/thread_guard.h"
 #include "stats/hash_histogram.h"
 #include "stats/normal.h"
 #include "stats/running_moments.h"
@@ -47,7 +48,10 @@ class OnceBinaryJoinEstimator {
   void ObserveBuildKey(uint64_t key) { build_hist_.Increment(key); }
 
   /// Mark the build pass finished (histogram is now exact).
-  void BuildComplete() { build_complete_ = true; }
+  void BuildComplete() {
+    guard_.Check();
+    build_complete_ = true;
+  }
 
   /// One probe-input tuple's join key, seen in the partitioning/sort pass.
   void ObserveProbeKey(uint64_t key);
@@ -85,6 +89,12 @@ class OnceBinaryJoinEstimator {
   const HashHistogram& build_histogram() const { return build_hist_; }
 
  private:
+  /// The estimation windows (build pass, probe-partition pass) are
+  /// sequential phases of the intra-query parallel design; this asserts
+  /// nobody moves observation onto a worker thread. Checked once per
+  /// observed batch, not per tuple.
+  ThreadAffinityGuard guard_;
+
   std::function<double()> probe_total_provider_;
   Contribution contribution_;
   HashHistogram build_hist_;

@@ -86,12 +86,14 @@ void PipelineJoinEstimator::ObserveBuildRow(size_t k, const Row& row) {
 }
 
 void PipelineJoinEstimator::BuildComplete(size_t k) {
+  guard_.Check();
   QPI_DCHECK(k < joins_.size());
   build_complete_[k] = true;
 }
 
 void PipelineJoinEstimator::ObserveDriverRow(const Row& row) {
   if (frozen_) return;
+  guard_.Check();
   size_t n = joins_.size();
   double product = 1.0;
   // Per driver-direct join: its current group factor and driver key value,

@@ -10,6 +10,7 @@
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
+#include "common/thread_guard.h"
 #include "stats/frequency_stats.h"
 #include "stats/hash_histogram.h"
 #include "stats/normal.h"
@@ -132,6 +133,11 @@ class PipelineJoinEstimator {
   };
 
   void ResolveLocators();
+
+  /// Estimation observation happens only in the sequential build and
+  /// driver (probe-partition) phases; this asserts the contract holds
+  /// under the intra-query parallel layer (see common/thread_guard.h).
+  ThreadAffinityGuard guard_;
 
   Schema driver_schema_;
   std::vector<JoinSpec> joins_;

@@ -1,6 +1,26 @@
 #include "exec/exec_context.h"
 
+#include "common/thread_pool.h"
+
 namespace qpi {
+
+ExecContext::ExecContext() = default;
+ExecContext::~ExecContext() = default;
+
+ThreadPool* ExecContext::intra_query_pool() {
+  if (intra_pool_ == nullptr) {
+    intra_pool_ = std::make_unique<ThreadPool>(exec_workers);
+  }
+  return intra_pool_.get();
+}
+
+uint64_t ExecContext::DrainConcurrentTicks() {
+  uint64_t total = 0;
+  for (TickShard& shard : tick_shards_) {
+    total += shard.pending.exchange(0, std::memory_order_relaxed);
+  }
+  return total;
+}
 
 const char* EstimationModeName(EstimationMode mode) {
   switch (mode) {

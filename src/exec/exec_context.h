@@ -5,8 +5,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "stats/normal.h"
 #include "storage/catalog.h"
@@ -38,15 +41,28 @@ class TickObserver {
 
 /// Adapts a callable to the observer interface for ad-hoc hooks (examples,
 /// bench harnesses) that don't want a named subclass.
+///
+/// Observers are registered *by pointer* (AddTickObserver), so a copy of a
+/// registered observer would silently leave the original registered and the
+/// copy inert — move-only makes that mistake a compile error, and a moved-
+/// from observer must never remain registered (document at the call site).
 class FunctionTickObserver : public TickObserver {
  public:
   explicit FunctionTickObserver(std::function<void(uint64_t)> fn)
       : fn_(std::move(fn)) {}
+
+  FunctionTickObserver(FunctionTickObserver&&) noexcept = default;
+  FunctionTickObserver& operator=(FunctionTickObserver&&) noexcept = default;
+  FunctionTickObserver(const FunctionTickObserver&) = delete;
+  FunctionTickObserver& operator=(const FunctionTickObserver&) = delete;
+
   void OnTick(uint64_t n) override { fn_(n); }
 
  private:
   std::function<void(uint64_t)> fn_;
 };
+
+class ThreadPool;
 
 /// \brief Per-query execution context shared by all operators.
 struct ExecContext {
@@ -61,8 +77,20 @@ struct ExecContext {
   /// paper's overhead experiments.
   double sample_fraction = 0.0;
 
-  /// Number of partitions used by grace hash joins.
+  /// Number of partitions used by grace hash joins. Normalized to the next
+  /// power of two at operator Open (the partition index is a mask over the
+  /// mixed key hash); 0 is rejected. The partition count is also the fan-out
+  /// ceiling of the partition-parallel join phase.
   size_t hash_join_partitions = 64;
+
+  /// Intra-query worker threads (morsel-parallel scans, partition-parallel
+  /// join phases). 1 (the default) runs the exact sequential engine — no
+  /// pool is created, no task is spawned. The driving thread merges worker
+  /// output and is not counted here.
+  size_t exec_workers = 1;
+
+  /// Rows per scan morsel on the parallel scan path.
+  size_t morsel_rows = 4096;
 
   /// Let the optimizer consult per-column equi-depth histograms (Section 3's
   /// optional base-table statistics) instead of uniform interpolation.
@@ -78,33 +106,105 @@ struct ExecContext {
 
   /// Observers are invoked once per emitted batch (n = rows in the batch);
   /// progress monitors and bench harnesses hook here to observe estimates
-  /// mid-phase. Registration is not thread-safe: add/remove observers only
-  /// while the query is not executing.
+  /// mid-phase.
+  ///
+  /// Lifecycle contract (enforced): registration is not thread-safe and
+  /// must bracket execution — add observers after compiling the plan,
+  /// remove them after the drive loop returns. Drivers mark the window
+  /// with BeginExecution()/EndExecution(); Add/Remove abort inside it.
   void AddTickObserver(TickObserver* observer) {
+    QPI_CHECK(!executing_.load(std::memory_order_relaxed) &&
+              "observer registered while the query executes");
     tick_observers_.push_back(observer);
   }
   void RemoveTickObserver(TickObserver* observer) {
+    QPI_CHECK(!executing_.load(std::memory_order_relaxed) &&
+              "observer removed while the query executes");
     tick_observers_.erase(
         std::remove(tick_observers_.begin(), tick_observers_.end(), observer),
         tick_observers_.end());
   }
 
+  /// Marks the execution window during which the observer list is frozen.
+  /// Called by QueryExecutor::Run and the concurrent executor's worker;
+  /// manual row-at-a-time drivers may skip it (they lose the lifecycle
+  /// check, nothing else). BeginExecution also clears tick shards left by
+  /// a cancelled previous run.
+  void BeginExecution() {
+    DrainConcurrentTicks();
+    executing_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Ends the execution window. Ticks still banked by workers are folded
+  /// into one final observer delivery first (a run whose trailing morsels
+  /// emit no rows would otherwise strand them); call after every operator
+  /// has Closed — the task-group joins make all banked ticks visible.
+  void EndExecution() {
+    if (has_concurrent_ticks_.load(std::memory_order_relaxed)) Tick(0);
+    executing_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Deliver `n` getnext ticks to the observers. Called only from the
+  /// query's driving thread (every Operator::Next/NextBatch wrapper runs
+  /// there); ticks banked by parallel workers via TickConcurrent are
+  /// folded into this delivery, so observers always run single-threaded.
   void Tick(uint64_t n) {
+    if (has_concurrent_ticks_.load(std::memory_order_relaxed)) {
+      has_concurrent_ticks_.store(false, std::memory_order_relaxed);
+      n += DrainConcurrentTicks();
+    }
     for (TickObserver* observer : tick_observers_) observer->OnTick(n);
   }
 
-  /// Cooperative cancellation flag, checked in the operator tick path.
-  /// May be flipped from any thread; the executing query then drains as if
-  /// it hit end-of-stream. Relaxed ordering suffices: the flag carries no
-  /// payload, only "stop soon", and the pool join publishes final state.
+  /// Bank `n` ticks from an intra-query worker thread. Safe for any number
+  /// of concurrent callers: each add lands on one of a small set of
+  /// cache-line-padded shards (indexed by thread id) so hot parallel scans
+  /// don't serialize on a single counter line. The banked ticks reach the
+  /// observers with the driving thread's next Tick().
+  void TickConcurrent(uint64_t n) {
+    if (n == 0) return;
+    size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+        (kTickShards - 1);
+    tick_shards_[shard].pending.fetch_add(n, std::memory_order_relaxed);
+    has_concurrent_ticks_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Cooperative cancellation flag, checked in the operator tick path and
+  /// in every intra-query worker task loop. May be flipped from any
+  /// thread; the executing query then drains as if it hit end-of-stream.
+  /// Relaxed ordering suffices: the flag carries no payload, only "stop
+  /// soon", and the pool join publishes final state.
   void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool IsCancelled() const {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// The per-query worker pool for intra-query parallelism, created lazily
+  /// with exec_workers threads on first use (never called when
+  /// exec_workers == 1). Owned by the context; destroyed with it, after
+  /// every operator has closed and waited for its task groups.
+  ThreadPool* intra_query_pool();
+
+  ExecContext();
+  ~ExecContext();
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
  private:
+  uint64_t DrainConcurrentTicks();
+
+  static constexpr size_t kTickShards = 8;  // power of two
+  struct alignas(64) TickShard {
+    std::atomic<uint64_t> pending{0};
+  };
+
   std::vector<TickObserver*> tick_observers_;
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> executing_{false};
+  std::atomic<bool> has_concurrent_ticks_{false};
+  TickShard tick_shards_[kTickShards];
+  std::unique_ptr<ThreadPool> intra_pool_;
 };
 
 }  // namespace qpi

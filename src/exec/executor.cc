@@ -7,6 +7,7 @@ namespace qpi {
 Status QueryExecutor::Run(Operator* root, ExecContext* ctx,
                           std::vector<Row>* sink, uint64_t* rows_emitted) {
   QPI_RETURN_NOT_OK(root->Open(ctx));
+  ctx->BeginExecution();
   RowBatch batch(ctx->batch_size);
   uint64_t count = 0;
   while (root->NextBatch(&batch)) {
@@ -18,6 +19,7 @@ Status QueryExecutor::Run(Operator* root, ExecContext* ctx,
     }
   }
   root->Close();
+  ctx->EndExecution();
   if (rows_emitted != nullptr) *rows_emitted = count;
   return Status::OK();
 }

@@ -1,5 +1,7 @@
 #include "exec/filter.h"
 
+#include "exec/morsel_scan.h"
+
 namespace qpi {
 
 namespace {
@@ -17,13 +19,19 @@ FilterOp::FilterOp(OperatorPtr child, std::unique_ptr<BoundPredicate> predicate,
   SetSchema(this->child(0)->schema());
 }
 
+FilterOp::~FilterOp() = default;
+
 Status FilterOp::OpenImpl() {
   in_ = RowBatch(ctx_ != nullptr ? ctx_->batch_size : RowBatch::kDefaultCapacity);
   in_pos_ = 0;
   in_valid_ = false;
   random_over_ = false;
+  driver_.reset();
+  fusion_checked_ = false;
   return Status::OK();
 }
+
+void FilterOp::CloseImpl() { driver_.reset(); }
 
 bool FilterOp::NextImpl(Row* out) {
   while (child(0)->Next(out)) {
@@ -33,6 +41,17 @@ bool FilterOp::NextImpl(Row* out) {
 }
 
 void FilterOp::NextBatchImpl(RowBatch* out) {
+  if (!fusion_checked_) {
+    fusion_checked_ = true;
+    if (ctx_ != nullptr && ctx_->exec_workers > 1) {
+      driver_ = TryBuildFusedScanDriver(this, ctx_);
+    }
+  }
+  if (driver_ != nullptr) {
+    driver_->Fill(out);
+    CountEmitted(out->size());
+    return;
+  }
   while (!out->full()) {
     if (!in_valid_ || in_pos_ >= in_.size()) {
       if (!child(0)->NextBatch(&in_)) break;
@@ -82,15 +101,32 @@ bool ProjectOp::NextImpl(Row* out) {
   return true;
 }
 
+ProjectOp::~ProjectOp() = default;
+
 Status ProjectOp::OpenImpl() {
   in_ = RowBatch(ctx_ != nullptr ? ctx_->batch_size : RowBatch::kDefaultCapacity);
   in_pos_ = 0;
   in_valid_ = false;
   random_over_ = false;
+  driver_.reset();
+  fusion_checked_ = false;
   return Status::OK();
 }
 
+void ProjectOp::CloseImpl() { driver_.reset(); }
+
 void ProjectOp::NextBatchImpl(RowBatch* out) {
+  if (!fusion_checked_) {
+    fusion_checked_ = true;
+    if (ctx_ != nullptr && ctx_->exec_workers > 1) {
+      driver_ = TryBuildFusedScanDriver(this, ctx_);
+    }
+  }
+  if (driver_ != nullptr) {
+    driver_->Fill(out);
+    CountEmitted(out->size());
+    return;
+  }
   while (!out->full()) {
     if (!in_valid_ || in_pos_ >= in_.size()) {
       if (!child(0)->NextBatch(&in_)) break;

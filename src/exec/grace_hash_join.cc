@@ -1,6 +1,8 @@
 #include "exec/grace_hash_join.h"
 
 #include "common/check.h"
+#include "common/row_batch_queue.h"
+#include "common/thread_pool.h"
 
 namespace qpi {
 
@@ -18,6 +20,12 @@ inline uint64_t PartitionMix(uint64_t k) {
   k *= 0xc4ceb9fe1a85ec53ULL;
   k ^= k >> 29;
   return k;
+}
+
+inline size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
 }
 
 }  // namespace
@@ -115,9 +123,24 @@ void GraceHashJoinOp::EnlistInPipeline(
   pipeline_lowest_ = is_lowest;
 }
 
+GraceHashJoinOp::~GraceHashJoinOp() {
+  // Destruction without Close (error paths): unblock any producer parked
+  // on the queue before waiting the task group, then let the remaining
+  // members (partitions included) die only after every worker has exited.
+  if (join_queue_ != nullptr) join_queue_->Abort();
+  join_group_.reset();
+}
+
 Status GraceHashJoinOp::OpenImpl() {
-  num_partitions_ = ctx_->hash_join_partitions;
-  QPI_CHECK(num_partitions_ >= 1);
+  size_t requested = ctx_->hash_join_partitions;
+  if (requested == 0) {
+    return Status::InvalidArgument(
+        "hash_join_partitions must be >= 1 (got 0)");
+  }
+  // Normalize to the next power of two: the partition index becomes a mask
+  // over the mixed key hash, and the parallel join phase fans out one task
+  // per partition.
+  num_partitions_ = NextPowerOfTwo(requested);
   build_parts_.assign(num_partitions_, {});
   probe_parts_.assign(num_partitions_, {});
   return Status::OK();
@@ -141,7 +164,7 @@ void GraceHashJoinOp::RunBuildPhase() {
       }
     }
     for (size_t i = 0; i < n; ++i) {
-      size_t part = PartitionMix(keys[i]) % num_partitions_;
+      size_t part = PartitionMix(keys[i]) & (num_partitions_ - 1);
       build_parts_[part].push_back(std::move(batch.row(i)));
     }
     build_rows_ += n;
@@ -179,7 +202,7 @@ void GraceHashJoinOp::RunProbePartitionPhase() {
       if (run < n) pipeline_->Freeze();
     }
     for (size_t i = 0; i < n; ++i) {
-      size_t part = PartitionMix(keys[i]) % num_partitions_;
+      size_t part = PartitionMix(keys[i]) & (num_partitions_ - 1);
       probe_parts_[part].push_back(std::move(batch.row(i)));
     }
   }
@@ -187,12 +210,15 @@ void GraceHashJoinOp::RunProbePartitionPhase() {
   if (feed_pipeline) pipeline_->DriverComplete();
 }
 
+void GraceHashJoinOp::PreparePartitions() {
+  if (phase_ != Phase::kInit) return;
+  RunBuildPhase();
+  RunProbePartitionPhase();
+  phase_ = Phase::kJoin;
+}
+
 bool GraceHashJoinOp::NextImpl(Row* out) {
-  if (phase_ == Phase::kInit) {
-    RunBuildPhase();
-    RunProbePartitionPhase();
-    phase_ = Phase::kJoin;
-  }
+  PreparePartitions();
   if (phase_ == Phase::kJoin) {
     if (AdvanceJoin(out)) return true;
     phase_ = Phase::kDone;
@@ -200,26 +226,132 @@ bool GraceHashJoinOp::NextImpl(Row* out) {
   return false;
 }
 
-void GraceHashJoinOp::NextBatchImpl(RowBatch* out) {
-  if (phase_ == Phase::kInit) {
-    RunBuildPhase();
-    RunProbePartitionPhase();
-    phase_ = Phase::kJoin;
+void GraceHashJoinOp::StartParallelJoin() {
+  parallel_join_ = true;
+  join_queue_ = std::make_unique<RowBatchQueue>(2 * ctx_->exec_workers + 2);
+  parts_remaining_.store(num_partitions_, std::memory_order_relaxed);
+  join_group_ = std::make_unique<TaskGroup>(ctx_->intra_query_pool());
+  for (size_t p = 0; p < num_partitions_; ++p) {
+    join_group_->Submit([this, p] { JoinPartitionTask(p); });
   }
-  if (phase_ == Phase::kJoin) {
-    while (!out->full()) {
-      Row* slot = out->NextSlot();
-      if (!AdvanceJoin(slot)) {
-        phase_ = Phase::kDone;
-        break;
-      }
-      out->CommitSlot();
+}
+
+void GraceHashJoinOp::JoinPartitionTask(size_t part) {
+  const std::vector<Row>& build_rows = build_parts_[part];
+  const std::vector<Row>& probe_rows = probe_parts_[part];
+  size_t batch_rows = ctx_->batch_size;
+  RowBatch batch(batch_rows);
+  uint64_t local_consumed = 0;
+  bool dead = false;  // queue aborted: consumer is gone, stop producing
+
+  // Flush emitted-count and driver-consumption *before* publishing the
+  // batch, so a monitor never sees more output than accounted input.
+  auto flush = [&] {
+    if (batch.empty()) return;
+    CountEmitted(batch.size());
+    join_driver_consumed_.fetch_add(local_consumed, std::memory_order_relaxed);
+    local_consumed = 0;
+    if (!join_queue_->Push(std::move(batch))) dead = true;
+    batch = RowBatch(batch_rows);
+  };
+  auto emit = [&](Row row) {
+    batch.PushRow(std::move(row));
+    if (batch.full()) flush();
+  };
+
+  if (!ctx_->IsCancelled()) {
+    std::unordered_map<uint64_t, std::vector<size_t>> table;
+    table.reserve(build_rows.size());
+    for (size_t i = 0; i < build_rows.size(); ++i) {
+      table[BuildKeyCode(build_rows[i])].push_back(i);
     }
+    for (size_t pi = 0; pi < probe_rows.size() && !dead; ++pi) {
+      if ((pi & 1023u) == 0 && ctx_->IsCancelled()) break;
+      const Row& probe_row = probe_rows[pi];
+      ++local_consumed;
+      auto it = table.find(ProbeKeyCode(probe_row));
+      bool matched = false;
+      if (it != table.end()) {
+        for (size_t idx : it->second) {
+          if (KeysEqual(build_rows[idx], probe_row)) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (join_type_ == JoinFlavor::kSemi || join_type_ == JoinFlavor::kAnti) {
+        if (matched == (join_type_ == JoinFlavor::kSemi)) emit(probe_row);
+        continue;
+      }
+      if (!matched) {
+        if (join_type_ == JoinFlavor::kProbeOuter) {
+          Row nulls(build_child()->schema().num_columns(), Value::Null());
+          emit(ConcatRows(nulls, probe_row));
+        }
+        continue;
+      }
+      for (size_t idx : it->second) {
+        if (dead) break;
+        const Row& build_row = build_rows[idx];
+        if (!KeysEqual(build_row, probe_row)) continue;  // code collision
+        emit(ConcatRows(build_row, probe_row));
+      }
+    }
+  }
+  if (!dead) flush();
+  if (local_consumed != 0) {
+    join_driver_consumed_.fetch_add(local_consumed, std::memory_order_relaxed);
+  }
+  if (parts_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    join_queue_->Close();
+  }
+}
+
+void GraceHashJoinOp::NextBatchImpl(RowBatch* out) {
+  PreparePartitions();
+  if (phase_ != Phase::kJoin) return;
+  // Launch the parallel join on the first batch request (also after an
+  // explicit PreparePartitions), but never once the sequential cursor has
+  // advanced — a row-path caller may already own join-phase state.
+  if (!parallel_join_ && ctx_ != nullptr && ctx_->exec_workers > 1 &&
+      current_part_ == 0 && !part_table_built_) {
+    StartParallelJoin();
+  }
+  if (parallel_join_) {
+    // Merge worker batches; the workers already advanced `emitted_` when
+    // they flushed, so the merge must not count again. The wrapper's
+    // Tick(out->size()) still delivers the progress ticks for these rows
+    // on the driving thread.
+    while (!out->full()) {
+      if (!pending_valid_ || pending_pos_ >= pending_.size()) {
+        if (!join_queue_->Pop(&pending_)) {
+          phase_ = Phase::kDone;
+          break;
+        }
+        pending_valid_ = true;
+        pending_pos_ = 0;
+      }
+      while (pending_pos_ < pending_.size() && !out->full()) {
+        out->PushRow(std::move(pending_.row(pending_pos_++)));
+      }
+    }
+    return;
+  }
+  while (!out->full()) {
+    Row* slot = out->NextSlot();
+    if (!AdvanceJoin(slot)) {
+      phase_ = Phase::kDone;
+      break;
+    }
+    out->CommitSlot();
   }
   CountEmitted(out->size());
 }
 
 bool GraceHashJoinOp::AdvanceJoin(Row* out) {
+  QPI_CHECK(!parallel_join_ &&
+            "row-at-a-time join cursor used while the parallel join phase "
+            "owns the partitions");
   while (current_part_ < num_partitions_) {
     const std::vector<Row>& build_rows = build_parts_[current_part_];
     const std::vector<Row>& probe_rows = probe_parts_[current_part_];
@@ -235,7 +367,7 @@ bool GraceHashJoinOp::AdvanceJoin(Row* out) {
     while (probe_row_idx_ < probe_rows.size()) {
       const Row& probe_row = probe_rows[probe_row_idx_];
       if (current_matches_ == nullptr) {
-        ++join_driver_consumed_;
+        join_driver_consumed_.fetch_add(1, std::memory_order_relaxed);
         uint64_t key = ProbeKeyCode(probe_row);
         auto it = part_table_.find(key);
         // Verify actual key equality on the candidate bucket: composite and
@@ -289,6 +421,15 @@ bool GraceHashJoinOp::AdvanceJoin(Row* out) {
 }
 
 void GraceHashJoinOp::CloseImpl() {
+  // Tear down the parallel join phase first: aborting the queue unblocks
+  // any producer parked on a full queue, and resetting the group waits for
+  // every worker before the partitions they read are cleared.
+  if (join_queue_ != nullptr) join_queue_->Abort();
+  join_group_.reset();
+  join_queue_.reset();
+  parallel_join_ = false;
+  pending_valid_ = false;
+  pending_pos_ = 0;
   build_parts_.clear();
   probe_parts_.clear();
   part_table_.clear();
@@ -298,21 +439,23 @@ double GraceHashJoinOp::DneEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
-  if (join_driver_consumed_ == 0) return optimizer_estimate();
+  uint64_t consumed = join_driver_consumed();
+  if (consumed == 0) return optimizer_estimate();
   double driver_total = static_cast<double>(probe_partition_consumed_);
   return static_cast<double>(tuples_emitted()) * driver_total /
-         static_cast<double>(join_driver_consumed_);
+         static_cast<double>(consumed);
 }
 
 double GraceHashJoinOp::ByteEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
-  if (join_driver_consumed_ == 0) return optimizer_estimate();
+  uint64_t consumed = join_driver_consumed();
+  if (consumed == 0) return optimizer_estimate();
   double driver_total = static_cast<double>(probe_partition_consumed_);
-  double f = static_cast<double>(join_driver_consumed_) / driver_total;
+  double f = static_cast<double>(consumed) / driver_total;
   double observed = static_cast<double>(tuples_emitted()) * driver_total /
-                    static_cast<double>(join_driver_consumed_);
+                    static_cast<double>(consumed);
   return f * observed + (1.0 - f) * optimizer_estimate();
 }
 

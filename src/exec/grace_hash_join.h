@@ -1,6 +1,7 @@
 #ifndef QPI_EXEC_GRACE_HASH_JOIN_H_
 #define QPI_EXEC_GRACE_HASH_JOIN_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,9 @@
 #include "plan/plan_node.h"
 
 namespace qpi {
+
+class RowBatchQueue;
+class TaskGroup;
 
 /// \brief Grace hash join with the three-phase structure the paper
 /// instruments (Section 4.1.1).
@@ -44,6 +48,7 @@ class GraceHashJoinOp : public Operator {
                   std::vector<size_t> build_key_indices,
                   std::vector<size_t> probe_key_indices, std::string label,
                   JoinFlavor join_type = JoinFlavor::kInner);
+  ~GraceHashJoinOp() override;
 
   /// Attach the paper's binary estimator (requires a probe input that
   /// starts as a random stream).
@@ -62,11 +67,23 @@ class GraceHashJoinOp : public Operator {
   size_t probe_key_index() const { return probe_key_indices_[0]; }
   JoinFlavor join_type() const { return join_type_; }
 
+  /// Partition count after Open's normalization to a power of two.
+  size_t num_partitions() const { return num_partitions_; }
+
+  /// Run the (sequential, ONCE-instrumented) build and probe-partition
+  /// phases now, leaving only the join phase for Next/NextBatch. No-op if
+  /// the phases already ran. Benches use this to time the join phase in
+  /// isolation; parallel join workers are only launched by the first
+  /// NextBatch, so the timed region includes their whole lifetime.
+  void PreparePartitions();
+
   // --- observability for benches/tests -------------------------------------
   uint64_t probe_partition_consumed() const {
     return probe_partition_consumed_;
   }
-  uint64_t join_driver_consumed() const { return join_driver_consumed_; }
+  uint64_t join_driver_consumed() const {
+    return join_driver_consumed_.load(std::memory_order_relaxed);
+  }
   const OnceBinaryJoinEstimator* once_estimator() const { return once_.get(); }
   const PipelineJoinEstimator* pipeline_estimator() const {
     return pipeline_.get();
@@ -97,6 +114,15 @@ class GraceHashJoinOp : public Operator {
   void RunProbePartitionPhase();
   bool AdvanceJoin(Row* out);
 
+  /// Fan the partition pairs out onto the per-query pool (batch path with
+  /// ctx->exec_workers > 1). Each task joins one partition into batches
+  /// pushed on `join_queue_`; the driving thread merges them in
+  /// NextBatchImpl. Output order becomes partition-interleaved — legal
+  /// because gnm progress and the final counters are order-invariant and
+  /// the join phase performs no estimator observation.
+  void StartParallelJoin();
+  void JoinPartitionTask(size_t part);
+
   Operator* build_child() const { return child(0); }
   Operator* probe_child() const { return child(1); }
 
@@ -123,7 +149,18 @@ class GraceHashJoinOp : public Operator {
 
   uint64_t build_rows_ = 0;
   uint64_t probe_partition_consumed_ = 0;
-  uint64_t join_driver_consumed_ = 0;
+  // Advanced by parallel join workers (batched flushes) as well as the
+  // sequential join cursor; read by monitor-thread estimates.
+  std::atomic<uint64_t> join_driver_consumed_{0};
+
+  // Parallel join phase (see StartParallelJoin).
+  std::unique_ptr<RowBatchQueue> join_queue_;
+  std::unique_ptr<TaskGroup> join_group_;
+  std::atomic<size_t> parts_remaining_{0};
+  bool parallel_join_ = false;
+  RowBatch pending_;     // partially drained batch from join_queue_
+  size_t pending_pos_ = 0;
+  bool pending_valid_ = false;
 
   // Estimation attachments.
   std::unique_ptr<OnceBinaryJoinEstimator> once_;

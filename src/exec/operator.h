@@ -179,7 +179,10 @@ class Operator {
   /// Advance K_i by `n` tuples in one relaxed atomic add. NextBatchImpl
   /// implementations own their counting (the wrapper does not add), so a
   /// native impl may count mid-batch if its estimation logic reads
-  /// tuples_emitted().
+  /// tuples_emitted(). Safe for concurrent callers: the partition-parallel
+  /// join phase counts from its worker tasks as output batches are flushed
+  /// (gnm progress is a sum of these counters, so it is invariant under
+  /// the order in which threads contribute).
   void CountEmitted(uint64_t n) {
     if (n != 0) emitted_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -189,6 +192,11 @@ class Operator {
   ExecContext* ctx_ = nullptr;
 
  private:
+  /// The morsel-parallel scan driver executes fused scan/filter/project
+  /// chains outside the Next/NextBatch wrappers and therefore attributes
+  /// counters and state transitions to the captured operators itself.
+  friend class MorselScanDriver;
+
   Schema schema_;
   std::string label_;
   std::vector<std::unique_ptr<Operator>> children_;

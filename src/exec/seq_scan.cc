@@ -1,6 +1,7 @@
 #include "exec/seq_scan.h"
 
 #include "common/check.h"
+#include "exec/morsel_scan.h"
 
 namespace qpi {
 
@@ -11,13 +12,22 @@ SeqScanOp::SeqScanOp(TablePtr table, double sample_fraction)
   SetSchema(table_->schema());
 }
 
+SeqScanOp::~SeqScanOp() = default;
+
 Status SeqScanOp::OpenImpl() {
   double fraction = sample_fraction_;
   if (fraction == 0.0 && ctx_ != nullptr) fraction = ctx_->sample_fraction;
   order_ = BlockSampler::MakeOrder(*table_, fraction, &ctx_->rng);
   block_pos_ = 0;
   row_pos_ = 0;
+  driver_.reset();
+  parallel_checked_ = false;
   return Status::OK();
+}
+
+void SeqScanOp::CloseImpl() {
+  // Joins the morsel tasks before the table can go away.
+  driver_.reset();
 }
 
 bool SeqScanOp::NextImpl(Row* out) {
@@ -35,6 +45,20 @@ bool SeqScanOp::NextImpl(Row* out) {
 }
 
 void SeqScanOp::NextBatchImpl(RowBatch* out) {
+  if (!parallel_checked_) {
+    parallel_checked_ = true;
+    if (ctx_ != nullptr && ctx_->exec_workers > 1) {
+      driver_ = std::make_unique<MorselScanDriver>(
+          this, std::vector<MorselStage>{}, ctx_);
+    }
+  }
+  if (driver_ != nullptr) {
+    // The ordered morsel merge reproduces the sequential row stream and
+    // random-run boundaries exactly; only the counting below stays here.
+    driver_->Fill(out);
+    CountEmitted(out->size());
+    return;
+  }
   uint64_t start = tuples_emitted();
   while (!out->full() && block_pos_ < order_.block_order.size()) {
     const Block& block = table_->block(order_.block_order[block_pos_]);

@@ -9,6 +9,8 @@
 
 namespace qpi {
 
+class MorselScanDriver;
+
 /// \brief Sequential scan with optional sample-first ordering.
 ///
 /// With `sample_fraction > 0`, emits a block-level random sample of the
@@ -21,6 +23,7 @@ namespace qpi {
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(TablePtr table, double sample_fraction);
+  ~SeqScanOp() override;
 
   double CurrentCardinalityEstimate() const override {
     return static_cast<double>(table_->num_rows());
@@ -31,10 +34,16 @@ class SeqScanOp : public Operator {
   /// Rows in the leading random prefix (table size when unsampled).
   uint64_t random_prefix_rows() const;
 
+  /// Morsel-parallel scan support: the resolved scan order and backing
+  /// table (valid after Open).
+  const ScanOrder& scan_order() const { return order_; }
+  const Table& scan_table() const { return *table_; }
+
  protected:
   Status OpenImpl() override;
   bool NextImpl(Row* out) override;
   void NextBatchImpl(RowBatch* out) override;
+  void CloseImpl() override;
 
  private:
   TablePtr table_;
@@ -42,6 +51,10 @@ class SeqScanOp : public Operator {
   ScanOrder order_;
   size_t block_pos_ = 0;
   size_t row_pos_ = 0;
+  // Engaged on the batch path when ctx->exec_workers > 1 and no fused
+  // ancestor captured this scan (their NextBatch then never reaches us).
+  std::unique_ptr<MorselScanDriver> driver_;
+  bool parallel_checked_ = false;
 };
 
 }  // namespace qpi

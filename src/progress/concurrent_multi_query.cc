@@ -66,11 +66,13 @@ void ConcurrentMultiQueryExecutor::RunOne(Entry* entry) {
 
   Status s = entry->root->Open(entry->ctx.get());
   if (s.ok()) {
+    entry->ctx->BeginExecution();
     RowBatch batch(entry->ctx->batch_size);
     while (entry->root->NextBatch(&batch)) {
       entry->rows_emitted.fetch_add(batch.size(), std::memory_order_relaxed);
     }
     entry->root->Close();
+    entry->ctx->EndExecution();
   }
   entry->status = std::move(s);
   entry->ctx->RemoveTickObserver(&publisher);
