@@ -1,0 +1,145 @@
+// qpi-serve snapshot-delivery latency: N concurrent watchers follow one
+// query at a fixed cadence over real loopback sockets, measuring
+//  - delivery latency: server send instant (the snapshot's server_ms,
+//    stamped from the same steady clock the client reads) → client
+//    receipt, reported as p50/p99 across all snapshots of the run;
+//  - submit→first-snapshot latency: Submit() returning → the first
+//    streamed snapshot arriving at a watcher.
+// The manually-timed iteration is one full submit+watch-to-completion
+// cycle. Results land in BENCH_service_latency.json via the shared
+// recorder (the counters ride in a "counters" object per run).
+//
+//   ./bench_service_latency [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/overhead_json.h"
+#include "datagen/tpch_like.h"
+#include "service/client.h"
+#include "service/net.h"
+#include "service/server.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace {
+
+Catalog* SharedCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    TpchLikeGenerator gen(2026);
+    Status s = gen.PopulateCatalog(c, 0.005);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::abort();
+    }
+    return c;
+  }();
+  return catalog;
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0;
+  std::sort(values->begin(), values->end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(values->size()));
+  if (index >= values->size()) index = values->size() - 1;
+  return (*values)[index];
+}
+
+const char kWatchedSql[] =
+    "SELECT * FROM orders JOIN lineitem "
+    "ON orders.orderkey = lineitem.orderkey WHERE totalprice > 100000.0";
+
+void BM_ServiceWatchLatency(benchmark::State& state) {
+  const size_t watchers = static_cast<size_t>(state.range(0));
+  const double period_ms = static_cast<double>(state.range(1));
+  QpiServer::Options options;
+  options.max_inflight = 2;
+  options.exec_workers = 2;
+  options.publish_interval = 256;
+  QpiServer server(SharedCatalog(), options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  std::mutex mu;
+  std::vector<double> delivery_ms;
+  std::vector<double> first_snapshot_ms;
+
+  for (auto _ : state) {
+    QpiClient submitter;
+    if (!submitter.Connect("127.0.0.1", server.port()).ok()) {
+      state.SkipWithError("connect failed");
+      break;
+    }
+    auto iteration_start = std::chrono::steady_clock::now();
+    uint64_t id = 0;
+    if (!submitter.Submit(kWatchedSql, &id).ok()) {
+      state.SkipWithError("submit failed");
+      break;
+    }
+    const double submitted_at = MonotonicMs();
+    std::vector<std::thread> threads;
+    threads.reserve(watchers);
+    for (size_t w = 0; w < watchers; ++w) {
+      threads.emplace_back([&server, &mu, &delivery_ms, &first_snapshot_ms,
+                            id, period_ms, submitted_at] {
+        QpiClient watcher;
+        if (!watcher.Connect("127.0.0.1", server.port()).ok()) return;
+        bool first = true;
+        watcher.Watch(
+            id, period_ms,
+            [&](const WireSnapshot& snap) {
+              double now = MonotonicMs();
+              std::lock_guard<std::mutex> lock(mu);
+              if (first) {
+                first_snapshot_ms.push_back(now - submitted_at);
+                first = false;
+              }
+              // server_ms and MonotonicMs() read the same steady clock
+              // (server and client share this process), so the difference
+              // is the encode+send+recv+decode delivery path.
+              delivery_ms.push_back(now - snap.server_ms);
+            },
+            nullptr);
+        watcher.Quit();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    submitter.Quit();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      iteration_start)
+            .count());
+  }
+  server.Shutdown();
+
+  state.counters["delivery_p50_ms"] = Percentile(&delivery_ms, 0.50);
+  state.counters["delivery_p99_ms"] = Percentile(&delivery_ms, 0.99);
+  state.counters["first_snapshot_ms"] = Percentile(&first_snapshot_ms, 0.50);
+  state.counters["snapshots"] = static_cast<double>(delivery_ms.size());
+}
+
+BENCHMARK(BM_ServiceWatchLatency)
+    ->ArgNames({"watchers", "period_ms"})
+    ->Args({1, 10})
+    ->Args({4, 10})
+    ->Args({8, 10})
+    ->Args({8, 50})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace qpi
+
+int main(int argc, char** argv) {
+  return qpi::bench::RunOverheadBenchmarks(argc, argv,
+                                           "BENCH_service_latency.json");
+}

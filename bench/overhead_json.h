@@ -60,6 +60,13 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
       rec.real_time = run.GetAdjustedRealTime();
       rec.cpu_time = run.GetAdjustedCPUTime();
       rec.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      // User counters ride along verbatim (benchmark::UserCounters is an
+      // ordered map, so the JSON key order is deterministic). The service
+      // latency bench reports its percentile latencies this way.
+      for (const auto& [counter_name, counter] : run.counters) {
+        rec.counters.emplace_back(counter_name,
+                                  static_cast<double>(counter.value));
+      }
       // Repetitions of the same configuration are folded by taking the
       // minimum — the standard noise-robust location estimate for
       // benchmark timings (scheduler interference only ever adds time).
@@ -67,6 +74,13 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
         if (prev.name == rec.name && prev.args == rec.args) {
           prev.real_time = std::min(prev.real_time, rec.real_time);
           prev.cpu_time = std::min(prev.cpu_time, rec.cpu_time);
+          for (size_t c = 0;
+               c < std::min(prev.counters.size(), rec.counters.size()); ++c) {
+            if (prev.counters[c].first == rec.counters[c].first) {
+              prev.counters[c].second =
+                  std::min(prev.counters[c].second, rec.counters[c].second);
+            }
+          }
           rec.name.clear();
           break;
         }
@@ -99,9 +113,17 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
       }
       std::fprintf(f,
                    "}, \"real_time\": %.6f, \"cpu_time\": %.6f, "
-                   "\"time_unit\": \"%s\"}%s\n",
-                   r.real_time, r.cpu_time, r.time_unit.c_str(),
-                   i + 1 < runs_.size() ? "," : "");
+                   "\"time_unit\": \"%s\"",
+                   r.real_time, r.cpu_time, r.time_unit.c_str());
+      if (!r.counters.empty()) {
+        std::fprintf(f, ", \"counters\": {");
+        for (size_t c = 0; c < r.counters.size(); ++c) {
+          std::fprintf(f, "%s\"%s\": %.6f", c == 0 ? "" : ", ",
+                       r.counters[c].first.c_str(), r.counters[c].second);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < runs_.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"%s\": [\n",
                  spec_.speedup_on_real_time ? "speedup" : "overhead");
@@ -123,6 +145,7 @@ class OverheadRecorder : public benchmark::ConsoleReporter {
     double real_time = 0.0;
     double cpu_time = 0.0;
     std::string time_unit;
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   bool IsPairingKey(const std::string& key) const {

@@ -10,6 +10,7 @@
 //   qpi_shell --sf 0.05            # bigger demo catalog
 //   qpi_shell --csv t=/path/t.csv  # load your own data
 //   echo "SELECT ..." | qpi_shell  # batch mode
+//   qpi_shell --connect 127.0.0.1:7878   # client REPL against qpi-serve
 // With no piped input and no terminal, three canned queries run as a demo.
 //
 // Shell commands (backslash-prefixed lines):
@@ -17,9 +18,16 @@
 //   \runall-mt [N]   run the queued statements (or the canned demo batch if
 //                    the queue is empty) on N pool workers (default 4) with a
 //                    live combined progress bar from the monitor thread
+//   \serve [port]    start qpi-serve on this catalog (port 0 = ephemeral);
+//                    \quit, Ctrl-D, or SIGTERM drains and stops it
+//
+// In --connect mode every plain SQL line is submitted and watched to
+// completion with a live progress bar; \submit defers the watch, \watch
+// re-attaches, \cancel aborts, \stats prints server gauges.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -34,6 +42,8 @@
 #include "exec/executor.h"
 #include "progress/concurrent_multi_query.h"
 #include "progress/monitor.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "sql/planner.h"
 #include "storage/csv.h"
 
@@ -188,6 +198,151 @@ void RunAllConcurrent(Catalog* catalog, std::vector<std::string>* queued,
   queued->clear();
 }
 
+/// \serve — run qpi-serve over this catalog until \quit / EOF / SIGTERM.
+void ServeCommand(Catalog* catalog, uint16_t port) {
+  QpiServer::Options options;
+  options.port = port;
+  options.install_sigterm_handler = true;
+  QpiServer server(catalog, options);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf(
+      "qpi-serve listening on 127.0.0.1:%u "
+      "(max_inflight=%zu, exec_workers=%zu)\n"
+      "\\quit, Ctrl-D, or SIGTERM drains and stops the server.\n",
+      server.port(), options.max_inflight, options.exec_workers);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "\\quit" || line == "quit" || line == "exit") break;
+    if (line == "\\stats") {
+      ServerStats stats = server.GetStats();
+      std::printf(
+          "  submitted=%llu queued=%llu running=%llu finished=%llu "
+          "failed=%llu cancelled=%llu sessions=%llu watchers=%llu\n",
+          (unsigned long long)stats.submitted, (unsigned long long)stats.queued,
+          (unsigned long long)stats.running, (unsigned long long)stats.finished,
+          (unsigned long long)stats.failed, (unsigned long long)stats.cancelled,
+          (unsigned long long)stats.sessions,
+          (unsigned long long)stats.watchers);
+      continue;
+    }
+    std::printf("serving; \\quit stops, \\stats prints gauges.\n");
+  }
+  std::printf("draining...\n");
+  server.Shutdown();
+  std::printf("server stopped.\n");
+}
+
+void DrawWireSnapshot(const WireSnapshot& snap) {
+  const int kWidth = 30;
+  int filled = static_cast<int>(snap.progress * kWidth);
+  std::printf("\r  [");
+  for (int i = 0; i < kWidth; ++i) std::printf(i < filled ? "#" : " ");
+  std::printf("] %5.1f%% %-9s T\xCC\x82=%.0f\xC2\xB1%.0f rows=%llu",
+              snap.progress * 100, snap.state.c_str(),
+              snap.gnm.total_estimate, snap.gnm.ci_half_width,
+              static_cast<unsigned long long>(snap.rows));
+  std::fflush(stdout);
+}
+
+/// Watch query `id` to its terminal snapshot, drawing the progress bar.
+void WatchToCompletion(QpiClient* client, uint64_t id, double period_ms) {
+  WireSnapshot final_snap;
+  Status s = client->Watch(id, period_ms, DrawWireSnapshot, &final_snap);
+  std::printf("\n");
+  if (!s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf("  q%llu %s: %llu row(s), C=%.0f T\xCC\x82=%.0f\n",
+              static_cast<unsigned long long>(final_snap.id),
+              final_snap.state.c_str(),
+              static_cast<unsigned long long>(final_snap.rows),
+              final_snap.gnm.current_calls, final_snap.gnm.total_estimate);
+}
+
+/// --connect — a REPL speaking the wire protocol to a remote qpi-serve.
+int ConnectRepl(const std::string& host, uint16_t port) {
+  QpiClient client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  bool interactive = isatty(STDIN_FILENO);
+  std::printf("connected to qpi-serve at %s:%u\n", host.c_str(), port);
+  if (interactive) {
+    std::printf(
+        "SQL lines are submitted and watched live; \\submit <sql> defers,\n"
+        "\\watch <id> [period_ms] re-attaches, \\cancel <id> aborts,\n"
+        "\\stats prints gauges, quit exits.\n");
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::printf("qpi> ");
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    if (line == "\\stats") {
+      ServerStats stats;
+      s = client.Stats(&stats);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf(
+          "  submitted=%llu queued=%llu running=%llu finished=%llu "
+          "failed=%llu cancelled=%llu sessions=%llu watchers=%llu%s\n",
+          (unsigned long long)stats.submitted, (unsigned long long)stats.queued,
+          (unsigned long long)stats.running, (unsigned long long)stats.finished,
+          (unsigned long long)stats.failed, (unsigned long long)stats.cancelled,
+          (unsigned long long)stats.sessions,
+          (unsigned long long)stats.watchers,
+          stats.draining ? " (draining)" : "");
+      continue;
+    }
+    if (line.rfind("\\cancel ", 0) == 0) {
+      uint64_t id = std::strtoull(line.c_str() + 8, nullptr, 10);
+      s = client.Cancel(id);
+      std::printf("%s\n", s.ok() ? "cancelled"
+                                 : ("error: " + s.ToString()).c_str());
+      continue;
+    }
+    if (line.rfind("\\watch ", 0) == 0) {
+      char* end = nullptr;
+      uint64_t id = std::strtoull(line.c_str() + 7, &end, 10);
+      double period = 50;
+      if (end != nullptr && *end != '\0') period = std::strtod(end, nullptr);
+      if (period <= 0) period = 50;
+      WatchToCompletion(&client, id, period);
+      continue;
+    }
+    if (line.rfind("\\submit ", 0) == 0) {
+      uint64_t id = 0;
+      s = client.Submit(line.substr(8), &id);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("submitted as q%llu (\\watch %llu to attach)\n",
+                    (unsigned long long)id, (unsigned long long)id);
+      }
+      continue;
+    }
+    uint64_t id = 0;
+    s = client.Submit(line, &id);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      continue;
+    }
+    WatchToCompletion(&client, id, 50);
+  }
+  client.Quit();
+  return 0;
+}
+
 /// Dispatches `\`-prefixed shell commands; returns false for SQL lines.
 bool HandleCommand(Catalog* catalog, const std::string& line,
                    std::vector<std::string>* queued) {
@@ -210,8 +365,14 @@ bool HandleCommand(Catalog* catalog, const std::string& line,
       }
     }
     RunAllConcurrent(catalog, queued, workers);
+  } else if (line.rfind("\\serve", 0) == 0) {
+    uint16_t port = 0;
+    std::string arg = line.substr(std::strlen("\\serve"));
+    if (!arg.empty()) port = static_cast<uint16_t>(std::strtoul(
+        arg.c_str(), nullptr, 10));
+    ServeCommand(catalog, port);
   } else {
-    std::printf("unknown command %s (try \\queue, \\runall-mt)\n",
+    std::printf("unknown command %s (try \\queue, \\runall-mt, \\serve)\n",
                 line.c_str());
   }
   return true;
@@ -225,7 +386,17 @@ int main(int argc, char** argv) {
   bool loaded_csv = false;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t colon = spec.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect expects host:port\n");
+        return 1;
+      }
+      return ConnectRepl(spec.substr(0, colon),
+                         static_cast<uint16_t>(std::strtoul(
+                             spec.c_str() + colon + 1, nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
       scale_factor = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       std::string spec = argv[++i];

@@ -1,0 +1,293 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace qpi {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string default_value) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || v->kind != Kind::kString) return default_value;
+  return v->string;
+}
+
+double JsonValue::GetNumber(std::string_view key, double default_value) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || v->kind != Kind::kNumber) return default_value;
+  return v->number;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool default_value) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || v->kind != Kind::kBool) return default_value;
+  return v->boolean;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. Every error path returns
+/// InvalidArgument with an offset, so fuzzed garbage surfaces as a clean
+/// error reply on the wire.
+class Parser {
+ public:
+  Parser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Status Parse(JsonValue* out) {
+    SkipWs();
+    QPI_RETURN_NOT_OK(ParseValue(out, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(std::string("json: ") + what +
+                                   " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        return ParseKeyword(c == 't' ? "true" : "false", out);
+      case 'n':
+        return ParseKeyword("null", out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(const char* word, JsonValue* out) {
+    size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return Error("invalid token");
+    pos_ += len;
+    if (word[0] == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+    } else {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = word[0] == 't';
+    }
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // combined — the protocol's payloads are SQL text and labels,
+          // which are ASCII in practice; lone surrogates round-trip as
+          // their 3-byte encoding rather than erroring).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    Consume('{');
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      QPI_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWs();
+      JsonValue value;
+      QPI_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    Consume('[');
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      QPI_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t max_depth_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status JsonParse(std::string_view text, JsonValue* out, size_t max_depth) {
+  *out = JsonValue();
+  return Parser(text, max_depth).Parse(out);
+}
+
+void JsonAppendQuoted(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonNumberString(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  // Integral doubles (counters, ticks) print without decoration; anything
+  // else uses 17 significant digits, which round-trips IEEE doubles
+  // exactly — the e2e test compares streamed T̂ against the in-process
+  // value with operator==.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonAppendKey(std::string_view key, std::string* out) {
+  if (!out->empty() && out->back() != '{' && out->back() != '[') {
+    out->push_back(',');
+  }
+  JsonAppendQuoted(key, out);
+  out->push_back(':');
+}
+
+}  // namespace qpi

@@ -1,0 +1,68 @@
+#ifndef QPI_COMMON_JSON_H_
+#define QPI_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qpi {
+
+/// \brief Minimal JSON document model for the service wire protocol.
+///
+/// The newline-delimited protocol of qpi-serve exchanges one JSON value per
+/// line, so the parser below is deliberately small: strict RFC-ish syntax,
+/// a recursion-depth cap (malicious nesting must not smash the stack), and
+/// Status errors instead of exceptions — a malformed line from a client is
+/// an anticipated failure, never a crash (see tests/service_protocol_test).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                               ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;     ///< kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member getters with defaults — the tolerant read side of the
+  /// protocol (missing/mistyped optional fields fall back instead of
+  /// erroring).
+  std::string GetString(std::string_view key,
+                        std::string default_value = "") const;
+  double GetNumber(std::string_view key, double default_value = 0.0) const;
+  bool GetBool(std::string_view key, bool default_value = false) const;
+};
+
+/// Parse `text` (one complete JSON value, surrounding whitespace allowed)
+/// into `*out`. Depth is capped at `max_depth` nested containers.
+Status JsonParse(std::string_view text, JsonValue* out, size_t max_depth = 32);
+
+/// Append `s` as a quoted, escaped JSON string to `*out`.
+void JsonAppendQuoted(std::string_view s, std::string* out);
+
+/// Format a double so it round-trips bit-exactly through parse (shortest
+/// form via %.17g; integral values without exponent noise where possible).
+std::string JsonNumberString(double v);
+
+/// Append `"key":` to `*out` (with the leading comma when `*out` does not
+/// end in '{' or '['). Tiny builder helper for the fixed-shape protocol
+/// lines.
+void JsonAppendKey(std::string_view key, std::string* out);
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_JSON_H_

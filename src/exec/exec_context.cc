@@ -22,6 +22,18 @@ uint64_t ExecContext::DrainConcurrentTicks() {
   return total;
 }
 
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kQueued:
+      return "queued";
+    case QueryPhase::kRunning:
+      return "running";
+    case QueryPhase::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
 const char* EstimationModeName(EstimationMode mode) {
   switch (mode) {
     case EstimationMode::kNone:

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "stats/normal.h"
 #include "storage/catalog.h"
 
@@ -25,6 +26,15 @@ enum class EstimationMode {
 };
 
 const char* EstimationModeName(EstimationMode mode);
+
+/// Coarse lifecycle phase of a query as a progress consumer sees it.
+/// kQueued is the pre-execution phase a service-layer admission queue
+/// parks a query in (progress pinned at 0 with the optimizer's T̂);
+/// BeginExecution()/EndExecution() advance the phase automatically, so
+/// in-process drivers that never queue report kRunning throughout.
+enum class QueryPhase : unsigned char { kQueued, kRunning, kFinished };
+
+const char* QueryPhaseName(QueryPhase phase);
 
 /// \brief Receives the engine's progress ticks.
 ///
@@ -104,6 +114,23 @@ struct ExecContext {
 
   Pcg32 rng{0x5eed5eedULL};
 
+  /// Check the knobs that would otherwise produce undefined looping at
+  /// execution time: a batch_size of 0 makes every NextBatch return an
+  /// empty (= end-of-stream) batch and a morsel_rows of 0 would spin the
+  /// morsel cursor forever. Called by the executors before Open; service
+  /// submissions surface the error on the wire instead of wedging a
+  /// worker. (hash_join_partitions == 0 is rejected separately at operator
+  /// Open, where the power-of-two normalization lives.)
+  Status Validate() const {
+    if (batch_size == 0) {
+      return Status::InvalidArgument("batch_size must be >= 1");
+    }
+    if (morsel_rows == 0) {
+      return Status::InvalidArgument("morsel_rows must be >= 1");
+    }
+    return Status::OK();
+  }
+
   /// Observers are invoked once per emitted batch (n = rows in the batch);
   /// progress monitors and bench harnesses hook here to observe estimates
   /// mid-phase.
@@ -132,6 +159,7 @@ struct ExecContext {
   /// a cancelled previous run.
   void BeginExecution() {
     DrainConcurrentTicks();
+    phase_.store(QueryPhase::kRunning, std::memory_order_relaxed);
     executing_.store(true, std::memory_order_relaxed);
   }
 
@@ -142,6 +170,17 @@ struct ExecContext {
   void EndExecution() {
     if (has_concurrent_ticks_.load(std::memory_order_relaxed)) Tick(0);
     executing_.store(false, std::memory_order_relaxed);
+    phase_.store(QueryPhase::kFinished, std::memory_order_relaxed);
+  }
+
+  /// Lifecycle phase for progress consumers. An admission queue parks a
+  /// submitted query in kQueued (set_phase) before handing it to a worker;
+  /// BeginExecution/EndExecution advance it from there. Readable from any
+  /// thread (relaxed atomic) — qpi-serve derives the "queued" wire state
+  /// of a pre-execution snapshot from this hook.
+  QueryPhase phase() const { return phase_.load(std::memory_order_relaxed); }
+  void set_phase(QueryPhase phase) {
+    phase_.store(phase, std::memory_order_relaxed);
   }
 
   /// Deliver `n` getnext ticks to the observers. Called only from the
@@ -200,6 +239,7 @@ struct ExecContext {
   };
 
   std::vector<TickObserver*> tick_observers_;
+  std::atomic<QueryPhase> phase_{QueryPhase::kRunning};
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> executing_{false};
   std::atomic<bool> has_concurrent_ticks_{false};

@@ -6,6 +6,7 @@ namespace qpi {
 
 Status QueryExecutor::Run(Operator* root, ExecContext* ctx,
                           std::vector<Row>* sink, uint64_t* rows_emitted) {
+  QPI_RETURN_NOT_OK(ctx->Validate());
   QPI_RETURN_NOT_OK(root->Open(ctx));
   ctx->BeginExecution();
   RowBatch batch(ctx->batch_size);

@@ -488,6 +488,19 @@ double GraceHashJoinOp::CurrentCardinalityEstimate() const {
   return optimizer_estimate();
 }
 
+double GraceHashJoinOp::CurrentCardinalityHalfWidth(double confidence) const {
+  if (state() == OpState::kFinished) return 0.0;
+  if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return 0.0;
+  if (pipeline_ != nullptr && pipeline_->Resolved(pipeline_index_) &&
+      pipeline_->driver_rows_seen() > 0) {
+    return pipeline_->ConfidenceHalfWidth(pipeline_index_, confidence);
+  }
+  if (once_ != nullptr && once_->probe_tuples_seen() > 0) {
+    return once_->ConfidenceHalfWidth(confidence);
+  }
+  return 0.0;
+}
+
 bool GraceHashJoinOp::CardinalityExact() const {
   if (state() == OpState::kFinished) return true;
   if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return false;

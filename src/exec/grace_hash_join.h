@@ -60,6 +60,7 @@ class GraceHashJoinOp : public Operator {
                         size_t index, bool is_lowest);
 
   double CurrentCardinalityEstimate() const override;
+  double CurrentCardinalityHalfWidth(double confidence) const override;
   bool CardinalityExact() const override;
 
   size_t num_key_columns() const { return build_key_indices_.size(); }

@@ -122,6 +122,16 @@ double IndexNestedLoopsJoinOp::CurrentCardinalityEstimate() const {
   return optimizer_estimate();
 }
 
+double IndexNestedLoopsJoinOp::CurrentCardinalityHalfWidth(
+    double confidence) const {
+  if (state() == OpState::kFinished) return 0.0;
+  if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return 0.0;
+  if (once_ != nullptr && once_->probe_tuples_seen() > 0) {
+    return once_->ConfidenceHalfWidth(confidence);
+  }
+  return 0.0;
+}
+
 bool IndexNestedLoopsJoinOp::CardinalityExact() const {
   if (state() == OpState::kFinished) return true;
   if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return false;

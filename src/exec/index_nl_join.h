@@ -34,6 +34,7 @@ class IndexNestedLoopsJoinOp : public Operator {
   void EnableOnceEstimation();
 
   double CurrentCardinalityEstimate() const override;
+  double CurrentCardinalityHalfWidth(double confidence) const override;
   bool CardinalityExact() const override;
 
   const OnceBinaryJoinEstimator* once_estimator() const { return once_.get(); }

@@ -121,6 +121,17 @@ class Operator {
   /// Live estimate of N_i, the total output cardinality.
   virtual double CurrentCardinalityEstimate() const = 0;
 
+  /// Half-width of the `confidence` CLT interval around
+  /// CurrentCardinalityEstimate(), when this operator carries an online
+  /// estimator that provides one; 0 when the estimate is exact or no
+  /// interval applies (scans, dne fallbacks, finished operators). Like
+  /// CurrentCardinalityEstimate(), this reads live estimator internals and
+  /// must only be called from the thread executing the query.
+  virtual double CurrentCardinalityHalfWidth(double confidence) const {
+    (void)confidence;
+    return 0.0;
+  }
+
   /// Whether CurrentCardinalityEstimate() is known to be exact.
   virtual bool CardinalityExact() const {
     return state_ == OpState::kFinished;

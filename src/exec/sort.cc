@@ -150,6 +150,16 @@ double NestedLoopsJoinOp::CurrentCardinalityEstimate() const {
          static_cast<double>(outer_consumed_);
 }
 
+double NestedLoopsJoinOp::CurrentCardinalityHalfWidth(
+    double confidence) const {
+  if (state() == OpState::kFinished) return 0.0;
+  if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return 0.0;
+  if (theta_ != nullptr && theta_->outer_tuples_seen() > 0) {
+    return theta_->ConfidenceHalfWidth(confidence);
+  }
+  return 0.0;
+}
+
 bool NestedLoopsJoinOp::CardinalityExact() const {
   if (state() == OpState::kFinished) return true;
   if (ctx_ == nullptr || ctx_->mode != EstimationMode::kOnce) return false;

@@ -59,6 +59,7 @@ class NestedLoopsJoinOp : public Operator {
   void EnableThetaOnceEstimation();
 
   double CurrentCardinalityEstimate() const override;
+  double CurrentCardinalityHalfWidth(double confidence) const override;
   bool CardinalityExact() const override;
 
   uint64_t outer_consumed() const { return outer_consumed_; }

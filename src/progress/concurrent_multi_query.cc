@@ -13,6 +13,7 @@ Status ConcurrentMultiQueryExecutor::Add(std::string name, OperatorPtr root,
   if (root == nullptr || ctx == nullptr) {
     return Status::InvalidArgument("multi-query entry needs root and context");
   }
+  QPI_RETURN_NOT_OK(ctx->Validate());
   auto entry = std::make_unique<Entry>();
   entry->name = std::move(name);
   entry->root = std::move(root);

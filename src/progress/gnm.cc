@@ -42,6 +42,23 @@ double GnmAccountant::TotalEstimate() const {
   return total;
 }
 
+double GnmAccountant::TotalHalfWidth(double confidence) const {
+  double total = 0;
+  for (const Operator* op : ops_) {
+    if (op->state() == OpState::kRunning) {
+      total += op->CurrentCardinalityHalfWidth(confidence);
+    }
+  }
+  return total;
+}
+
+GnmSnapshot GnmAccountant::SnapshotWithConfidence(uint64_t tick,
+                                                  double confidence) const {
+  GnmSnapshot snap = Snapshot(tick);
+  snap.ci_half_width = TotalHalfWidth(confidence);
+  return snap;
+}
+
 GnmSnapshot GnmAccountant::Snapshot(uint64_t tick) const {
   GnmSnapshot snap;
   snap.tick = tick;

@@ -12,6 +12,11 @@ struct GnmSnapshot {
   uint64_t tick = 0;          ///< engine ticks when taken
   double current_calls = 0;   ///< C(Q) — getnext() calls made so far
   double total_estimate = 0;  ///< live estimate of T(Q)
+  /// Half-width of the confidence interval around total_estimate: the sum
+  /// of the per-operator CLT half-widths of every *running* estimator
+  /// (a union bound — conservative, and 0 once every contribution is
+  /// exact). Streamed to qpi-serve watchers alongside T̂.
+  double ci_half_width = 0;
   /// Estimated progress C(Q) / T̂(Q), clamped to [0, 1].
   double EstimatedProgress() const {
     if (total_estimate <= 0) return 0.0;
@@ -50,8 +55,23 @@ class GnmAccountant {
   /// Take a snapshot (tick recorded for plotting). Executing thread only.
   GnmSnapshot Snapshot(uint64_t tick = 0) const;
 
+  /// Snapshot that additionally fills ci_half_width at confidence level
+  /// `confidence` — the form qpi-serve publishes. Executing thread only.
+  GnmSnapshot SnapshotWithConfidence(uint64_t tick, double confidence) const;
+
   /// Live N_i estimate for one operator under the classification above.
   double RefinedEstimate(const Operator* op) const;
+
+  /// Sum of the per-operator confidence half-widths of every running
+  /// operator (0 for finished/not-started ones). Executing thread only,
+  /// like TotalEstimate().
+  double TotalHalfWidth(double confidence) const;
+
+  /// The flattened operator tree (pre-order). Per-operator counters and
+  /// states read off these pointers are relaxed atomics — safe from any
+  /// thread — which is how qpi-serve assembles per-operator counters for
+  /// the wire without touching estimator internals.
+  const std::vector<const Operator*>& operators() const { return ops_; }
 
  private:
   Operator* root_;

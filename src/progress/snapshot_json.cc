@@ -1,0 +1,70 @@
+#include "progress/snapshot_json.h"
+
+#include "common/json.h"
+
+namespace qpi {
+
+const char* OpStateName(OpState state) {
+  switch (state) {
+    case OpState::kNotStarted:
+      return "not_started";
+    case OpState::kRunning:
+      return "running";
+    case OpState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+OpState OpStateFromName(const std::string& name) {
+  if (name == "running") return OpState::kRunning;
+  if (name == "finished") return OpState::kFinished;
+  return OpState::kNotStarted;
+}
+
+std::vector<OperatorCounter> CollectOperatorCounters(
+    const GnmAccountant& accountant) {
+  std::vector<OperatorCounter> out;
+  out.reserve(accountant.operators().size());
+  for (const Operator* op : accountant.operators()) {
+    OperatorCounter c;
+    c.label = op->label();
+    c.state = op->state();
+    c.emitted = op->tuples_emitted();
+    c.optimizer_estimate = op->optimizer_estimate();
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void AppendGnmSnapshotFields(const GnmSnapshot& snap, std::string* out) {
+  JsonAppendKey("calls", out);
+  out->append(JsonNumberString(snap.current_calls));
+  JsonAppendKey("total_estimate", out);
+  out->append(JsonNumberString(snap.total_estimate));
+  JsonAppendKey("ci_half_width", out);
+  out->append(JsonNumberString(snap.ci_half_width));
+  JsonAppendKey("tick", out);
+  out->append(JsonNumberString(static_cast<double>(snap.tick)));
+}
+
+void AppendOperatorCountersJson(const std::vector<OperatorCounter>& ops,
+                                std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('{');
+    JsonAppendKey("label", out);
+    JsonAppendQuoted(ops[i].label, out);
+    JsonAppendKey("state", out);
+    JsonAppendQuoted(OpStateName(ops[i].state), out);
+    JsonAppendKey("emitted", out);
+    out->append(JsonNumberString(static_cast<double>(ops[i].emitted)));
+    JsonAppendKey("optimizer_estimate", out);
+    out->append(JsonNumberString(ops[i].optimizer_estimate));
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+}  // namespace qpi

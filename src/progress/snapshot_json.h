@@ -1,0 +1,54 @@
+#ifndef QPI_PROGRESS_SNAPSHOT_JSON_H_
+#define QPI_PROGRESS_SNAPSHOT_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "progress/gnm.h"
+
+namespace qpi {
+
+/// \brief GnmSnapshot → JSON serialization for the qpi-serve wire protocol.
+///
+/// Two pieces of a streamed progress line are produced here, next to the
+/// types they serialize:
+///  - the snapshot scalar fields (C, T̂, CI half-width, tick), and
+///  - the per-operator counter array, assembled from the relaxed atomic
+///    counters and states of the flattened operator tree — the only
+///    operator data that is safe to read from a thread that is not
+///    executing the query (see DESIGN.md §7).
+
+/// One operator's monitor-visible counters.
+struct OperatorCounter {
+  std::string label;
+  OpState state = OpState::kNotStarted;
+  uint64_t emitted = 0;            ///< K_i — getnext() calls answered
+  double optimizer_estimate = 0;   ///< the static N_i the optimizer gave
+};
+
+/// Wire name of an operator state ("not_started" | "running" | "finished").
+const char* OpStateName(OpState state);
+
+/// Parse the wire name back; defaults to kNotStarted on unknown input.
+OpState OpStateFromName(const std::string& name);
+
+/// Collect per-operator counters from an accountant's flattened tree.
+/// Safe from any thread while the query executes (relaxed atomic reads).
+std::vector<OperatorCounter> CollectOperatorCounters(
+    const GnmAccountant& accountant);
+
+/// Append `"calls":..,"total_estimate":..,"ci_half_width":..,"tick":..`
+/// (no braces) to `*out`. Doubles are emitted in a form that round-trips
+/// exactly through JsonParse.
+void AppendGnmSnapshotFields(const GnmSnapshot& snap, std::string* out);
+
+/// Append `[{"label":..,"state":..,"emitted":..,"optimizer_estimate":..},…]`
+/// to `*out`.
+void AppendOperatorCountersJson(const std::vector<OperatorCounter>& ops,
+                                std::string* out);
+
+}  // namespace qpi
+
+#endif  // QPI_PROGRESS_SNAPSHOT_JSON_H_

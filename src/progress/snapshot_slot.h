@@ -31,6 +31,7 @@ class SnapshotSlot {
     tick_.store(snap.tick, std::memory_order_relaxed);
     calls_.store(snap.current_calls, std::memory_order_relaxed);
     total_.store(snap.total_estimate, std::memory_order_relaxed);
+    ci_.store(snap.ci_half_width, std::memory_order_relaxed);
     seq_.store(seq + 2, std::memory_order_release);  // even: stable
   }
 
@@ -44,6 +45,7 @@ class SnapshotSlot {
       snap.tick = tick_.load(std::memory_order_relaxed);
       snap.current_calls = calls_.load(std::memory_order_relaxed);
       snap.total_estimate = total_.load(std::memory_order_relaxed);
+      snap.ci_half_width = ci_.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       uint64_t after = seq_.load(std::memory_order_relaxed);
       if (before == after) return snap;
@@ -55,6 +57,7 @@ class SnapshotSlot {
   std::atomic<uint64_t> tick_{0};
   std::atomic<double> calls_{0.0};
   std::atomic<double> total_{0.0};
+  std::atomic<double> ci_{0.0};
 };
 
 }  // namespace qpi

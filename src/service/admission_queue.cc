@@ -1,0 +1,74 @@
+#include "service/admission_queue.h"
+
+#include <algorithm>
+
+namespace qpi {
+
+bool AdmissionQueue::Enqueue(QueryHandle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return false;
+  pending_.push_back(handle);
+  dispatch_cv_.notify_one();
+  return true;
+}
+
+QueryHandle* AdmissionQueue::NextRunnable() {
+  std::unique_lock<std::mutex> lock(mu_);
+  dispatch_cv_.wait(lock, [this] {
+    return closed_ || (!pending_.empty() && inflight_ < max_inflight_);
+  });
+  if (pending_.empty() || inflight_ >= max_inflight_) {
+    // Only reachable when closed: either nothing is pending (drained) or
+    // the remaining pending entries belong to DrainPending().
+    return nullptr;
+  }
+  QueryHandle* handle = pending_.front();
+  pending_.pop_front();
+  ++inflight_;
+  return handle;
+}
+
+void AdmissionQueue::OnComplete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  dispatch_cv_.notify_one();
+  if (inflight_ == 0) idle_cv_.notify_all();
+}
+
+bool AdmissionQueue::Remove(QueryHandle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(pending_.begin(), pending_.end(), handle);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  return true;
+}
+
+void AdmissionQueue::CloseAdmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  dispatch_cv_.notify_all();
+}
+
+std::vector<QueryHandle*> AdmissionQueue::DrainPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryHandle*> out(pending_.begin(), pending_.end());
+  pending_.clear();
+  return out;
+}
+
+bool AdmissionQueue::WaitIdle(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, timeout, [this] { return inflight_ == 0; });
+}
+
+size_t AdmissionQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+size_t AdmissionQueue::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace qpi

@@ -1,0 +1,75 @@
+#ifndef QPI_SERVICE_ADMISSION_QUEUE_H_
+#define QPI_SERVICE_ADMISSION_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace qpi {
+
+struct QueryHandle;
+
+/// \brief FIFO admission control for qpi-serve.
+///
+/// The server accepts arbitrarily many SUBMITs but runs at most
+/// `max_inflight` queries at once: excess submissions queue here in FIFO
+/// order and report the "queued" pre-execution phase to their watchers
+/// (ExecContext::QueryPhase::kQueued). The dispatcher thread blocks in
+/// NextRunnable() until a slot frees up; query completion returns the slot
+/// via OnComplete().
+///
+/// Drain protocol: CloseAdmission() makes Enqueue() fail (new SUBMITs get
+/// an error reply), DrainPending() empties the FIFO (the server terminal-
+/// izes those handles as cancelled), and NextRunnable() returns nullptr
+/// once closed with nothing left — the dispatcher's exit condition.
+/// WaitIdle() is the drain deadline barrier on the inflight count.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t max_inflight)
+      : max_inflight_(max_inflight == 0 ? 1 : max_inflight) {}
+
+  /// FIFO-append a submitted query. False once admission is closed.
+  bool Enqueue(QueryHandle* handle);
+
+  /// Block until a query may start (pending FIFO non-empty and a slot
+  /// free); claims the slot and returns the handle. Returns nullptr when
+  /// admission is closed and the FIFO has drained.
+  QueryHandle* NextRunnable();
+
+  /// Return a slot claimed by NextRunnable() (called when its query
+  /// reaches a terminal state).
+  void OnComplete();
+
+  /// Remove a still-queued handle (CANCEL before execution). False when
+  /// the handle already left the FIFO (it is running or done).
+  bool Remove(QueryHandle* handle);
+
+  /// Stop admitting; wakes the dispatcher.
+  void CloseAdmission();
+
+  /// Empty the FIFO, returning the never-started handles.
+  std::vector<QueryHandle*> DrainPending();
+
+  /// Wait until no query is inflight, up to `timeout`. True on idle.
+  bool WaitIdle(std::chrono::milliseconds timeout);
+
+  size_t pending() const;
+  size_t inflight() const;
+  size_t max_inflight() const { return max_inflight_; }
+
+ private:
+  const size_t max_inflight_;
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  ///< pending/slot/closed changes
+  std::condition_variable idle_cv_;      ///< inflight drained
+  std::deque<QueryHandle*> pending_;
+  size_t inflight_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_ADMISSION_QUEUE_H_

@@ -1,0 +1,147 @@
+#include "service/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace qpi {
+
+namespace {
+
+std::string RequestLine(const std::string& body) { return body + "\n"; }
+
+}  // namespace
+
+Status QpiClient::Connect(const std::string& host, uint16_t port,
+                          size_t max_line_bytes) {
+  if (connected()) return Status::Internal("client is already connected");
+  QPI_RETURN_NOT_OK(TcpConnect(host, port, &fd_));
+  reader_ = std::make_unique<LineReader>(fd_, max_line_bytes);
+  JsonValue hello;
+  std::string type;
+  Status s = ReadReplyLine(&hello, &type);
+  if (s.ok() && type != "hello") {
+    s = Status::Internal("expected hello, got \"" + type + "\"");
+  }
+  if (!s.ok()) Close();
+  return s;
+}
+
+void QpiClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+Status QpiClient::ReadReplyLine(JsonValue* value, std::string* type) {
+  if (!connected()) return Status::Internal("client is not connected");
+  std::string line;
+  LineReader::Result result = reader_->ReadLine(&line);
+  if (result == LineReader::Result::kOverlong) {
+    return Status::Internal("server reply exceeds the line size limit");
+  }
+  if (result != LineReader::Result::kLine) {
+    return Status::Internal("connection closed by server");
+  }
+  QPI_RETURN_NOT_OK(JsonParse(line, value));
+  *type = value->GetString("type");
+  return Status::OK();
+}
+
+Status QpiClient::RoundTrip(const std::string& request,
+                            const std::string& want, JsonValue* reply) {
+  if (!connected()) return Status::Internal("client is not connected");
+  if (!SendAll(fd_, RequestLine(request))) {
+    return Status::Internal("connection closed by server");
+  }
+  std::string type;
+  QPI_RETURN_NOT_OK(ReadReplyLine(reply, &type));
+  if (type == "error") {
+    return Status::Internal(reply->GetString("error", "server error"));
+  }
+  if (type != want) {
+    return Status::Internal("expected \"" + want + "\" reply, got \"" + type +
+                            "\"");
+  }
+  return Status::OK();
+}
+
+Status QpiClient::Submit(const std::string& sql, uint64_t* id) {
+  std::string request = "{";
+  JsonAppendKey("cmd", &request);
+  JsonAppendQuoted("submit", &request);
+  JsonAppendKey("sql", &request);
+  JsonAppendQuoted(sql, &request);
+  request.push_back('}');
+  JsonValue reply;
+  QPI_RETURN_NOT_OK(RoundTrip(request, "submitted", &reply));
+  *id = static_cast<uint64_t>(reply.GetNumber("id"));
+  return Status::OK();
+}
+
+Status QpiClient::Watch(
+    uint64_t id, double period_ms,
+    const std::function<void(const WireSnapshot&)>& on_snapshot,
+    WireSnapshot* final_snapshot) {
+  std::string request = "{";
+  JsonAppendKey("cmd", &request);
+  JsonAppendQuoted("watch", &request);
+  JsonAppendKey("id", &request);
+  request.append(JsonNumberString(static_cast<double>(id)));
+  JsonAppendKey("period_ms", &request);
+  request.append(JsonNumberString(period_ms));
+  request.push_back('}');
+  if (!SendAll(fd_, RequestLine(request))) {
+    return Status::Internal("connection closed by server");
+  }
+  while (true) {
+    JsonValue reply;
+    std::string type;
+    QPI_RETURN_NOT_OK(ReadReplyLine(&reply, &type));
+    if (type == "error") {
+      return Status::Internal(reply.GetString("error", "server error"));
+    }
+    if (type != "snapshot") {
+      // A drain can slip a bye in before this watch's final snapshot was
+      // requested; surface it as a closed stream.
+      if (type == "bye") {
+        return Status::Internal("server draining: " +
+                                reply.GetString("reason"));
+      }
+      return Status::Internal("expected snapshot, got \"" + type + "\"");
+    }
+    WireSnapshot snap;
+    QPI_RETURN_NOT_OK(DecodeSnapshot(reply, &snap));
+    if (on_snapshot) on_snapshot(snap);
+    if (snap.final_snapshot) {
+      if (final_snapshot != nullptr) *final_snapshot = std::move(snap);
+      return Status::OK();
+    }
+  }
+}
+
+Status QpiClient::Cancel(uint64_t id) {
+  std::string request = "{";
+  JsonAppendKey("cmd", &request);
+  JsonAppendQuoted("cancel", &request);
+  JsonAppendKey("id", &request);
+  request.append(JsonNumberString(static_cast<double>(id)));
+  request.push_back('}');
+  JsonValue reply;
+  return RoundTrip(request, "ok", &reply);
+}
+
+Status QpiClient::Stats(ServerStats* out) {
+  JsonValue reply;
+  QPI_RETURN_NOT_OK(RoundTrip("{\"cmd\":\"stats\"}", "stats", &reply));
+  return DecodeStats(reply, out);
+}
+
+Status QpiClient::Quit() {
+  JsonValue reply;
+  return RoundTrip("{\"cmd\":\"quit\"}", "bye", &reply);
+}
+
+}  // namespace qpi

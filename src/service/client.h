@@ -1,0 +1,69 @@
+#ifndef QPI_SERVICE_CLIENT_H_
+#define QPI_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "service/net.h"
+#include "service/protocol.h"
+
+namespace qpi {
+
+/// \brief Blocking client for the qpi-serve wire protocol.
+///
+/// Single-threaded discipline: one command in flight at a time, and
+/// Watch() consumes its stream through the final snapshot before
+/// returning, so replies never interleave. Used by `qpi_shell --connect`,
+/// the e2e test harness, and the service latency bench.
+class QpiClient {
+ public:
+  QpiClient() = default;
+  ~QpiClient() { Close(); }
+
+  QpiClient(const QpiClient&) = delete;
+  QpiClient& operator=(const QpiClient&) = delete;
+
+  /// Connect and consume the server's hello line.
+  Status Connect(const std::string& host, uint16_t port,
+                 size_t max_line_bytes = kDefaultMaxLineBytes);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// SUBMIT a statement; `*id` receives the server-assigned query id.
+  Status Submit(const std::string& sql, uint64_t* id);
+
+  /// WATCH query `id` at `period_ms` cadence, invoking `on_snapshot` for
+  /// every streamed snapshot (including the final one), until the final
+  /// snapshot arrives. When `final_snapshot` is non-null it receives the
+  /// terminal snapshot. `on_snapshot` may be null.
+  Status Watch(uint64_t id, double period_ms,
+               const std::function<void(const WireSnapshot&)>& on_snapshot,
+               WireSnapshot* final_snapshot = nullptr);
+
+  Status Cancel(uint64_t id);
+
+  Status Stats(ServerStats* out);
+
+  /// Send quit and consume the bye line.
+  Status Quit();
+
+ private:
+  /// Send one request line, then read lines until one whose "type" is
+  /// `want` (or "error", which becomes a Status). Snapshot lines seen
+  /// while waiting are a protocol violation under the single-command
+  /// discipline and surface as errors.
+  Status RoundTrip(const std::string& request, const std::string& want,
+                   JsonValue* reply);
+  Status ReadReplyLine(JsonValue* value, std::string* type);
+
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_CLIENT_H_

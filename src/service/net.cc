@@ -1,0 +1,129 @@
+#include "service/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace qpi {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+Status TcpListen(uint16_t port, int* out_fd, uint16_t* actual_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  *out_fd = fd;
+  *actual_port = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status TcpConnect(const std::string& host, uint16_t port, int* out_fd) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out_fd = fd;
+  return Status::OK();
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+double MonotonicMs() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+LineReader::Result LineReader::ReadLine(std::string* line) {
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      if (discarding_) {
+        // Tail of an overlong line: drop through the newline and resume
+        // normal framing (the overlong event was already reported).
+        buffer_.erase(0, nl + 1);
+        discarding_ = false;
+        continue;
+      }
+      line->assign(buffer_, 0, nl);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      buffer_.erase(0, nl + 1);
+      return Result::kLine;
+    }
+    if (!discarding_ && buffer_.size() > max_line_bytes_) {
+      // No newline within the cap: report once, then discard to the next
+      // newline so one hostile line cannot balloon memory.
+      buffer_.clear();
+      discarding_ = true;
+      return Result::kOverlong;
+    }
+    if (discarding_) buffer_.clear();
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Result::kEof;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Result::kError;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace qpi

@@ -1,0 +1,59 @@
+#ifndef QPI_SERVICE_NET_H_
+#define QPI_SERVICE_NET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace qpi {
+
+/// \brief Small POSIX TCP helpers for the qpi-serve subsystem.
+///
+/// Everything here is blocking I/O on plain file descriptors; the service
+/// layer gets its concurrency from threads (one reader + one writer per
+/// session), not from an event loop — the paper's monitor is a low-rate
+/// control plane, so thread-per-connection is the simple design that is
+/// easy to prove drain-correct (every thread is joined on shutdown).
+
+/// Open a listening IPv4 socket on 127.0.0.1:`port` (0 = ephemeral).
+/// `*out_fd` receives the descriptor and `*actual_port` the bound port.
+Status TcpListen(uint16_t port, int* out_fd, uint16_t* actual_port);
+
+/// Blocking connect to `host`:`port`.
+Status TcpConnect(const std::string& host, uint16_t port, int* out_fd);
+
+/// Write all of `data` (retrying short sends; SIGPIPE suppressed). Returns
+/// false once the peer is gone.
+bool SendAll(int fd, const std::string& data);
+
+/// Monotonic clock in milliseconds (the wire snapshot timestamp base).
+double MonotonicMs();
+
+/// \brief Buffered newline-framed reader over a socket.
+///
+/// Lines longer than `max_line_bytes` are not buffered: the reader flips
+/// into discard mode until the next newline and reports kOverlong once —
+/// the session replies with an error instead of ballooning memory or
+/// killing the connection (see tests/service_protocol_test).
+class LineReader {
+ public:
+  enum class Result { kLine, kEof, kError, kOverlong };
+
+  LineReader(int fd, size_t max_line_bytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// Block until one full line (without the trailing '\n'; a trailing
+  /// '\r' is stripped too) is available in `*line`.
+  Result ReadLine(std::string* line);
+
+ private:
+  int fd_;
+  size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_NET_H_

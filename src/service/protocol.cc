@@ -1,0 +1,217 @@
+#include "service/protocol.h"
+
+#include <cmath>
+
+namespace qpi {
+
+namespace {
+
+void AppendUint(std::string_view key, uint64_t v, std::string* out) {
+  JsonAppendKey(key, out);
+  out->append(JsonNumberString(static_cast<double>(v)));
+}
+
+void AppendDouble(std::string_view key, double v, std::string* out) {
+  JsonAppendKey(key, out);
+  out->append(JsonNumberString(v));
+}
+
+void AppendString(std::string_view key, std::string_view v,
+                  std::string* out) {
+  JsonAppendKey(key, out);
+  JsonAppendQuoted(v, out);
+}
+
+void AppendBool(std::string_view key, bool v, std::string* out) {
+  JsonAppendKey(key, out);
+  out->append(v ? "true" : "false");
+}
+
+/// Non-negative integral number member, required. Rejects absent,
+/// non-numeric, negative and fractional values in one place — ids arrive
+/// from untrusted clients.
+Status GetId(const JsonValue& v, const char* key, uint64_t* out) {
+  const JsonValue* m = v.Find(key);
+  if (m == nullptr || !m->is_number()) {
+    return Status::InvalidArgument(std::string("missing numeric \"") + key +
+                                   "\"");
+  }
+  if (m->number < 0 || m->number != std::floor(m->number)) {
+    return Status::InvalidArgument(std::string("\"") + key +
+                                   "\" must be a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(m->number);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseRequest(const std::string& line, Request* out) {
+  JsonValue v;
+  QPI_RETURN_NOT_OK(JsonParse(line, &v));
+  if (!v.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  std::string cmd = v.GetString("cmd");
+  if (cmd == "submit") {
+    out->cmd = Request::Cmd::kSubmit;
+    const JsonValue* sql = v.Find("sql");
+    if (sql == nullptr || !sql->is_string() || sql->string.empty()) {
+      return Status::InvalidArgument("submit needs a non-empty \"sql\"");
+    }
+    out->sql = sql->string;
+    return Status::OK();
+  }
+  if (cmd == "watch") {
+    out->cmd = Request::Cmd::kWatch;
+    QPI_RETURN_NOT_OK(GetId(v, "id", &out->id));
+    double period = v.GetNumber("period_ms", 100.0);
+    if (!(period > 0) || !std::isfinite(period)) {
+      return Status::InvalidArgument("\"period_ms\" must be > 0");
+    }
+    out->period_ms = period;
+    return Status::OK();
+  }
+  if (cmd == "cancel") {
+    out->cmd = Request::Cmd::kCancel;
+    return GetId(v, "id", &out->id);
+  }
+  if (cmd == "stats") {
+    out->cmd = Request::Cmd::kStats;
+    return Status::OK();
+  }
+  if (cmd == "quit") {
+    out->cmd = Request::Cmd::kQuit;
+    return Status::OK();
+  }
+  if (cmd.empty()) {
+    return Status::InvalidArgument("missing \"cmd\"");
+  }
+  return Status::InvalidArgument("unknown cmd \"" + cmd + "\"");
+}
+
+std::string EncodeHello() {
+  std::string out = "{";
+  AppendString("type", "hello", &out);
+  AppendString("server", "qpi-serve", &out);
+  AppendUint("version", kProtocolVersion, &out);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeErrorMessage(const std::string& message) {
+  std::string out = "{";
+  AppendString("type", "error", &out);
+  AppendString("error", message, &out);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeError(const Status& status) {
+  return EncodeErrorMessage(status.ToString());
+}
+
+std::string EncodeSubmitted(uint64_t id, const std::string& state) {
+  std::string out = "{";
+  AppendString("type", "submitted", &out);
+  AppendUint("id", id, &out);
+  AppendString("state", state, &out);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeOk(const std::string& cmd, uint64_t id) {
+  std::string out = "{";
+  AppendString("type", "ok", &out);
+  AppendString("cmd", cmd, &out);
+  AppendUint("id", id, &out);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeSnapshot(const WireSnapshot& snap) {
+  std::string out = "{";
+  AppendString("type", "snapshot", &out);
+  AppendUint("id", snap.id, &out);
+  AppendUint("seq", snap.seq, &out);
+  AppendString("state", snap.state, &out);
+  AppendBool("final", snap.final_snapshot, &out);
+  AppendDouble("progress", snap.progress, &out);
+  AppendGnmSnapshotFields(snap.gnm, &out);
+  AppendUint("rows", snap.rows, &out);
+  AppendDouble("server_ms", snap.server_ms, &out);
+  JsonAppendKey("ops", &out);
+  AppendOperatorCountersJson(snap.ops, &out);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeStats(const ServerStats& stats) {
+  std::string out = "{";
+  AppendString("type", "stats", &out);
+  AppendUint("submitted", stats.submitted, &out);
+  AppendUint("queued", stats.queued, &out);
+  AppendUint("running", stats.running, &out);
+  AppendUint("finished", stats.finished, &out);
+  AppendUint("failed", stats.failed, &out);
+  AppendUint("cancelled", stats.cancelled, &out);
+  AppendUint("sessions", stats.sessions, &out);
+  AppendUint("watchers", stats.watchers, &out);
+  AppendUint("max_inflight", stats.max_inflight, &out);
+  AppendBool("draining", stats.draining, &out);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeBye(const std::string& reason) {
+  std::string out = "{";
+  AppendString("type", "bye", &out);
+  AppendString("reason", reason, &out);
+  out.append("}\n");
+  return out;
+}
+
+Status DecodeSnapshot(const JsonValue& line, WireSnapshot* out) {
+  *out = WireSnapshot();
+  QPI_RETURN_NOT_OK(GetId(line, "id", &out->id));
+  out->seq = static_cast<uint64_t>(line.GetNumber("seq"));
+  out->state = line.GetString("state");
+  out->final_snapshot = line.GetBool("final");
+  out->progress = line.GetNumber("progress");
+  out->gnm.current_calls = line.GetNumber("calls");
+  out->gnm.total_estimate = line.GetNumber("total_estimate");
+  out->gnm.ci_half_width = line.GetNumber("ci_half_width");
+  out->gnm.tick = static_cast<uint64_t>(line.GetNumber("tick"));
+  out->rows = static_cast<uint64_t>(line.GetNumber("rows"));
+  out->server_ms = line.GetNumber("server_ms");
+  const JsonValue* ops = line.Find("ops");
+  if (ops != nullptr && ops->is_array()) {
+    out->ops.reserve(ops->items.size());
+    for (const JsonValue& op : ops->items) {
+      OperatorCounter c;
+      c.label = op.GetString("label");
+      c.state = OpStateFromName(op.GetString("state"));
+      c.emitted = static_cast<uint64_t>(op.GetNumber("emitted"));
+      c.optimizer_estimate = op.GetNumber("optimizer_estimate");
+      out->ops.push_back(std::move(c));
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeStats(const JsonValue& line, ServerStats* out) {
+  *out = ServerStats();
+  out->submitted = static_cast<uint64_t>(line.GetNumber("submitted"));
+  out->queued = static_cast<uint64_t>(line.GetNumber("queued"));
+  out->running = static_cast<uint64_t>(line.GetNumber("running"));
+  out->finished = static_cast<uint64_t>(line.GetNumber("finished"));
+  out->failed = static_cast<uint64_t>(line.GetNumber("failed"));
+  out->cancelled = static_cast<uint64_t>(line.GetNumber("cancelled"));
+  out->sessions = static_cast<uint64_t>(line.GetNumber("sessions"));
+  out->watchers = static_cast<uint64_t>(line.GetNumber("watchers"));
+  out->max_inflight = static_cast<uint64_t>(line.GetNumber("max_inflight"));
+  out->draining = line.GetBool("draining");
+  return Status::OK();
+}
+
+}  // namespace qpi

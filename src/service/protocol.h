@@ -1,0 +1,93 @@
+#ifndef QPI_SERVICE_PROTOCOL_H_
+#define QPI_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "progress/gnm.h"
+#include "progress/snapshot_json.h"
+
+namespace qpi {
+
+/// \brief qpi-serve wire protocol: one JSON object per newline-terminated
+/// line, in both directions (see DESIGN.md §10 for the grammar).
+///
+/// Client → server requests:
+///   {"cmd":"submit","sql":"SELECT ..."}
+///   {"cmd":"watch","id":3,"period_ms":50}
+///   {"cmd":"cancel","id":3}
+///   {"cmd":"stats"}
+///   {"cmd":"quit"}
+///
+/// Server → client replies (every line carries a "type"):
+///   hello, submitted, snapshot (streamed), ok, error, stats, bye.
+///
+/// Every encoder returns a complete line including the trailing '\n'.
+/// Decoding is Status-based and total: any byte sequence either parses
+/// into a request or yields InvalidArgument — never undefined behavior —
+/// which is what the protocol fuzz test pins down.
+
+inline constexpr int kProtocolVersion = 1;
+
+/// Default cap on one wire line. SQL statements and snapshot lines are
+/// far below this; anything larger is a hostile or broken client.
+inline constexpr size_t kDefaultMaxLineBytes = 64 * 1024;
+
+/// A parsed client request.
+struct Request {
+  enum class Cmd { kSubmit, kWatch, kCancel, kStats, kQuit };
+  Cmd cmd = Cmd::kStats;
+  std::string sql;         ///< kSubmit
+  uint64_t id = 0;         ///< kWatch / kCancel
+  double period_ms = 100;  ///< kWatch snapshot cadence (clamped by server)
+};
+
+Status ParseRequest(const std::string& line, Request* out);
+
+/// One streamed progress observation of one query.
+struct WireSnapshot {
+  uint64_t id = 0;
+  uint64_t seq = 0;             ///< per-watch sequence number
+  std::string state;            ///< queued|running|finished|failed|cancelled
+  bool final_snapshot = false;  ///< terminal: no further snapshots follow
+  double progress = 0;          ///< monotone per query, clamped to [0,1]
+  GnmSnapshot gnm;              ///< C, T̂, CI half-width, tick
+  uint64_t rows = 0;            ///< rows emitted by the root so far
+  double server_ms = 0;         ///< server monotonic clock at send time
+  std::vector<OperatorCounter> ops;
+};
+
+/// Server-wide gauges for STATS.
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t queued = 0;
+  uint64_t running = 0;
+  uint64_t finished = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  uint64_t sessions = 0;
+  uint64_t watchers = 0;
+  uint64_t max_inflight = 0;
+  bool draining = false;
+};
+
+std::string EncodeHello();
+std::string EncodeError(const Status& status);
+std::string EncodeErrorMessage(const std::string& message);
+std::string EncodeSubmitted(uint64_t id, const std::string& state);
+std::string EncodeOk(const std::string& cmd, uint64_t id);
+std::string EncodeSnapshot(const WireSnapshot& snap);
+std::string EncodeStats(const ServerStats& stats);
+std::string EncodeBye(const std::string& reason);
+
+/// Client-side decoders (from a parsed line). The line's "type" member
+/// must already have been dispatched on by the caller.
+Status DecodeSnapshot(const JsonValue& line, WireSnapshot* out);
+Status DecodeStats(const JsonValue& line, ServerStats* out);
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_PROTOCOL_H_

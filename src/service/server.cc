@@ -1,0 +1,396 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "exec/compiler.h"
+#include "service/net.h"
+#include "service/session.h"
+#include "sql/planner.h"
+
+namespace qpi {
+
+namespace {
+
+/// Self-pipe write end for the SIGTERM handler. The handler body is
+/// async-signal-safe: one relaxed load and one write(2).
+std::atomic<int> g_sigterm_pipe{-1};
+
+extern "C" void QpiServeSigtermHandler(int) {
+  int fd = g_sigterm_pipe.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char byte = 1;
+    ssize_t rc = ::write(fd, &byte, 1);
+    (void)rc;
+  }
+}
+
+/// Publishes SnapshotWithConfidence from the executing worker every
+/// `interval` ticks — the service twin of the concurrent executor's
+/// SlotPublisher, adding the CI half-width watchers stream.
+class HandlePublisher : public TickObserver {
+ public:
+  HandlePublisher(QueryHandle* handle, uint64_t interval)
+      : handle_(handle), interval_(interval) {}
+
+  void OnTick(uint64_t n) override {
+    handle_->ticks += n;
+    if (handle_->ticks - last_publish_ >= interval_) {
+      last_publish_ = handle_->ticks;
+      handle_->slot.Store(handle_->accountant->SnapshotWithConfidence(
+          handle_->ticks, handle_->ctx->confidence));
+    }
+  }
+
+ private:
+  QueryHandle* handle_;
+  uint64_t interval_;
+  uint64_t last_publish_ = 0;
+};
+
+}  // namespace
+
+const char* QueryHandle::WireState() const {
+  switch (terminal.load(std::memory_order_acquire)) {
+    case Terminal::kFinished:
+      return "finished";
+    case Terminal::kFailed:
+      return "failed";
+    case Terminal::kCancelled:
+      return "cancelled";
+    case Terminal::kNone:
+      break;
+  }
+  return ctx->phase() == QueryPhase::kQueued ? "queued" : "running";
+}
+
+double QueryHandle::Progress() {
+  Terminal t = terminal.load(std::memory_order_acquire);
+  if (t == Terminal::kFinished) return 1.0;
+  GnmSnapshot snap = slot.Load();
+  if (t == Terminal::kNone) {
+    // Refresh C(Q) from the relaxed atomic counters so progress advances
+    // between the worker's publications (same scheme as the concurrent
+    // executor's QueryProgress).
+    double live = static_cast<double>(accountant->CurrentCalls());
+    if (live > snap.current_calls) snap.current_calls = live;
+  }
+  if (snap.total_estimate < snap.current_calls) {
+    snap.total_estimate = snap.current_calls;
+  }
+  double p = snap.EstimatedProgress();
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  double floor = progress_floor.load(std::memory_order_relaxed);
+  while (p > floor && !progress_floor.compare_exchange_weak(
+                          floor, p, std::memory_order_relaxed)) {
+  }
+  return p > floor ? p : floor;
+}
+
+QpiServer::QpiServer(Catalog* catalog, Options options)
+    : catalog_(catalog),
+      options_(options),
+      admission_(options.max_inflight) {}
+
+QpiServer::~QpiServer() {
+  Shutdown();
+  for (int fd : pipe_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Status QpiServer::Start() {
+  QPI_RETURN_NOT_OK(TcpListen(options_.port, &listen_fd_, &port_));
+  if (::pipe(pipe_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe: failed to create the drain self-pipe");
+  }
+  if (options_.install_sigterm_handler) {
+    g_sigterm_pipe.store(pipe_fds_[1], std::memory_order_relaxed);
+    struct sigaction action {};
+    action.sa_handler = QpiServeSigtermHandler;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    sigterm_installed_ = true;
+  }
+  exec_pool_ = std::make_unique<ThreadPool>(options_.exec_workers);
+  started_.store(true, std::memory_order_release);
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QpiServer::RequestDrain() {
+  int fd = pipe_fds_[1];
+  if (fd >= 0) {
+    char byte = 1;
+    ssize_t rc = ::write(fd, &byte, 1);
+    (void)rc;
+  }
+}
+
+void QpiServer::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  RequestDrain();
+  {
+    std::unique_lock<std::mutex> lock(drained_mu_);
+    drained_cv_.wait(lock, [this] { return drained_; });
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (sigterm_installed_) {
+    g_sigterm_pipe.store(-1, std::memory_order_relaxed);
+    struct sigaction action {};
+    action.sa_handler = SIG_DFL;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    sigterm_installed_ = false;
+  }
+  started_.store(false, std::memory_order_release);
+}
+
+Status QpiServer::Submit(const std::string& sql, uint64_t* id) {
+  if (draining()) {
+    return Status::Internal("server is draining; submissions are closed");
+  }
+  SqlPlanner planner(catalog_);
+  PlanNodePtr plan;
+  QPI_RETURN_NOT_OK(planner.PlanQuery(sql, &plan));
+  auto handle = std::make_unique<QueryHandle>();
+  handle->sql = sql;
+  handle->ctx = std::make_unique<ExecContext>();
+  handle->ctx->catalog = catalog_;
+  handle->ctx->mode = options_.mode;
+  QPI_RETURN_NOT_OK(handle->ctx->Validate());
+  QPI_RETURN_NOT_OK(CompilePlan(plan.get(), handle->ctx.get(), &handle->root));
+  handle->accountant = std::make_unique<GnmAccountant>(handle->root.get());
+  handle->ctx->set_phase(QueryPhase::kQueued);
+  // Seed the slot so a watcher attached before execution sees the
+  // optimizer-based T̂ (progress 0 in the "queued" state), not an empty
+  // snapshot. Safe: nothing executes yet.
+  handle->slot.Store(handle->accountant->SnapshotWithConfidence(
+      0, handle->ctx->confidence));
+  handle->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  QueryHandle* raw = handle.get();
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    queries_.emplace(raw->id, std::move(handle));
+  }
+  if (!admission_.Enqueue(raw)) {
+    // The drain closed admission between the check above and here; the id
+    // is already visible, so terminalize it rather than leak a handle a
+    // watcher could wait on forever.
+    TerminalizeQueued(raw);
+    return Status::Internal("server is draining; submissions are closed");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  *id = raw->id;
+  return Status::OK();
+}
+
+Status QpiServer::CancelQuery(uint64_t id) {
+  QueryHandle* handle = FindQuery(id);
+  if (handle == nullptr) {
+    return Status::NotFound("no such query id " + std::to_string(id));
+  }
+  if (handle->IsTerminal()) return Status::OK();  // idempotent
+  if (admission_.Remove(handle)) {
+    // Still queued: it never claimed an inflight slot, so terminalize it
+    // directly — watchers get a final "cancelled" snapshot at progress 0.
+    TerminalizeQueued(handle);
+    return Status::OK();
+  }
+  // Running (or about to): cooperative cancellation; the worker drains it
+  // and records the terminal state.
+  handle->ctx->RequestCancel();
+  return Status::OK();
+}
+
+QueryHandle* QpiServer::FindQuery(uint64_t id) {
+  std::lock_guard<std::mutex> lock(queries_mu_);
+  auto it = queries_.find(id);
+  return it == queries_.end() ? nullptr : it->second.get();
+}
+
+ServerStats QpiServer::GetStats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.queued = admission_.pending();
+  stats.running = admission_.inflight();
+  stats.finished = finished_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.max_inflight = admission_.max_inflight();
+  stats.draining = draining();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    stats.sessions = sessions_.size();
+    for (const auto& session : sessions_) {
+      stats.watchers += session->num_watches();
+    }
+  }
+  return stats;
+}
+
+void QpiServer::DispatchLoop() {
+  while (QueryHandle* handle = admission_.NextRunnable()) {
+    exec_pool_->Submit([this, handle] { RunOne(handle); });
+  }
+}
+
+void QpiServer::RunOne(QueryHandle* handle) {
+  HandlePublisher publisher(handle, options_.publish_interval);
+  handle->ctx->AddTickObserver(&publisher);
+  Status s = handle->root->Open(handle->ctx.get());
+  if (s.ok()) {
+    handle->ctx->BeginExecution();
+    RowBatch batch(handle->ctx->batch_size);
+    while (handle->root->NextBatch(&batch)) {
+      handle->rows_emitted.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+    handle->root->Close();
+    handle->ctx->EndExecution();
+  }
+  handle->ctx->RemoveTickObserver(&publisher);
+  // Terminal snapshot first, terminal state second (release): a watcher
+  // observing the terminal state is guaranteed the exact final snapshot
+  // (every operator finished, so T̂ = C and the half-width is 0).
+  handle->slot.Store(handle->accountant->SnapshotWithConfidence(
+      handle->ticks, handle->ctx->confidence));
+  QueryHandle::Terminal terminal;
+  if (!s.ok()) {
+    handle->error = s.ToString();
+    terminal = QueryHandle::Terminal::kFailed;
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (handle->ctx->IsCancelled()) {
+    terminal = QueryHandle::Terminal::kCancelled;
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    terminal = QueryHandle::Terminal::kFinished;
+    finished_.fetch_add(1, std::memory_order_relaxed);
+  }
+  handle->terminal.store(terminal, std::memory_order_release);
+  admission_.OnComplete();
+}
+
+void QpiServer::TerminalizeQueued(QueryHandle* handle) {
+  handle->error = "cancelled before execution";
+  handle->terminal.store(QueryHandle::Terminal::kCancelled,
+                         std::memory_order_release);
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void QpiServer::ReapSessions(bool join_all) {
+  std::vector<std::unique_ptr<Session>> dead;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (join_all || (*it)->Finished()) {
+        dead.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: a join can block, and stats readers need the
+  // session list meanwhile.
+  for (auto& session : dead) session->Join();
+}
+
+void QpiServer::AcceptLoop() {
+  while (true) {
+    struct pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = pipe_fds_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    int rc = ::poll(fds, 2, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ReapSessions(false);
+    if (fds[1].revents != 0) break;  // drain requested
+    if (fds[0].revents & POLLIN) {
+      int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) continue;
+      auto session =
+          std::make_unique<Session>(this, client_fd, options_.max_line_bytes);
+      Session* raw = session.get();
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        sessions_.push_back(std::move(session));
+      }
+      raw->Start();
+    }
+  }
+  DrainInternal();
+}
+
+/// Drain state machine (documented in DESIGN.md §10):
+///  1. draining: Submit rejects, admission closes;
+///  2. still-queued queries terminalize as cancelled;
+///  3. the dispatcher joins (NextRunnable returns nullptr);
+///  4. running queries get drain_deadline to finish, then RequestCancel;
+///  5. the exec pool joins;
+///  6. every session flushes a final snapshot per watch + bye, then its
+///     socket is force-closed and both its threads join;
+///  7. the listen socket closes and drained_ flips.
+void QpiServer::DrainInternal() {
+  draining_.store(true, std::memory_order_release);
+  admission_.CloseAdmission();
+  for (QueryHandle* handle : admission_.DrainPending()) {
+    TerminalizeQueued(handle);
+  }
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (!admission_.WaitIdle(options_.drain_deadline)) {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    for (auto& [id, handle] : queries_) {
+      (void)id;
+      if (!handle->IsTerminal()) handle->ctx->RequestCancel();
+    }
+  }
+  // Cancelled queries drain cooperatively (bounded by their tick path),
+  // so this wait terminates; a generous cap keeps a wedged build from
+  // hanging the process forever.
+  admission_.WaitIdle(std::chrono::milliseconds(60000));
+  exec_pool_.reset();  // joins the exec workers
+
+  std::vector<Session*> open_sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      open_sessions.push_back(session.get());
+    }
+  }
+  for (Session* session : open_sessions) session->BeginDrain();
+  auto deadline =
+      std::chrono::steady_clock::now() + options_.session_drain_deadline;
+  for (Session* session : open_sessions) {
+    while (!session->WriterDone() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    session->ForceClose();  // unblocks the reader (and a stuck writer)
+  }
+  ReapSessions(/*join_all=*/true);
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(drained_mu_);
+    drained_ = true;
+  }
+  drained_cv_.notify_all();
+}
+
+}  // namespace qpi

@@ -1,0 +1,195 @@
+#ifndef QPI_SERVICE_SERVER_H_
+#define QPI_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+#include "progress/gnm.h"
+#include "progress/snapshot_slot.h"
+#include "service/admission_queue.h"
+#include "service/protocol.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+
+class Session;
+
+/// \brief One submitted query, from SUBMIT to its terminal snapshot.
+///
+/// Lives in the server registry for the server's lifetime (watch sessions
+/// hold raw pointers across their own threads). Cross-thread reads follow
+/// the engine's threading model: the executing worker owns the estimator
+/// internals and publishes full snapshots through `slot`; every other
+/// field a watcher touches is an atomic or a seqlock read.
+struct QueryHandle {
+  uint64_t id = 0;
+  std::string sql;
+  OperatorPtr root;
+  std::unique_ptr<ExecContext> ctx;
+  std::unique_ptr<GnmAccountant> accountant;
+  SnapshotSlot slot;                      ///< latest published GnmSnapshot
+  std::atomic<uint64_t> rows_emitted{0};  ///< root rows, readable live
+  std::atomic<double> progress_floor{0.0};
+  uint64_t ticks = 0;  ///< executing worker only
+
+  /// Terminal state, stored with release ordering *after* the terminal
+  /// snapshot lands in `slot` — an acquire reader that observes a terminal
+  /// value is guaranteed the slot already holds the final T̂ = C snapshot.
+  enum class Terminal : int { kNone = 0, kFinished, kFailed, kCancelled };
+  std::atomic<Terminal> terminal{Terminal::kNone};
+  std::string error;  ///< worker-written before the terminal store
+
+  bool IsTerminal() const {
+    return terminal.load(std::memory_order_acquire) != Terminal::kNone;
+  }
+
+  /// Wire state: terminal name if set, else queued/running off the
+  /// context's phase hook (the admission queue parks submissions in
+  /// QueryPhase::kQueued until a worker claims them).
+  const char* WireState() const;
+
+  /// Estimated progress in [0,1], monotone per query (CAS-max floor, same
+  /// scheme as the concurrent executor). Safe from any thread.
+  double Progress();
+};
+
+/// \brief qpi-serve: the paper's progress framework behind a TCP socket.
+///
+/// A small networked service wrapping the existing engine: clients SUBMIT
+/// SQL and get a query id, WATCH streams progress snapshots (gnm progress,
+/// T̂, CI half-width, per-operator counters) at a client-chosen cadence,
+/// CANCEL aborts, STATS reports server gauges. One JSON object per line in
+/// both directions (see protocol.h / DESIGN.md §10).
+///
+/// Structure:
+///  - accept thread: poll()s the listen socket plus a self-pipe; spawns a
+///    Session (reader + writer thread) per connection, reaps finished
+///    ones, and runs the drain when the pipe fires;
+///  - dispatcher thread: pops the admission queue (FIFO, at most
+///    `max_inflight` running) and hands queries to the exec pool;
+///  - exec pool: runs each query to completion, publishing snapshots from
+///    the executing worker through the per-query SnapshotSlot.
+///
+/// Snapshot delivery is *coalescing*: a watcher's writer reads the latest
+/// slot at each send instant, so a slow client sees fewer snapshots —
+/// always the freshest — and never accumulates a backlog.
+///
+/// Graceful drain (SIGTERM via the self-pipe, or Shutdown()): stop
+/// admitting, cancel still-queued queries, let running queries finish
+/// (RequestCancel on stragglers past `drain_deadline`), flush a terminal
+/// snapshot to every watcher plus a bye line, join every thread.
+class QpiServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  ///< 0 = ephemeral; see port() after Start()
+    size_t max_inflight = 2;
+    size_t exec_workers = 2;  ///< query-execution pool size
+    uint64_t publish_interval = 1024;
+    size_t max_line_bytes = kDefaultMaxLineBytes;
+    /// How long running queries may keep draining before RequestCancel.
+    std::chrono::milliseconds drain_deadline{2000};
+    /// How long a session writer may take to flush final snapshots.
+    std::chrono::milliseconds session_drain_deadline{1000};
+    EstimationMode mode = EstimationMode::kOnce;
+    /// Route SIGTERM to this server's drain via the self-pipe. At most one
+    /// server per process may enable this.
+    bool install_sigterm_handler = false;
+  };
+
+  /// `catalog` is borrowed and must outlive the server; it is read-only
+  /// while the server runs.
+  QpiServer(Catalog* catalog, Options options);
+  ~QpiServer();
+
+  QpiServer(const QpiServer&) = delete;
+  QpiServer& operator=(const QpiServer&) = delete;
+
+  /// Bind + listen + start the accept and dispatcher threads.
+  Status Start();
+
+  /// The bound port (after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Trigger the drain asynchronously (signal-safe path: one byte down the
+  /// self-pipe). The accept thread runs the drain.
+  void RequestDrain();
+
+  /// Drain and join everything. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  // -- session-facing API (thread-safe) --
+
+  /// Plan + compile + enqueue a statement. On success `*id` names the
+  /// query; it starts in the "queued" wire state.
+  Status Submit(const std::string& sql, uint64_t* id);
+
+  /// Cancel a queued (removed before it runs) or running (cooperative
+  /// RequestCancel) query.
+  Status CancelQuery(uint64_t id);
+
+  QueryHandle* FindQuery(uint64_t id);
+
+  ServerStats GetStats() const;
+
+ private:
+  friend class Session;
+
+  void AcceptLoop();
+  void DispatchLoop();
+  void RunOne(QueryHandle* handle);
+  /// Terminalize a query that never ran (cancelled while queued / at
+  /// drain): publishes its seeded snapshot as final with state cancelled.
+  void TerminalizeQueued(QueryHandle* handle);
+  void DrainInternal();
+  void ReapSessions(bool join_all);
+
+  Catalog* catalog_;
+  Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int pipe_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+
+  AdmissionQueue admission_;
+  std::unique_ptr<ThreadPool> exec_pool_;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+
+  mutable std::mutex queries_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<QueryHandle>> queries_;
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> finished_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cancelled_{0};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::mutex drained_mu_;
+  std::condition_variable drained_cv_;
+  bool drained_ = false;
+  bool sigterm_installed_ = false;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_SERVER_H_

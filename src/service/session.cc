@@ -1,0 +1,242 @@
+#include "service/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "progress/snapshot_json.h"
+#include "service/server.h"
+
+namespace qpi {
+
+namespace {
+
+/// Outbox cap: each request produces at most one control reply, so only a
+/// client that pumps requests while never reading its socket can grow the
+/// outbox. Past this it is treated as hostile and the session closes.
+constexpr size_t kMaxOutboxLines = 1024;
+
+}  // namespace
+
+Session::Session(QpiServer* server, int fd, size_t max_line_bytes)
+    : server_(server), fd_(fd), reader_(fd, max_line_bytes) {}
+
+Session::~Session() { Join(); }
+
+void Session::Start() {
+  outbox_.push_back(EncodeHello());
+  reader_thread_ = std::thread([this] { ReaderLoop(); });
+  writer_thread_ = std::thread([this] { WriterLoop(); });
+}
+
+void Session::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+}
+
+void Session::ForceClose() { ::shutdown(fd_, SHUT_RDWR); }
+
+void Session::Join() {
+  if (reader_thread_.joinable()) reader_thread_.join();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+size_t Session::num_watches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watches_.size();
+}
+
+void Session::EnqueueLine(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outbox_.size() >= kMaxOutboxLines) {
+    // The client is not draining its socket; cut it loose rather than
+    // buffer without bound. The writer exits on its next send failure.
+    closing_ = true;
+    cv_.notify_all();
+    ForceClose();
+    return;
+  }
+  outbox_.push_back(std::move(line));
+  cv_.notify_all();
+}
+
+void Session::ReaderLoop() {
+  std::string line;
+  while (true) {
+    LineReader::Result result = reader_.ReadLine(&line);
+    if (result == LineReader::Result::kOverlong) {
+      EnqueueLine(EncodeErrorMessage("line exceeds the size limit"));
+      continue;
+    }
+    if (result != LineReader::Result::kLine) break;
+    if (line.empty()) continue;
+    Request request;
+    Status s = ParseRequest(line, &request);
+    if (!s.ok()) {
+      EnqueueLine(EncodeError(s));
+      continue;
+    }
+    if (request.cmd == Request::Cmd::kQuit) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (outbox_.size() < kMaxOutboxLines) {
+        outbox_.push_back(EncodeBye("client quit"));
+      }
+      closing_ = true;
+      cv_.notify_all();
+      break;
+    }
+    HandleRequest(request);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closing_ = true;
+    cv_.notify_all();
+  }
+  reader_done_.store(true, std::memory_order_release);
+}
+
+void Session::HandleRequest(const Request& request) {
+  switch (request.cmd) {
+    case Request::Cmd::kSubmit: {
+      uint64_t id = 0;
+      Status s = server_->Submit(request.sql, &id);
+      if (!s.ok()) {
+        EnqueueLine(EncodeError(s));
+        return;
+      }
+      QueryHandle* handle = server_->FindQuery(id);
+      EnqueueLine(EncodeSubmitted(
+          id, handle != nullptr ? handle->WireState() : "queued"));
+      return;
+    }
+    case Request::Cmd::kWatch: {
+      QueryHandle* handle = server_->FindQuery(request.id);
+      if (handle == nullptr) {
+        EnqueueLine(EncodeErrorMessage(
+            "no such query id " + std::to_string(request.id)));
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      Watch watch;
+      watch.handle = handle;
+      watch.period_ms = std::max(1.0, request.period_ms);
+      watch.next_due_ms = 0;  // first snapshot goes out immediately
+      watches_.push_back(watch);
+      cv_.notify_all();
+      return;
+    }
+    case Request::Cmd::kCancel: {
+      Status s = server_->CancelQuery(request.id);
+      EnqueueLine(s.ok() ? EncodeOk("cancel", request.id) : EncodeError(s));
+      return;
+    }
+    case Request::Cmd::kStats:
+      EnqueueLine(EncodeStats(server_->GetStats()));
+      return;
+    case Request::Cmd::kQuit:
+      return;  // handled in ReaderLoop
+  }
+}
+
+WireSnapshot Session::BuildSnapshot(Watch* watch, bool force_final) {
+  QueryHandle* h = watch->handle;
+  WireSnapshot snap;
+  snap.id = h->id;
+  snap.seq = watch->seq++;
+  // Read the terminal state BEFORE the slot: the worker publishes the
+  // terminal snapshot first and stores the terminal state with release
+  // ordering, so observing a terminal state here guarantees the slot load
+  // below returns the exact final T̂ = C snapshot.
+  bool terminal = h->IsTerminal();
+  snap.state = h->WireState();
+  snap.final_snapshot = terminal || force_final;
+  snap.gnm = h->slot.Load();
+  double progress = h->Progress();
+  if (progress < watch->last_progress) progress = watch->last_progress;
+  watch->last_progress = progress;
+  snap.progress = progress;
+  snap.rows = h->rows_emitted.load(std::memory_order_relaxed);
+  snap.server_ms = MonotonicMs();
+  snap.ops = CollectOperatorCounters(*h->accountant);
+  return snap;
+}
+
+void Session::WriterLoop() {
+  while (true) {
+    std::vector<std::string> to_send;
+    bool exit_after = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      double now = MonotonicMs();
+      double next_due = std::numeric_limits<double>::infinity();
+      for (const Watch& watch : watches_) {
+        next_due = std::min(next_due, watch.next_due_ms);
+      }
+      if (outbox_.empty() && !closing_ && !draining_ && next_due > now) {
+        if (watches_.empty()) {
+          cv_.wait(lock);
+        } else {
+          cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                 next_due - now));
+        }
+        continue;  // re-evaluate everything under the fresh clock
+      }
+      while (!outbox_.empty()) {
+        to_send.push_back(std::move(outbox_.front()));
+        outbox_.pop_front();
+      }
+      if (draining_) {
+        // Drain: one final snapshot per watch (the queries were already
+        // terminalized by the server), then bye, then exit.
+        for (Watch& watch : watches_) {
+          to_send.push_back(EncodeSnapshot(BuildSnapshot(&watch, true)));
+        }
+        watches_.clear();
+        to_send.push_back(EncodeBye("server draining"));
+        exit_after = true;
+      } else if (closing_) {
+        watches_.clear();
+        exit_after = true;
+      } else {
+        now = MonotonicMs();
+        for (size_t i = 0; i < watches_.size();) {
+          Watch& watch = watches_[i];
+          if (watch.next_due_ms > now) {
+            ++i;
+            continue;
+          }
+          WireSnapshot snap = BuildSnapshot(&watch, false);
+          to_send.push_back(EncodeSnapshot(snap));
+          if (snap.final_snapshot) {
+            watches_.erase(watches_.begin() + static_cast<long>(i));
+          } else {
+            watch.next_due_ms = now + watch.period_ms;
+            ++i;
+          }
+        }
+      }
+    }
+    // Send outside the lock: a slow client may block us in send(2), and
+    // the reader must stay free to enqueue (or the outbox cap to trip).
+    bool send_failed = false;
+    for (const std::string& line : to_send) {
+      if (!SendAll(fd_, line)) {
+        send_failed = true;
+        break;
+      }
+    }
+    if (send_failed || exit_after) break;
+  }
+  writer_done_.store(true, std::memory_order_release);
+}
+
+}  // namespace qpi

@@ -1,0 +1,102 @@
+#ifndef QPI_SERVICE_SESSION_H_
+#define QPI_SERVICE_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/net.h"
+#include "service/protocol.h"
+
+namespace qpi {
+
+class QpiServer;
+struct QueryHandle;
+
+/// \brief One client connection: a reader thread parsing requests and a
+/// writer thread multiplexing control replies with watch streams.
+///
+/// The writer owns the socket's send side. Control replies queue in a
+/// (bounded) outbox; watch snapshots are never queued — at each due
+/// instant the writer builds a line from the query's *latest* snapshot
+/// slot, so write-side backpressure coalesces updates instead of building
+/// a backlog (a slow client gets fewer, fresher snapshots).
+///
+/// Drain: BeginDrain() makes the writer emit one final snapshot per
+/// active watch plus a bye line, then exit; the server force-closes the
+/// socket afterwards to unblock the reader and Join()s both threads.
+class Session {
+ public:
+  Session(QpiServer* server, int fd, size_t max_line_bytes);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Spawn the reader and writer threads (hello goes out first).
+  void Start();
+
+  /// Both threads have exited; the session may be reaped.
+  bool Finished() const {
+    return reader_done_.load(std::memory_order_acquire) &&
+           writer_done_.load(std::memory_order_acquire);
+  }
+
+  bool WriterDone() const {
+    return writer_done_.load(std::memory_order_acquire);
+  }
+
+  /// Ask the writer to flush a final snapshot per watch + bye, then exit.
+  void BeginDrain();
+
+  /// shutdown(2) both socket directions, unblocking recv/send.
+  void ForceClose();
+
+  /// Join both threads and close the socket. Call once, after Finished()
+  /// or after ForceClose().
+  void Join();
+
+  size_t num_watches() const;
+
+ private:
+  /// One active WATCH subscription.
+  struct Watch {
+    QueryHandle* handle = nullptr;
+    double period_ms = 100;
+    double next_due_ms = 0;  ///< server monotonic clock
+    uint64_t seq = 0;
+    double last_progress = 0;  ///< per-stream monotone clamp
+  };
+
+  void ReaderLoop();
+  void WriterLoop();
+  void HandleRequest(const Request& request);
+  void EnqueueLine(std::string line);
+  /// Build the wire snapshot for one watch from the latest slot state.
+  WireSnapshot BuildSnapshot(Watch* watch, bool force_final);
+
+  QpiServer* server_;
+  int fd_;
+  LineReader reader_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> outbox_;
+  std::vector<Watch> watches_;
+  bool closing_ = false;   ///< reader done (quit/EOF): flush and exit
+  bool draining_ = false;  ///< server drain: finals + bye, then exit
+
+  std::atomic<bool> reader_done_{false};
+  std::atomic<bool> writer_done_{false};
+  std::thread reader_thread_;
+  std::thread writer_thread_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_SESSION_H_

@@ -24,6 +24,7 @@
 #include "exec/compiler.h"
 #include "exec/executor.h"
 #include "exec/grace_hash_join.h"
+#include "progress/concurrent_multi_query.h"
 #include "storage/catalog.h"
 
 namespace qpi {
@@ -276,6 +277,49 @@ TEST(PartitionNormalization, RoundsUpToPowerOfTwo) {
   ASSERT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
   EXPECT_FALSE(root->Open(&ctx).ok());
   root->Close();
+}
+
+/// batch_size == 0 and morsel_rows == 0 are rejected by
+/// ExecContext::Validate() before any operator opens — a zero batch size
+/// reads as instant end-of-stream (silently empty results) and a zero
+/// morsel size would spin the morsel cursor forever. Both executors check.
+TEST(ExecContextValidation, ZeroBatchAndMorselSizesRejected) {
+  Catalog catalog;
+  BuildCatalog(&catalog, 13);
+  for (const bool zero_batch : {true, false}) {
+    ExecContext ctx;
+    ctx.catalog = &catalog;
+    if (zero_batch) {
+      ctx.batch_size = 0;
+    } else {
+      ctx.morsel_rows = 0;
+    }
+    PlanNodePtr plan =
+        HashJoinPlan(ScanPlan("r1"), ScanPlan("r2"), "r1.k", "r2.k");
+    OperatorPtr root;
+    ASSERT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+    Status s = QueryExecutor::Run(root.get(), &ctx, nullptr, nullptr);
+    EXPECT_FALSE(s.ok()) << (zero_batch ? "batch_size" : "morsel_rows");
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  }
+}
+
+/// The concurrent executor rejects an invalid context at Add — before the
+/// entry can reach a pool worker.
+TEST(ExecContextValidation, ConcurrentAddRejectsZeroBatchSize) {
+  Catalog catalog;
+  BuildCatalog(&catalog, 17);
+  ConcurrentMultiQueryExecutor mq;
+  auto ctx = std::make_unique<ExecContext>();
+  ctx->catalog = &catalog;
+  ctx->batch_size = 0;
+  PlanNodePtr plan = ScanPlan("r1");
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), ctx.get(), &root).ok());
+  Status s = mq.Add("bad", std::move(root), std::move(ctx));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(mq.num_queries(), 0u);
 }
 
 /// Cancelling mid-drive under parallel execution must drain cleanly: the

@@ -1,0 +1,337 @@
+// Protocol-codec robustness: every byte sequence a client can throw at the
+// wire layer — malformed JSON, truncated frames, oversized lines, garbage
+// interleaved with valid commands — must come back as an error reply (or a
+// parse Status), never a crash, hang, or another session's disconnect.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "datagen/tpch_like.h"
+#include "service/client.h"
+#include "service/net.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace {
+
+// ---- request parsing --------------------------------------------------------
+
+TEST(ServiceProtocol, ParsesEveryWellFormedRequest) {
+  Request request;
+  ASSERT_TRUE(
+      ParseRequest("{\"cmd\":\"submit\",\"sql\":\"SELECT * FROM t\"}",
+                   &request)
+          .ok());
+  EXPECT_EQ(request.cmd, Request::Cmd::kSubmit);
+  EXPECT_EQ(request.sql, "SELECT * FROM t");
+
+  ASSERT_TRUE(
+      ParseRequest("{\"cmd\":\"watch\",\"id\":7,\"period_ms\":12.5}", &request)
+          .ok());
+  EXPECT_EQ(request.cmd, Request::Cmd::kWatch);
+  EXPECT_EQ(request.id, 7u);
+  EXPECT_DOUBLE_EQ(request.period_ms, 12.5);
+
+  ASSERT_TRUE(ParseRequest("{\"cmd\":\"cancel\",\"id\":3}", &request).ok());
+  EXPECT_EQ(request.cmd, Request::Cmd::kCancel);
+  EXPECT_EQ(request.id, 3u);
+
+  ASSERT_TRUE(ParseRequest("{\"cmd\":\"stats\"}", &request).ok());
+  EXPECT_EQ(request.cmd, Request::Cmd::kStats);
+  ASSERT_TRUE(ParseRequest("{\"cmd\":\"quit\"}", &request).ok());
+  EXPECT_EQ(request.cmd, Request::Cmd::kQuit);
+}
+
+TEST(ServiceProtocol, RejectsMalformedRequestsWithStatusNotCrash) {
+  const char* kBad[] = {
+      "",
+      "not json at all",
+      "{",
+      "}",
+      "[]",
+      "42",
+      "\"submit\"",
+      "{\"cmd\":\"submit\"}",                       // missing sql
+      "{\"cmd\":\"submit\",\"sql\":\"\"}",          // empty sql
+      "{\"cmd\":\"submit\",\"sql\":17}",            // sql not a string
+      "{\"cmd\":\"watch\"}",                        // missing id
+      "{\"cmd\":\"watch\",\"id\":\"3\"}",           // id not a number
+      "{\"cmd\":\"watch\",\"id\":-1}",              // negative id
+      "{\"cmd\":\"watch\",\"id\":1.5}",             // fractional id
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":0}",
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":-5}",
+      "{\"cmd\":\"cancel\"}",
+      "{\"cmd\":\"frobnicate\"}",
+      "{\"sql\":\"SELECT 1\"}",                     // missing cmd
+      "{\"cmd\":null}",
+      "{\"cmd\":{\"nested\":true}}",
+      "{\"cmd\":\"submit\",\"sql\":\"x\"",          // truncated frame
+      "{\"cmd\":\"submit\",\"sql\":\"x\\",          // truncated escape
+      "{\"cmd\":\"submit\",\"sql\":\"x\\u12\"}",    // truncated \u escape
+  };
+  for (const char* line : kBad) {
+    Request request;
+    EXPECT_FALSE(ParseRequest(line, &request).ok()) << "input: " << line;
+  }
+}
+
+TEST(ServiceProtocol, TruncatedFramesOfValidRequestsAllFailCleanly) {
+  const std::string full =
+      "{\"cmd\":\"watch\",\"id\":12345,\"period_ms\":33.25}";
+  for (size_t len = 0; len < full.size(); ++len) {
+    Request request;
+    Status s = ParseRequest(full.substr(0, len), &request);
+    EXPECT_FALSE(s.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ServiceProtocol, JsonParserSurvivesSeededGarbage) {
+  // Not a coverage proof, but a cheap net under the deterministic cases:
+  // a few thousand random byte strings (printable-heavy mix plus raw
+  // bytes) must all produce a Status, never a crash or hang.
+  Pcg32 rng(0xf00dfeedULL);
+  const char kAlphabet[] = "{}[]\",:.0123456789eE+-\\ufab nrt";
+  for (int round = 0; round < 4000; ++round) {
+    size_t len = rng.NextBounded(64);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.NextBounded(8) == 0) {
+        input.push_back(static_cast<char>(rng.NextBounded(256)));
+      } else {
+        input.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+      }
+    }
+    JsonValue value;
+    (void)JsonParse(input, &value);  // must simply return
+    Request request;
+    (void)ParseRequest(input, &request);
+  }
+}
+
+TEST(ServiceProtocol, JsonParserRejectsDepthBombs) {
+  std::string bomb;
+  for (int i = 0; i < 4096; ++i) bomb.push_back('[');
+  JsonValue value;
+  EXPECT_FALSE(JsonParse(bomb, &value).ok());
+  std::string nested = "{\"a\":";
+  for (int i = 0; i < 4096; ++i) nested += "{\"a\":";
+  JsonValue value2;
+  EXPECT_FALSE(JsonParse(nested, &value2).ok());
+}
+
+// ---- encode/decode round trip ----------------------------------------------
+
+TEST(ServiceProtocol, SnapshotRoundTripsExactly) {
+  WireSnapshot snap;
+  snap.id = 42;
+  snap.seq = 17;
+  snap.state = "running";
+  snap.final_snapshot = false;
+  snap.progress = 0.3333333333333333;
+  snap.gnm.current_calls = 123456789.0;
+  snap.gnm.total_estimate = 987654321.123456789;  // needs %.17g to survive
+  snap.gnm.ci_half_width = 1234.5678901234567;
+  snap.gnm.tick = 99;
+  snap.rows = 4242;
+  snap.server_ms = 1e7 + 0.125;
+  OperatorCounter op;
+  op.label = "grace_hash_join";
+  op.state = OpState::kRunning;
+  op.emitted = 777;
+  op.optimizer_estimate = 1e6;
+  snap.ops.push_back(op);
+
+  std::string line = EncodeSnapshot(snap);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  JsonValue value;
+  ASSERT_TRUE(JsonParse(line, &value).ok());
+  EXPECT_EQ(value.GetString("type"), "snapshot");
+  WireSnapshot decoded;
+  ASSERT_TRUE(DecodeSnapshot(value, &decoded).ok());
+  EXPECT_EQ(decoded.id, snap.id);
+  EXPECT_EQ(decoded.seq, snap.seq);
+  EXPECT_EQ(decoded.state, snap.state);
+  EXPECT_EQ(decoded.final_snapshot, snap.final_snapshot);
+  // Bit-exact double round trip is what makes the e2e terminal-T̂ check
+  // an equality, not a tolerance.
+  EXPECT_EQ(decoded.progress, snap.progress);
+  EXPECT_EQ(decoded.gnm.current_calls, snap.gnm.current_calls);
+  EXPECT_EQ(decoded.gnm.total_estimate, snap.gnm.total_estimate);
+  EXPECT_EQ(decoded.gnm.ci_half_width, snap.gnm.ci_half_width);
+  EXPECT_EQ(decoded.gnm.tick, snap.gnm.tick);
+  EXPECT_EQ(decoded.rows, snap.rows);
+  EXPECT_EQ(decoded.server_ms, snap.server_ms);
+  ASSERT_EQ(decoded.ops.size(), 1u);
+  EXPECT_EQ(decoded.ops[0].label, op.label);
+  EXPECT_EQ(decoded.ops[0].state, op.state);
+  EXPECT_EQ(decoded.ops[0].emitted, op.emitted);
+  EXPECT_EQ(decoded.ops[0].optimizer_estimate, op.optimizer_estimate);
+}
+
+TEST(ServiceProtocol, StatsRoundTrip) {
+  ServerStats stats;
+  stats.submitted = 10;
+  stats.queued = 3;
+  stats.running = 2;
+  stats.finished = 4;
+  stats.failed = 1;
+  stats.cancelled = 0;
+  stats.sessions = 5;
+  stats.watchers = 7;
+  stats.max_inflight = 2;
+  stats.draining = true;
+  JsonValue value;
+  ASSERT_TRUE(JsonParse(EncodeStats(stats), &value).ok());
+  ServerStats decoded;
+  ASSERT_TRUE(DecodeStats(value, &decoded).ok());
+  EXPECT_EQ(decoded.submitted, stats.submitted);
+  EXPECT_EQ(decoded.queued, stats.queued);
+  EXPECT_EQ(decoded.running, stats.running);
+  EXPECT_EQ(decoded.finished, stats.finished);
+  EXPECT_EQ(decoded.failed, stats.failed);
+  EXPECT_EQ(decoded.cancelled, stats.cancelled);
+  EXPECT_EQ(decoded.sessions, stats.sessions);
+  EXPECT_EQ(decoded.watchers, stats.watchers);
+  EXPECT_EQ(decoded.max_inflight, stats.max_inflight);
+  EXPECT_EQ(decoded.draining, stats.draining);
+}
+
+TEST(ServiceProtocol, EncodedStringsEscapeHostileSql) {
+  WireSnapshot snap;
+  snap.state = "run\"ning\n\\evil\x01";
+  std::string line = EncodeSnapshot(snap);
+  // Exactly one newline: the terminator. Embedded control characters must
+  // not break the line framing.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  JsonValue value;
+  ASSERT_TRUE(JsonParse(line, &value).ok());
+  EXPECT_EQ(value.GetString("state"), snap.state);
+}
+
+// ---- live-server abuse ------------------------------------------------------
+
+class ServiceAbuseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchLikeGenerator gen(7);
+    ASSERT_TRUE(gen.PopulateCatalog(&catalog_, 0.002).ok());
+    QpiServer::Options options;
+    options.max_inflight = 2;
+    options.exec_workers = 2;
+    server_ = std::make_unique<QpiServer>(&catalog_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  Catalog catalog_;
+  std::unique_ptr<QpiServer> server_;
+};
+
+/// Raw socket helper: read lines straight off the wire.
+struct RawConn {
+  int fd = -1;
+  std::unique_ptr<LineReader> reader;
+
+  Status Open(uint16_t port) {
+    QPI_RETURN_NOT_OK(TcpConnect("127.0.0.1", port, &fd));
+    reader = std::make_unique<LineReader>(fd, 1 << 20);
+    return Status::OK();
+  }
+  bool Send(const std::string& bytes) { return SendAll(fd, bytes); }
+  bool ReadType(std::string* type) {
+    std::string line;
+    if (reader->ReadLine(&line) != LineReader::Result::kLine) return false;
+    JsonValue value;
+    if (!JsonParse(line, &value).ok()) return false;
+    *type = value.GetString("type");
+    return true;
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+TEST_F(ServiceAbuseTest, GarbageGetsErrorRepliesAndSessionSurvives) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Open(server_->port()).ok());
+  std::string type;
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "hello");
+
+  // Malformed JSON → error reply, connection intact.
+  ASSERT_TRUE(conn.Send("this is not json\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+
+  // Truncated frame completed by a later write: the two halves form one
+  // line once the newline arrives, and it is simply a bad request.
+  ASSERT_TRUE(conn.Send("{\"cmd\":\"wat"));
+  ASSERT_TRUE(conn.Send("\"}\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+
+  // Oversized line (well past kDefaultMaxLineBytes) → one error reply,
+  // the tail is discarded, and the session keeps answering.
+  std::string huge(kDefaultMaxLineBytes + 4096, 'x');
+  huge.push_back('\n');
+  ASSERT_TRUE(conn.Send(huge));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+
+  // Interleaved garbage and valid commands: every garbage line errors,
+  // every valid command still answers.
+  ASSERT_TRUE(conn.Send("\x01\x02\x03\n{\"cmd\":\"stats\"}\n[[[\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "stats");
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+
+  // The session is still fully functional end-to-end.
+  ASSERT_TRUE(conn.Send(
+      "{\"cmd\":\"submit\",\"sql\":\"SELECT * FROM nation\"}\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "submitted");
+}
+
+TEST_F(ServiceAbuseTest, HostileSessionDoesNotDisconnectAnotherSession) {
+  QpiClient victim;
+  ASSERT_TRUE(victim.Connect("127.0.0.1", server_->port()).ok());
+  uint64_t id = 0;
+  ASSERT_TRUE(victim.Submit("SELECT * FROM customer", &id).ok());
+
+  {
+    RawConn attacker;
+    ASSERT_TRUE(attacker.Open(server_->port()).ok());
+    std::string type;
+    ASSERT_TRUE(attacker.ReadType(&type));
+    std::string huge(kDefaultMaxLineBytes * 2, '{');
+    attacker.Send(huge);
+    attacker.Send("\nnonsense\n{\"cmd\":\"watch\",\"id\":999999}\n");
+    // Slam the connection shut mid-stream; the server must just reap it.
+  }
+
+  // The victim's watch still runs to its terminal snapshot.
+  WireSnapshot final_snap;
+  ASSERT_TRUE(victim.Watch(id, 5, nullptr, &final_snap).ok());
+  EXPECT_TRUE(final_snap.final_snapshot);
+  EXPECT_EQ(final_snap.state, "finished");
+  EXPECT_TRUE(victim.Quit().ok());
+}
+
+}  // namespace
+}  // namespace qpi
