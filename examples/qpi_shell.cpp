@@ -278,6 +278,7 @@ int ConnectRepl(const std::string& host, uint16_t port) {
     std::printf(
         "SQL lines are submitted and watched live; \\submit <sql> defers,\n"
         "\\watch <id> [period_ms] re-attaches, \\cancel <id> aborts,\n"
+        "\\trace <id> dumps a progress curve, \\metrics scrapes the server,\n"
         "\\stats prints gauges, quit exits.\n");
   }
   std::string line;
@@ -302,6 +303,40 @@ int ConnectRepl(const std::string& host, uint16_t port) {
           (unsigned long long)stats.sessions,
           (unsigned long long)stats.watchers,
           stats.draining ? " (draining)" : "");
+      continue;
+    }
+    if (line == "\\metrics") {
+      std::string text;
+      s = client.Metrics(&text);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::fputs(text.c_str(), stdout);
+      }
+      continue;
+    }
+    if (line.rfind("\\trace ", 0) == 0) {
+      uint64_t id = std::strtoull(line.c_str() + 7, nullptr, 10);
+      TraceDump dump;
+      s = client.Trace(id, &dump);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("q%llu %s: %zu sample(s), stride=%llu, offered=%llu\n",
+                  (unsigned long long)dump.id, dump.state.c_str(),
+                  dump.samples.size(), (unsigned long long)dump.stride,
+                  (unsigned long long)dump.offered);
+      std::printf("  %10s %12s %14s %12s\n", "tick", "C", "T^", "ci");
+      for (const WireTraceSample& sample : dump.samples) {
+        std::printf("  %10llu %12.0f %14.1f %12.1f%s\n",
+                    (unsigned long long)sample.tick, sample.calls,
+                    sample.total_estimate, sample.ci_half_width,
+                    sample.terminal ? "  <- terminal" : "");
+      }
+      if (dump.audit_json != "null") {
+        std::printf("  audit: %s\n", dump.audit_json.c_str());
+      }
       continue;
     }
     if (line.rfind("\\cancel ", 0) == 0) {

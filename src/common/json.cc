@@ -267,7 +267,12 @@ void JsonAppendQuoted(std::string_view s, std::string* out) {
 }
 
 std::string JsonNumberString(double v) {
-  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  // JSON has no inf/nan spelling. A non-finite value means the quantity is
+  // *unavailable* (an estimator before its first observation, a CI with
+  // undefined variance) — presenting it as "0" would stream a confident
+  // zero estimate to watchers, so it maps to null and decoders round-trip
+  // null back to NaN (see DecodeSnapshot).
+  if (!std::isfinite(v)) return "null";
   // Integral doubles (counters, ticks) print without decoration; anything
   // else uses 17 significant digits, which round-trips IEEE doubles
   // exactly — the e2e test compares streamed T̂ against the in-process
@@ -280,6 +285,41 @@ std::string JsonNumberString(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+void JsonSerialize(const JsonValue& value, std::string* out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      return;
+    case JsonValue::Kind::kBool:
+      out->append(value.boolean ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber:
+      out->append(JsonNumberString(value.number));
+      return;
+    case JsonValue::Kind::kString:
+      JsonAppendQuoted(value.string, out);
+      return;
+    case JsonValue::Kind::kArray:
+      out->push_back('[');
+      for (size_t i = 0; i < value.items.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        JsonSerialize(value.items[i], out);
+      }
+      out->push_back(']');
+      return;
+    case JsonValue::Kind::kObject:
+      out->push_back('{');
+      for (size_t i = 0; i < value.members.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        JsonAppendQuoted(value.members[i].first, out);
+        out->push_back(':');
+        JsonSerialize(value.members[i].second, out);
+      }
+      out->push_back('}');
+      return;
+  }
 }
 
 void JsonAppendKey(std::string_view key, std::string* out) {

@@ -28,6 +28,7 @@ struct JsonValue {
   std::vector<JsonValue> items;                               ///< kArray
   std::vector<std::pair<std::string, JsonValue>> members;     ///< kObject
 
+  bool is_null() const { return kind == Kind::kNull; }
   bool is_object() const { return kind == Kind::kObject; }
   bool is_array() const { return kind == Kind::kArray; }
   bool is_string() const { return kind == Kind::kString; }
@@ -56,12 +57,20 @@ void JsonAppendQuoted(std::string_view s, std::string* out);
 
 /// Format a double so it round-trips bit-exactly through parse (shortest
 /// form via %.17g; integral values without exponent noise where possible).
+/// Non-finite values (no JSON spelling) emit `null` — "unavailable", never
+/// a confident 0; pair with a NaN default on the decoding side.
 std::string JsonNumberString(double v);
 
 /// Append `"key":` to `*out` (with the leading comma when `*out` does not
 /// end in '{' or '['). Tiny builder helper for the fixed-shape protocol
 /// lines.
 void JsonAppendKey(std::string_view key, std::string* out);
+
+/// Serialize a parsed value back to compact JSON text (no whitespace).
+/// parse(serialize(parse(x))) == parse(x): members keep their order and
+/// numbers go through JsonNumberString, so a decoded subdocument can be
+/// re-emitted or archived verbatim.
+void JsonSerialize(const JsonValue& value, std::string* out);
 
 }  // namespace qpi
 

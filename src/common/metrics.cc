@@ -1,0 +1,108 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace qpi {
+
+MetricHistogram::MetricHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  QPI_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+            "histogram bounds must be sorted ascending");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+}
+
+void MetricHistogram::Observe(double v) {
+  // NaN falls into the +Inf bucket (lower_bound on NaN is unspecified, so
+  // route it explicitly) — an unavailable measurement still counts.
+  size_t i = bounds_.size();
+  if (!std::isnan(v)) {
+    i = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  }
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(v)) {
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
+double MetricHistogram::Quantile(double q) const {
+  uint64_t total = TotalCount();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation among the sorted observations.
+  double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == bounds_.size()) {
+        // +Inf bucket: no upper edge to interpolate toward; report the
+        // largest finite boundary (or NaN when there are no finite buckets).
+        return bounds_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                               : bounds_.back();
+      }
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      double into = (rank - static_cast<double>(cumulative)) /
+                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : bounds_.back();
+}
+
+MetricCounter* MetricsRegistry::AddCounter(std::string name, std::string help,
+                                           std::string labels) {
+  counters_.push_back(std::make_unique<MetricCounter>());
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.labels = std::move(labels);
+  entry.counter = counters_.back().get();
+  entries_.push_back(std::move(entry));
+  return counters_.back().get();
+}
+
+MetricGauge* MetricsRegistry::AddGauge(std::string name, std::string help,
+                                       std::string labels) {
+  gauges_.push_back(std::make_unique<MetricGauge>());
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.labels = std::move(labels);
+  entry.gauge = gauges_.back().get();
+  entries_.push_back(std::move(entry));
+  return gauges_.back().get();
+}
+
+MetricHistogram* MetricsRegistry::AddHistogram(std::string name,
+                                               std::string help,
+                                               std::vector<double> bounds,
+                                               std::string labels) {
+  histograms_.push_back(std::make_unique<MetricHistogram>(std::move(bounds)));
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.labels = std::move(labels);
+  entry.histogram = histograms_.back().get();
+  entries_.push_back(std::move(entry));
+  return histograms_.back().get();
+}
+
+}  // namespace qpi

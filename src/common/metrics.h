@@ -1,0 +1,115 @@
+#ifndef QPI_COMMON_METRICS_H_
+#define QPI_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qpi {
+
+/// \brief Lock-free service metrics: counters, gauges and fixed-bucket
+/// histograms behind a registry the /metrics renderer walks.
+///
+/// Concurrency contract: registration (Add*) happens during setup, before
+/// any concurrent observer exists, and is NOT thread-safe. Observation
+/// (Increment/Set/Observe) and reading (Value/TotalCount/...) are lock-free
+/// relaxed atomics, safe from any thread at any time — a session thread
+/// rendering /metrics never blocks a worker recording a sample, and vice
+/// versa. Readers may see a histogram mid-update (count ahead of a bucket
+/// by one observation); the exposition format tolerates that skew, exact
+/// equality only settles once observers quiesce.
+
+/// Monotone event counter.
+class MetricCounter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, draining flag, ...). Set wins by last
+/// writer; typically refreshed right before rendering.
+class MetricGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram (Prometheus semantics: `bounds` are inclusive
+/// upper bounds of the finite buckets; an implicit +Inf bucket catches the
+/// rest). Observe is two relaxed fetch_adds plus one CAS loop for the sum.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds().size() is +Inf.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate by linear interpolation inside the owning bucket
+  /// (the standard Prometheus histogram_quantile scheme). NaN while empty.
+  /// Used by tests and the latency bench to read p50/p99 without scraping.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  ///< bounds+1 (+Inf)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Named metric registry: owns the instruments, preserves
+/// registration order for rendering, and hands out stable pointers.
+///
+/// `labels` is a preformatted Prometheus label body without braces, e.g.
+/// `kind="finished"` — entries sharing a name form one family (register
+/// them adjacently so HELP/TYPE render once per family).
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::string name;
+    std::string help;
+    std::string labels;
+    MetricCounter* counter = nullptr;
+    MetricGauge* gauge = nullptr;
+    MetricHistogram* histogram = nullptr;
+  };
+
+  MetricCounter* AddCounter(std::string name, std::string help,
+                            std::string labels = "");
+  MetricGauge* AddGauge(std::string name, std::string help,
+                        std::string labels = "");
+  MetricHistogram* AddHistogram(std::string name, std::string help,
+                                std::vector<double> bounds,
+                                std::string labels = "");
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<MetricCounter>> counters_;
+  std::vector<std::unique_ptr<MetricGauge>> gauges_;
+  std::vector<std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_METRICS_H_

@@ -27,6 +27,13 @@ enum class EstimationMode {
 
 const char* EstimationModeName(EstimationMode mode);
 
+/// How per-operator CLT half-widths combine into one query-level interval
+/// (GnmAccountant::TotalHalfWidth). The per-operator estimators are
+/// independent, so their variances add and the combined half-width is the
+/// root-sum-square of the parts; the plain sum (a union bound) overstates
+/// the interval and is kept only as an explicitly conservative mode.
+enum class CiCombine : unsigned char { kRootSumSquare, kConservativeSum };
+
 /// Coarse lifecycle phase of a query as a progress consumer sees it.
 /// kQueued is the pre-execution phase a service-layer admission queue
 /// parks a query in (progress pinned at 0 with the optimizer's T̂);
@@ -79,6 +86,10 @@ struct ExecContext {
   Catalog* catalog = nullptr;
   EstimationMode mode = EstimationMode::kOnce;
   double confidence = kDefaultConfidence;
+
+  /// Query-level CI combination rule used wherever this context's
+  /// snapshots are published (qpi-serve, trace sampling).
+  CiCombine ci_combine = CiCombine::kRootSumSquare;
 
   /// Fraction of each base table emitted as a leading block-level random
   /// sample. 0 means plain scans, whose streams are treated as randomly

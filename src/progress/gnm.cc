@@ -1,5 +1,7 @@
 #include "progress/gnm.h"
 
+#include <cmath>
+
 namespace qpi {
 
 GnmAccountant::GnmAccountant(Operator* root) : root_(root) {
@@ -42,20 +44,25 @@ double GnmAccountant::TotalEstimate() const {
   return total;
 }
 
-double GnmAccountant::TotalHalfWidth(double confidence) const {
-  double total = 0;
+double GnmAccountant::TotalHalfWidth(double confidence,
+                                     CiCombine combine) const {
+  double sum = 0;
+  double sum_sq = 0;
   for (const Operator* op : ops_) {
     if (op->state() == OpState::kRunning) {
-      total += op->CurrentCardinalityHalfWidth(confidence);
+      double w = op->CurrentCardinalityHalfWidth(confidence);
+      sum += w;
+      sum_sq += w * w;
     }
   }
-  return total;
+  return combine == CiCombine::kConservativeSum ? sum : std::sqrt(sum_sq);
 }
 
 GnmSnapshot GnmAccountant::SnapshotWithConfidence(uint64_t tick,
-                                                  double confidence) const {
+                                                  double confidence,
+                                                  CiCombine combine) const {
   GnmSnapshot snap = Snapshot(tick);
-  snap.ci_half_width = TotalHalfWidth(confidence);
+  snap.ci_half_width = TotalHalfWidth(confidence, combine);
   return snap;
 }
 

@@ -12,10 +12,12 @@ struct GnmSnapshot {
   uint64_t tick = 0;          ///< engine ticks when taken
   double current_calls = 0;   ///< C(Q) — getnext() calls made so far
   double total_estimate = 0;  ///< live estimate of T(Q)
-  /// Half-width of the confidence interval around total_estimate: the sum
-  /// of the per-operator CLT half-widths of every *running* estimator
-  /// (a union bound — conservative, and 0 once every contribution is
-  /// exact). Streamed to qpi-serve watchers alongside T̂.
+  /// Half-width of the confidence interval around total_estimate, combined
+  /// from the per-operator CLT half-widths of every *running* estimator —
+  /// root-sum-square by default (independent estimators: variances add),
+  /// or the conservative union-bound sum under CiCombine::kConservativeSum.
+  /// 0 once every contribution is exact. Streamed to qpi-serve watchers
+  /// alongside T̂.
   double ci_half_width = 0;
   /// Estimated progress C(Q) / T̂(Q), clamped to [0, 1].
   double EstimatedProgress() const {
@@ -57,15 +59,22 @@ class GnmAccountant {
 
   /// Snapshot that additionally fills ci_half_width at confidence level
   /// `confidence` — the form qpi-serve publishes. Executing thread only.
-  GnmSnapshot SnapshotWithConfidence(uint64_t tick, double confidence) const;
+  GnmSnapshot SnapshotWithConfidence(
+      uint64_t tick, double confidence,
+      CiCombine combine = CiCombine::kRootSumSquare) const;
 
   /// Live N_i estimate for one operator under the classification above.
   double RefinedEstimate(const Operator* op) const;
 
-  /// Sum of the per-operator confidence half-widths of every running
-  /// operator (0 for finished/not-started ones). Executing thread only,
-  /// like TotalEstimate().
-  double TotalHalfWidth(double confidence) const;
+  /// Combined confidence half-width over every running operator (finished
+  /// and not-started ones contribute 0). The per-operator estimators
+  /// observe disjoint inputs, so their errors are independent and the
+  /// CLT-correct combination adds variances: the default returns
+  /// sqrt(Σ w_i²). kConservativeSum returns the plain Σ w_i union bound —
+  /// always ≥ the root-sum-square — for consumers that want a guaranteed
+  /// over-cover. Executing thread only, like TotalEstimate().
+  double TotalHalfWidth(double confidence,
+                        CiCombine combine = CiCombine::kRootSumSquare) const;
 
   /// The flattened operator tree (pre-order). Per-operator counters and
   /// states read off these pointers are relaxed atomics — safe from any

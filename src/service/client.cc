@@ -139,6 +139,24 @@ Status QpiClient::Stats(ServerStats* out) {
   return DecodeStats(reply, out);
 }
 
+Status QpiClient::Trace(uint64_t id, TraceDump* out) {
+  std::string request = "{";
+  JsonAppendKey("cmd", &request);
+  JsonAppendQuoted("trace", &request);
+  JsonAppendKey("id", &request);
+  request.append(JsonNumberString(static_cast<double>(id)));
+  request.push_back('}');
+  JsonValue reply;
+  QPI_RETURN_NOT_OK(RoundTrip(request, "trace", &reply));
+  return DecodeTrace(reply, out);
+}
+
+Status QpiClient::Metrics(std::string* out) {
+  JsonValue reply;
+  QPI_RETURN_NOT_OK(RoundTrip("{\"cmd\":\"metrics\"}", "metrics", &reply));
+  return DecodeMetrics(reply, out);
+}
+
 Status QpiClient::Quit() {
   JsonValue reply;
   return RoundTrip("{\"cmd\":\"quit\"}", "bye", &reply);

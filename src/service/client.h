@@ -48,6 +48,12 @@ class QpiClient {
 
   Status Stats(ServerStats* out);
 
+  /// TRACE query `id`: fetch its progress curve and accuracy audit.
+  Status Trace(uint64_t id, TraceDump* out);
+
+  /// METRICS: fetch the server's Prometheus text exposition.
+  Status Metrics(std::string* out);
+
   /// Send quit and consume the bye line.
   Status Quit();
 

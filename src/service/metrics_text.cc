@@ -1,0 +1,102 @@
+#include "service/metrics_text.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qpi {
+
+namespace {
+
+/// Prometheus sample value: integral values print bare, everything else in
+/// shortest round-trip form; non-finite values use the exposition spellings
+/// (+Inf / -Inf / NaN), unlike the JSON layer which must map them to null.
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest representation that round-trips: 0.05 stays "0.05", not
+  // "0.050000000000000003" (matters most for le="" bucket bounds).
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void AppendHeader(const MetricsRegistry::Entry& entry, const char* type,
+                  std::string* out) {
+  out->append("# HELP ").append(entry.name).append(" ").append(entry.help);
+  out->push_back('\n');
+  out->append("# TYPE ").append(entry.name).append(" ").append(type);
+  out->push_back('\n');
+}
+
+/// `name{labels,extra} value\n` (brace block omitted when empty).
+void AppendSample(const std::string& name, const std::string& labels,
+                  const std::string& extra, double value, std::string* out) {
+  out->append(name);
+  if (!labels.empty() || !extra.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra.empty()) out->push_back(',');
+    out->append(extra);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(PromNumber(value));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const MetricsRegistry::Entry& entry : registry.entries()) {
+    bool new_family = last_family == nullptr || *last_family != entry.name;
+    last_family = &entry.name;
+    switch (entry.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        if (new_family) AppendHeader(entry, "counter", &out);
+        AppendSample(entry.name, entry.labels, "",
+                     static_cast<double>(entry.counter->Value()), &out);
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        if (new_family) AppendHeader(entry, "gauge", &out);
+        AppendSample(entry.name, entry.labels, "", entry.gauge->Value(), &out);
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        if (new_family) AppendHeader(entry, "histogram", &out);
+        const MetricHistogram& h = *entry.histogram;
+        // Count first, buckets after: Observe bumps bucket before count, so
+        // a concurrent reader taking count first can only see
+        // sum(buckets) >= count — the +Inf bucket then still equals the
+        // largest consistent count and cumulative monotonicity holds.
+        uint64_t total = h.TotalCount();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          if (cumulative > total) cumulative = total;
+          AppendSample(entry.name + "_bucket", entry.labels,
+                       "le=\"" + PromNumber(h.bounds()[i]) + "\"",
+                       static_cast<double>(cumulative), &out);
+        }
+        AppendSample(entry.name + "_bucket", entry.labels, "le=\"+Inf\"",
+                     static_cast<double>(total), &out);
+        AppendSample(entry.name + "_sum", entry.labels, "", h.Sum(), &out);
+        AppendSample(entry.name + "_count", entry.labels, "",
+                     static_cast<double>(total), &out);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qpi

@@ -1,0 +1,23 @@
+#ifndef QPI_SERVICE_METRICS_TEXT_H_
+#define QPI_SERVICE_METRICS_TEXT_H_
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace qpi {
+
+/// \brief Render a MetricsRegistry in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` / `# TYPE` once per metric family,
+/// then one `name{labels} value` sample line per instrument; histograms
+/// expand into cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`. The output always ends with a newline, as the format
+/// requires.
+///
+/// Reading the instruments is lock-free (relaxed atomic loads), so this
+/// may be called from any session thread while workers keep observing.
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_METRICS_TEXT_H_

@@ -1,6 +1,7 @@
 #include "service/protocol.h"
 
 #include <cmath>
+#include <limits>
 
 namespace qpi {
 
@@ -78,6 +79,14 @@ Status ParseRequest(const std::string& line, Request* out) {
   }
   if (cmd == "stats") {
     out->cmd = Request::Cmd::kStats;
+    return Status::OK();
+  }
+  if (cmd == "trace") {
+    out->cmd = Request::Cmd::kTrace;
+    return GetId(v, "id", &out->id);
+  }
+  if (cmd == "metrics") {
+    out->cmd = Request::Cmd::kMetrics;
     return Status::OK();
   }
   if (cmd == "quit") {
@@ -163,6 +172,64 @@ std::string EncodeStats(const ServerStats& stats) {
   return out;
 }
 
+std::string EncodeTrace(const TraceDump& dump) {
+  std::string out = "{";
+  AppendString("type", "trace", &out);
+  AppendUint("id", dump.id, &out);
+  AppendString("state", dump.state, &out);
+  AppendUint("stride", dump.stride, &out);
+  AppendUint("offered", dump.offered, &out);
+  JsonAppendKey("ops", &out);
+  out.push_back('[');
+  for (size_t i = 0; i < dump.op_labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    JsonAppendQuoted(dump.op_labels[i], &out);
+  }
+  out.push_back(']');
+  JsonAppendKey("samples", &out);
+  out.push_back('[');
+  for (size_t i = 0; i < dump.samples.size(); ++i) {
+    const WireTraceSample& s = dump.samples[i];
+    if (i > 0) out.push_back(',');
+    out.push_back('{');
+    AppendUint("tick", s.tick, &out);
+    AppendDouble("calls", s.calls, &out);
+    AppendDouble("total_estimate", s.total_estimate, &out);
+    AppendDouble("ci_half_width", s.ci_half_width, &out);
+    AppendBool("terminal", s.terminal, &out);
+    AppendUint("offer", s.offer, &out);
+    JsonAppendKey("emitted", &out);
+    out.push_back('[');
+    for (size_t k = 0; k < s.op_emitted.size(); ++k) {
+      if (k > 0) out.push_back(',');
+      out.append(JsonNumberString(static_cast<double>(s.op_emitted[k])));
+    }
+    out.push_back(']');
+    JsonAppendKey("estimates", &out);
+    out.push_back('[');
+    for (size_t k = 0; k < s.op_estimate.size(); ++k) {
+      if (k > 0) out.push_back(',');
+      out.append(JsonNumberString(s.op_estimate[k]));
+    }
+    out.push_back(']');
+    out.push_back('}');
+  }
+  out.push_back(']');
+  // audit_json is already a JSON value (object or null) — splice verbatim.
+  JsonAppendKey("audit", &out);
+  out.append(dump.audit_json.empty() ? "null" : dump.audit_json);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeMetrics(const std::string& prometheus_text) {
+  std::string out = "{";
+  AppendString("type", "metrics", &out);
+  AppendString("text", prometheus_text, &out);
+  out.append("}\n");
+  return out;
+}
+
 std::string EncodeBye(const std::string& reason) {
   std::string out = "{";
   AppendString("type", "bye", &out);
@@ -179,8 +246,11 @@ Status DecodeSnapshot(const JsonValue& line, WireSnapshot* out) {
   out->final_snapshot = line.GetBool("final");
   out->progress = line.GetNumber("progress");
   out->gnm.current_calls = line.GetNumber("calls");
-  out->gnm.total_estimate = line.GetNumber("total_estimate");
-  out->gnm.ci_half_width = line.GetNumber("ci_half_width");
+  // Estimate fields may arrive as null (the encoder's spelling for a
+  // non-finite value); decode that back to NaN, not a confident 0.
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  out->gnm.total_estimate = line.GetNumber("total_estimate", kNaN);
+  out->gnm.ci_half_width = line.GetNumber("ci_half_width", kNaN);
   out->gnm.tick = static_cast<uint64_t>(line.GetNumber("tick"));
   out->rows = static_cast<uint64_t>(line.GetNumber("rows"));
   out->server_ms = line.GetNumber("server_ms");
@@ -196,6 +266,67 @@ Status DecodeSnapshot(const JsonValue& line, WireSnapshot* out) {
       out->ops.push_back(std::move(c));
     }
   }
+  return Status::OK();
+}
+
+Status DecodeTrace(const JsonValue& line, TraceDump* out) {
+  *out = TraceDump();
+  QPI_RETURN_NOT_OK(GetId(line, "id", &out->id));
+  out->state = line.GetString("state");
+  out->stride = static_cast<uint64_t>(line.GetNumber("stride", 1.0));
+  out->offered = static_cast<uint64_t>(line.GetNumber("offered"));
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const JsonValue* ops = line.Find("ops");
+  if (ops != nullptr && ops->is_array()) {
+    out->op_labels.reserve(ops->items.size());
+    for (const JsonValue& label : ops->items) {
+      out->op_labels.push_back(label.string);
+    }
+  }
+  const JsonValue* samples = line.Find("samples");
+  if (samples != nullptr && samples->is_array()) {
+    out->samples.reserve(samples->items.size());
+    for (const JsonValue& s : samples->items) {
+      WireTraceSample w;
+      w.tick = static_cast<uint64_t>(s.GetNumber("tick"));
+      w.calls = s.GetNumber("calls");
+      w.total_estimate = s.GetNumber("total_estimate", kNaN);
+      w.ci_half_width = s.GetNumber("ci_half_width", kNaN);
+      w.terminal = s.GetBool("terminal");
+      w.offer = static_cast<uint64_t>(s.GetNumber("offer"));
+      const JsonValue* emitted = s.Find("emitted");
+      if (emitted != nullptr && emitted->is_array()) {
+        w.op_emitted.reserve(emitted->items.size());
+        for (const JsonValue& n : emitted->items) {
+          w.op_emitted.push_back(static_cast<uint64_t>(n.number));
+        }
+      }
+      const JsonValue* estimates = s.Find("estimates");
+      if (estimates != nullptr && estimates->is_array()) {
+        w.op_estimate.reserve(estimates->items.size());
+        for (const JsonValue& n : estimates->items) {
+          w.op_estimate.push_back(n.is_number() ? n.number : kNaN);
+        }
+      }
+      out->samples.push_back(std::move(w));
+    }
+  }
+  const JsonValue* audit = line.Find("audit");
+  if (audit != nullptr && !audit->is_null()) {
+    out->audit_json.clear();
+    JsonSerialize(*audit, &out->audit_json);
+  } else {
+    out->audit_json = "null";
+  }
+  return Status::OK();
+}
+
+Status DecodeMetrics(const JsonValue& line, std::string* out) {
+  const JsonValue* text = line.Find("text");
+  if (text == nullptr || !text->is_string()) {
+    return Status::InvalidArgument("metrics reply missing \"text\"");
+  }
+  *out = text->string;
   return Status::OK();
 }
 

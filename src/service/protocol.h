@@ -20,10 +20,13 @@ namespace qpi {
 ///   {"cmd":"watch","id":3,"period_ms":50}
 ///   {"cmd":"cancel","id":3}
 ///   {"cmd":"stats"}
+///   {"cmd":"trace","id":3}
+///   {"cmd":"metrics"}
 ///   {"cmd":"quit"}
 ///
 /// Server → client replies (every line carries a "type"):
-///   hello, submitted, snapshot (streamed), ok, error, stats, bye.
+///   hello, submitted, snapshot (streamed), ok, error, stats, trace,
+///   metrics, bye.
 ///
 /// Every encoder returns a complete line including the trailing '\n'.
 /// Decoding is Status-based and total: any byte sequence either parses
@@ -38,10 +41,10 @@ inline constexpr size_t kDefaultMaxLineBytes = 64 * 1024;
 
 /// A parsed client request.
 struct Request {
-  enum class Cmd { kSubmit, kWatch, kCancel, kStats, kQuit };
+  enum class Cmd { kSubmit, kWatch, kCancel, kStats, kTrace, kMetrics, kQuit };
   Cmd cmd = Cmd::kStats;
   std::string sql;         ///< kSubmit
-  uint64_t id = 0;         ///< kWatch / kCancel
+  uint64_t id = 0;         ///< kWatch / kCancel / kTrace
   double period_ms = 100;  ///< kWatch snapshot cadence (clamped by server)
 };
 
@@ -58,6 +61,33 @@ struct WireSnapshot {
   uint64_t rows = 0;            ///< rows emitted by the root so far
   double server_ms = 0;         ///< server monotonic clock at send time
   std::vector<OperatorCounter> ops;
+};
+
+/// One point of a query's traced progress curve on the wire. Field names
+/// mirror TraceSample; per-operator arrays are parallel to the plan's
+/// pre-order operator labels carried alongside in TraceDump.
+struct WireTraceSample {
+  uint64_t tick = 0;
+  double calls = 0;
+  double total_estimate = 0;
+  double ci_half_width = 0;
+  bool terminal = false;
+  uint64_t offer = 0;
+  std::vector<uint64_t> op_emitted;
+  std::vector<double> op_estimate;
+};
+
+/// A full TRACE reply: the retained curve plus the estimator-accuracy
+/// audit (null until the query finishes).
+struct TraceDump {
+  uint64_t id = 0;
+  std::string state;               ///< queued|running|finished|failed|cancelled
+  uint64_t stride = 1;             ///< final decimation stride
+  uint64_t offered = 0;            ///< samples offered over the query's life
+  std::vector<std::string> op_labels;  ///< plan pre-order, names the arrays
+  std::vector<WireTraceSample> samples;
+  /// AccuracyReportJson output for finished queries, "null" otherwise.
+  std::string audit_json = "null";
 };
 
 /// Server-wide gauges for STATS.
@@ -81,12 +111,18 @@ std::string EncodeSubmitted(uint64_t id, const std::string& state);
 std::string EncodeOk(const std::string& cmd, uint64_t id);
 std::string EncodeSnapshot(const WireSnapshot& snap);
 std::string EncodeStats(const ServerStats& stats);
+std::string EncodeTrace(const TraceDump& dump);
+/// METRICS carries multi-line Prometheus text through the one-line
+/// protocol as an escaped JSON string: {"type":"metrics","text":"..."}.
+std::string EncodeMetrics(const std::string& prometheus_text);
 std::string EncodeBye(const std::string& reason);
 
 /// Client-side decoders (from a parsed line). The line's "type" member
 /// must already have been dispatched on by the caller.
 Status DecodeSnapshot(const JsonValue& line, WireSnapshot* out);
 Status DecodeStats(const JsonValue& line, ServerStats* out);
+Status DecodeTrace(const JsonValue& line, TraceDump* out);
+Status DecodeMetrics(const JsonValue& line, std::string* out);
 
 }  // namespace qpi
 

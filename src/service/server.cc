@@ -6,9 +6,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <utility>
 
 #include "exec/compiler.h"
+#include "progress/accuracy_audit.h"
+#include "service/metrics_text.h"
 #include "service/net.h"
 #include "service/session.h"
 #include "sql/planner.h"
@@ -30,30 +33,46 @@ extern "C" void QpiServeSigtermHandler(int) {
   }
 }
 
-/// Publishes SnapshotWithConfidence from the executing worker every
-/// `interval` ticks — the service twin of the concurrent executor's
-/// SlotPublisher, adding the CI half-width watchers stream.
-class HandlePublisher : public TickObserver {
- public:
-  HandlePublisher(QueryHandle* handle, uint64_t interval)
-      : handle_(handle), interval_(interval) {}
-
-  void OnTick(uint64_t n) override {
-    handle_->ticks += n;
-    if (handle_->ticks - last_publish_ >= interval_) {
-      last_publish_ = handle_->ticks;
-      handle_->slot.Store(handle_->accountant->SnapshotWithConfidence(
-          handle_->ticks, handle_->ctx->confidence));
-    }
-  }
-
- private:
-  QueryHandle* handle_;
-  uint64_t interval_;
-  uint64_t last_publish_ = 0;
-};
+/// |T̂/T − 1| — the estimator's relative error given the paper's accuracy
+/// ratio r = T/T̂. NaN (unavailable estimate) propagates; the histogram
+/// routes it to +Inf.
+double RelativeErrorFromRatio(double r) { return std::fabs(1.0 / r - 1.0); }
 
 }  // namespace
+
+ServerMetrics::ServerMetrics() {
+  submits = registry.AddCounter("qpi_submits_total",
+                                "Queries accepted by SUBMIT.");
+  finished = registry.AddCounter(
+      "qpi_queries_terminal_total",
+      "Queries reaching a terminal state, by kind.", "kind=\"finished\"");
+  failed = registry.AddCounter("qpi_queries_terminal_total",
+                               "Queries reaching a terminal state, by kind.",
+                               "kind=\"failed\"");
+  cancelled = registry.AddCounter(
+      "qpi_queries_terminal_total",
+      "Queries reaching a terminal state, by kind.", "kind=\"cancelled\"");
+  trace_samples = registry.AddCounter(
+      "qpi_trace_samples_total",
+      "Progress samples offered to per-query trace rings.");
+  queue_depth =
+      registry.AddGauge("qpi_queue_depth", "Queries waiting for admission.");
+  running =
+      registry.AddGauge("qpi_queries_running", "Queries currently executing.");
+  sessions = registry.AddGauge("qpi_sessions", "Open client sessions.");
+  watchers = registry.AddGauge("qpi_watchers", "Active progress watches.");
+  draining = registry.AddGauge("qpi_draining",
+                               "1 while the graceful drain runs, else 0.");
+  delivery_ms = registry.AddHistogram(
+      "qpi_snapshot_delivery_ms",
+      "Publish-to-socket-write latency of streamed snapshots.",
+      {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250});
+  relative_error = registry.AddHistogram(
+      "qpi_estimator_relative_error",
+      "Estimator relative error |T_hat/T - 1| at the 25/50/75% "
+      "checkpoints of finished queries.",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5});
+}
 
 const char* QueryHandle::WireState() const {
   switch (terminal.load(std::memory_order_acquire)) {
@@ -171,11 +190,21 @@ Status QpiServer::Submit(const std::string& sql, uint64_t* id) {
   QPI_RETURN_NOT_OK(CompilePlan(plan.get(), handle->ctx.get(), &handle->root));
   handle->accountant = std::make_unique<GnmAccountant>(handle->root.get());
   handle->ctx->set_phase(QueryPhase::kQueued);
+  handle->trace = std::make_unique<TraceRing>(options_.trace_capacity);
+  handle->op_labels.reserve(handle->accountant->operators().size());
+  for (const Operator* op : handle->accountant->operators()) {
+    handle->op_labels.push_back(op->label());
+  }
   // Seed the slot so a watcher attached before execution sees the
   // optimizer-based T̂ (progress 0 in the "queued" state), not an empty
-  // snapshot. Safe: nothing executes yet.
-  handle->slot.Store(handle->accountant->SnapshotWithConfidence(
-      0, handle->ctx->confidence));
+  // snapshot. Safe: nothing executes yet. The same observation opens the
+  // trace: every curve starts at the optimizer's guess.
+  GnmSnapshot seed = handle->accountant->SnapshotWithConfidence(
+      0, handle->ctx->confidence, handle->ctx->ci_combine);
+  handle->slot.Store(seed);
+  handle->trace->Record(
+      MakeTraceSample(*handle->accountant, seed, QueryPhase::kQueued));
+  metrics_.trace_samples->Increment();
   handle->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   QueryHandle* raw = handle.get();
   {
@@ -190,6 +219,7 @@ Status QpiServer::Submit(const std::string& sql, uint64_t* id) {
     return Status::Internal("server is draining; submissions are closed");
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.submits->Increment();
   *id = raw->id;
   return Status::OK();
 }
@@ -238,6 +268,51 @@ ServerStats QpiServer::GetStats() const {
   return stats;
 }
 
+Status QpiServer::BuildTrace(uint64_t id, TraceDump* out) {
+  QueryHandle* handle = FindQuery(id);
+  if (handle == nullptr) {
+    return Status::NotFound("no such query id " + std::to_string(id));
+  }
+  *out = TraceDump();
+  out->id = id;
+  // Read terminal state once; reading it *before* the samples would let a
+  // terminal sample arrive in between and pair a "running" state with a
+  // finished curve — harmless, but reading state last keeps the pair
+  // consistent whenever the audit is present.
+  out->op_labels = handle->op_labels;
+  std::vector<TraceSample> samples = handle->trace->Samples();
+  out->stride = handle->trace->stride();
+  out->offered = handle->trace->offered();
+  out->samples.reserve(samples.size());
+  for (const TraceSample& s : samples) {
+    WireTraceSample w;
+    w.tick = s.tick;
+    w.calls = s.calls;
+    w.total_estimate = s.total_estimate;
+    w.ci_half_width = s.ci_half_width;
+    w.terminal = s.terminal;
+    w.offer = s.offer;
+    w.op_emitted = s.op_emitted;
+    w.op_estimate = s.op_estimate;
+    out->samples.push_back(std::move(w));
+  }
+  out->state = handle->WireState();
+  // audit_json is written by the worker before the terminal release-store,
+  // so observing a terminal state (acquire) makes this read race-free.
+  out->audit_json = handle->IsTerminal() ? handle->audit_json : "null";
+  return Status::OK();
+}
+
+std::string QpiServer::RenderMetricsText() {
+  ServerStats stats = GetStats();
+  metrics_.queue_depth->Set(static_cast<double>(stats.queued));
+  metrics_.running->Set(static_cast<double>(stats.running));
+  metrics_.sessions->Set(static_cast<double>(stats.sessions));
+  metrics_.watchers->Set(static_cast<double>(stats.watchers));
+  metrics_.draining->Set(stats.draining ? 1.0 : 0.0);
+  return RenderPrometheusText(metrics_.registry);
+}
+
 void QpiServer::DispatchLoop() {
   while (QueryHandle* handle = admission_.NextRunnable()) {
     exec_pool_->Submit([this, handle] { RunOne(handle); });
@@ -245,7 +320,9 @@ void QpiServer::DispatchLoop() {
 }
 
 void QpiServer::RunOne(QueryHandle* handle) {
-  HandlePublisher publisher(handle, options_.publish_interval);
+  TracePublisher publisher(handle->accountant.get(), handle->ctx.get(),
+                           &handle->slot, handle->trace.get(),
+                           options_.publish_interval);
   handle->ctx->AddTickObserver(&publisher);
   Status s = handle->root->Open(handle->ctx.get());
   if (s.ok()) {
@@ -258,22 +335,40 @@ void QpiServer::RunOne(QueryHandle* handle) {
     handle->ctx->EndExecution();
   }
   handle->ctx->RemoveTickObserver(&publisher);
+  handle->ticks = publisher.ticks();
+  metrics_.trace_samples->Increment(publisher.samples_offered() + 1);
   // Terminal snapshot first, terminal state second (release): a watcher
   // observing the terminal state is guaranteed the exact final snapshot
-  // (every operator finished, so T̂ = C and the half-width is 0).
-  handle->slot.Store(handle->accountant->SnapshotWithConfidence(
-      handle->ticks, handle->ctx->confidence));
+  // (every operator finished, so T̂ = C and the half-width is 0). The
+  // trace's terminal sample and the audit land in the same window, so a
+  // TRACE after the terminal state sees both.
+  GnmSnapshot final_snap = handle->accountant->SnapshotWithConfidence(
+      handle->ticks, handle->ctx->confidence, handle->ctx->ci_combine);
+  handle->slot.Store(final_snap);
+  handle->trace->RecordTerminal(
+      MakeTraceSample(*handle->accountant, final_snap, handle->ctx->phase()));
   QueryHandle::Terminal terminal;
   if (!s.ok()) {
     handle->error = s.ToString();
     terminal = QueryHandle::Terminal::kFailed;
     failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.failed->Increment();
   } else if (handle->ctx->IsCancelled()) {
     terminal = QueryHandle::Terminal::kCancelled;
     cancelled_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.cancelled->Increment();
   } else {
     terminal = QueryHandle::Terminal::kFinished;
     finished_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.finished->Increment();
+    // Audit only truly-finished queries: R against a partial T would be
+    // meaningless for failures and cancellations.
+    AccuracyReport report =
+        ComputeAccuracyReport(handle->trace->Samples(), handle->op_labels);
+    handle->audit_json = AccuracyReportJson(report);
+    for (const CheckpointAccuracy& cp : report.checkpoints) {
+      metrics_.relative_error->Observe(RelativeErrorFromRatio(cp.r));
+    }
   }
   handle->terminal.store(terminal, std::memory_order_release);
   admission_.OnComplete();
@@ -281,9 +376,14 @@ void QpiServer::RunOne(QueryHandle* handle) {
 
 void QpiServer::TerminalizeQueued(QueryHandle* handle) {
   handle->error = "cancelled before execution";
+  // Close the trace with the seeded snapshot — the query never ran, so no
+  // worker is publishing and reading the accountant here is safe.
+  handle->trace->RecordTerminal(MakeTraceSample(
+      *handle->accountant, handle->slot.Load(), QueryPhase::kQueued));
   handle->terminal.store(QueryHandle::Terminal::kCancelled,
                          std::memory_order_release);
   cancelled_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.cancelled->Increment();
 }
 
 void QpiServer::ReapSessions(bool join_all) {

@@ -12,12 +12,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
 #include "progress/gnm.h"
 #include "progress/snapshot_slot.h"
+#include "progress/trace_ring.h"
 #include "service/admission_queue.h"
 #include "service/protocol.h"
 #include "storage/catalog.h"
@@ -51,6 +53,15 @@ struct QueryHandle {
   std::atomic<Terminal> terminal{Terminal::kNone};
   std::string error;  ///< worker-written before the terminal store
 
+  /// Progress-curve history for TRACE (internally locked, safe anytime).
+  std::unique_ptr<TraceRing> trace;
+  /// Plan pre-order operator labels (immutable after Submit); names the
+  /// per-operator arrays in trace samples.
+  std::vector<std::string> op_labels;
+  /// Estimator-accuracy report (AccuracyReportJson), worker-written before
+  /// the terminal store — readable once IsTerminal(), "null" before.
+  std::string audit_json = "null";
+
   bool IsTerminal() const {
     return terminal.load(std::memory_order_acquire) != Terminal::kNone;
   }
@@ -63,6 +74,31 @@ struct QueryHandle {
   /// Estimated progress in [0,1], monotone per query (CAS-max floor, same
   /// scheme as the concurrent executor). Safe from any thread.
   double Progress();
+};
+
+/// \brief The server's /metrics instruments (rendered by metrics_text.h).
+///
+/// Registered once at server construction (the registry is append-only
+/// setup-phase state); every pointer below stays valid and lock-free for
+/// the server's lifetime. Naming follows Prometheus conventions: unit
+/// suffixes, `_total` on counters, one family per logical measure with
+/// `kind` labels distinguishing terminal states.
+struct ServerMetrics {
+  ServerMetrics();
+
+  MetricsRegistry registry;
+  MetricCounter* submits;           ///< qpi_submits_total
+  MetricCounter* finished;          ///< qpi_queries_terminal_total{kind="finished"}
+  MetricCounter* failed;            ///< ...{kind="failed"}
+  MetricCounter* cancelled;         ///< ...{kind="cancelled"}
+  MetricCounter* trace_samples;     ///< qpi_trace_samples_total
+  MetricGauge* queue_depth;         ///< qpi_queue_depth
+  MetricGauge* running;             ///< qpi_queries_running
+  MetricGauge* sessions;            ///< qpi_sessions
+  MetricGauge* watchers;            ///< qpi_watchers
+  MetricGauge* draining;            ///< qpi_draining (0/1)
+  MetricHistogram* delivery_ms;     ///< qpi_snapshot_delivery_ms
+  MetricHistogram* relative_error;  ///< qpi_estimator_relative_error
 };
 
 /// \brief qpi-serve: the paper's progress framework behind a TCP socket.
@@ -98,6 +134,8 @@ class QpiServer {
     size_t exec_workers = 2;  ///< query-execution pool size
     uint64_t publish_interval = 1024;
     size_t max_line_bytes = kDefaultMaxLineBytes;
+    /// Per-query trace-ring capacity (samples kept per progress curve).
+    size_t trace_capacity = TraceRing::kDefaultCapacity;
     /// How long running queries may keep draining before RequestCancel.
     std::chrono::milliseconds drain_deadline{2000};
     /// How long a session writer may take to flush final snapshots.
@@ -147,6 +185,16 @@ class QpiServer {
 
   ServerStats GetStats() const;
 
+  /// Fill a TRACE reply for query `id`: the retained curve, the plan's
+  /// operator labels, and (once terminal) the accuracy audit.
+  Status BuildTrace(uint64_t id, TraceDump* out);
+
+  /// The /metrics text exposition: refreshes the gauges from GetStats()
+  /// and renders every registered instrument.
+  std::string RenderMetricsText();
+
+  ServerMetrics& metrics() { return metrics_; }
+
  private:
   friend class Session;
 
@@ -181,6 +229,8 @@ class QpiServer {
   std::atomic<uint64_t> finished_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cancelled_{0};
+
+  ServerMetrics metrics_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

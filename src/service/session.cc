@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -142,6 +143,15 @@ void Session::HandleRequest(const Request& request) {
     case Request::Cmd::kStats:
       EnqueueLine(EncodeStats(server_->GetStats()));
       return;
+    case Request::Cmd::kTrace: {
+      TraceDump dump;
+      Status s = server_->BuildTrace(request.id, &dump);
+      EnqueueLine(s.ok() ? EncodeTrace(dump) : EncodeError(s));
+      return;
+    }
+    case Request::Cmd::kMetrics:
+      EnqueueLine(EncodeMetrics(server_->RenderMetricsText()));
+      return;
     case Request::Cmd::kQuit:
       return;  // handled in ReaderLoop
   }
@@ -173,6 +183,9 @@ WireSnapshot Session::BuildSnapshot(Watch* watch, bool force_final) {
 void Session::WriterLoop() {
   while (true) {
     std::vector<std::string> to_send;
+    // Snapshot-build instants parallel to to_send (NaN for control lines);
+    // feeds qpi_snapshot_delivery_ms once the bytes hit the socket.
+    std::vector<double> built_ms;
     bool exit_after = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -192,16 +205,20 @@ void Session::WriterLoop() {
       }
       while (!outbox_.empty()) {
         to_send.push_back(std::move(outbox_.front()));
+        built_ms.push_back(std::numeric_limits<double>::quiet_NaN());
         outbox_.pop_front();
       }
       if (draining_) {
         // Drain: one final snapshot per watch (the queries were already
         // terminalized by the server), then bye, then exit.
         for (Watch& watch : watches_) {
-          to_send.push_back(EncodeSnapshot(BuildSnapshot(&watch, true)));
+          WireSnapshot snap = BuildSnapshot(&watch, true);
+          to_send.push_back(EncodeSnapshot(snap));
+          built_ms.push_back(snap.server_ms);
         }
         watches_.clear();
         to_send.push_back(EncodeBye("server draining"));
+        built_ms.push_back(std::numeric_limits<double>::quiet_NaN());
         exit_after = true;
       } else if (closing_) {
         watches_.clear();
@@ -216,6 +233,7 @@ void Session::WriterLoop() {
           }
           WireSnapshot snap = BuildSnapshot(&watch, false);
           to_send.push_back(EncodeSnapshot(snap));
+          built_ms.push_back(snap.server_ms);
           if (snap.final_snapshot) {
             watches_.erase(watches_.begin() + static_cast<long>(i));
           } else {
@@ -228,10 +246,13 @@ void Session::WriterLoop() {
     // Send outside the lock: a slow client may block us in send(2), and
     // the reader must stay free to enqueue (or the outbox cap to trip).
     bool send_failed = false;
-    for (const std::string& line : to_send) {
-      if (!SendAll(fd_, line)) {
+    for (size_t i = 0; i < to_send.size(); ++i) {
+      if (!SendAll(fd_, to_send[i])) {
         send_failed = true;
         break;
+      }
+      if (!std::isnan(built_ms[i])) {
+        server_->metrics().delivery_ms->Observe(MonotonicMs() - built_ms[i]);
       }
     }
     if (send_failed || exit_after) break;

@@ -1,0 +1,164 @@
+// MetricsRegistry instruments and the Prometheus text exposition.
+//
+// The renderer must emit valid exposition format 0.0.4: one HELP/TYPE pair
+// per family, cumulative le-buckets ending in +Inf that equals _count, and
+// a trailing newline — the properties a scraper actually depends on.
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "service/metrics_text.h"
+
+namespace qpi {
+namespace {
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  MetricCounter* c = registry.AddCounter("c_total", "a counter");
+  MetricGauge* g = registry.AddGauge("g", "a gauge");
+  c->Increment();
+  c->Increment(41);
+  g->Set(3.5);
+  EXPECT_EQ(c->Value(), 42u);
+  EXPECT_DOUBLE_EQ(g->Value(), 3.5);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles) {
+  MetricHistogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 0.7, 1.5, 3.0, 100.0}) h.Observe(v);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 0.7 + 1.5 + 3.0 + 100.0);
+  EXPECT_EQ(h.BucketCount(0), 2u);  // <= 1
+  EXPECT_EQ(h.BucketCount(1), 1u);  // (1, 2]
+  EXPECT_EQ(h.BucketCount(2), 1u);  // (2, 4]
+  EXPECT_EQ(h.BucketCount(3), 1u);  // +Inf
+  // Median falls in the (1, 2] bucket.
+  double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+}
+
+TEST(Metrics, HistogramRoutesNaNToInfBucket) {
+  MetricHistogram h({1.0});
+  h.Observe(std::nan(""));
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  // The sum must stay finite — a single NaN must not poison it.
+  EXPECT_TRUE(std::isfinite(h.Sum()));
+}
+
+TEST(Metrics, EmptyHistogramQuantileIsNaN) {
+  MetricHistogram h({1.0});
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+}
+
+// ---- Prometheus text exposition ---------------------------------------------
+
+/// A tiny structural validator for what a scraper needs: every non-comment
+/// line is `name[{labels}] value`, HELP/TYPE precede their family's first
+/// sample, and no family header repeats.
+void CheckExpositionStructure(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n') << "exposition must end with a newline";
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> headered;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "no blank lines in the exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string family = line.substr(7, line.find(' ', 7) - 7);
+      for (const std::string& seen : headered) {
+        EXPECT_NE(seen, family) << "TYPE repeated for family " << family;
+      }
+      headered.push_back(family);
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    // Sample line: metric name, optional {labels}, space, value.
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string value = line.substr(space + 1);
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      size_t pos = 0;
+      (void)std::stod(value, &pos);
+      EXPECT_EQ(pos, value.size()) << "unparsable value in: " << line;
+    }
+    // The name must belong to a family that was headered before it.
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    bool found = false;
+    for (const std::string& family : headered) {
+      if (name == family || name == family + "_bucket" ||
+          name == family + "_sum" || name == family + "_count") {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "sample before its TYPE header: " << line;
+  }
+}
+
+TEST(MetricsText, RendersValidExposition) {
+  MetricsRegistry registry;
+  MetricCounter* a = registry.AddCounter("app_requests_total",
+                                         "Requests.", "kind=\"good\"");
+  MetricCounter* b = registry.AddCounter("app_requests_total",
+                                         "Requests.", "kind=\"bad\"");
+  MetricGauge* g = registry.AddGauge("app_depth", "Depth.");
+  MetricHistogram* h = registry.AddHistogram("app_latency_ms", "Latency.",
+                                             {1.0, 5.0, 25.0});
+  a->Increment(3);
+  b->Increment();
+  g->Set(7);
+  for (double v : {0.5, 2.0, 10.0, 300.0}) h->Observe(v);
+
+  std::string text = RenderPrometheusText(registry);
+  CheckExpositionStructure(text);
+
+  // Family header appears exactly once for the two labeled counters.
+  EXPECT_NE(text.find("# TYPE app_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total{kind=\"good\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total{kind=\"bad\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_depth 7"), std::string::npos);
+
+  // Histogram: cumulative buckets, +Inf equals _count.
+  EXPECT_NE(text.find("app_latency_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ms_bucket{le=\"5\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ms_bucket{le=\"25\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ms_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ms_count 4"), std::string::npos);
+}
+
+TEST(MetricsText, BucketBoundsRenderShortestRoundTrip) {
+  MetricsRegistry registry;
+  MetricHistogram* h =
+      registry.AddHistogram("t_ms", "T.", {0.05, 0.1, 0.25});
+  h->Observe(0.07);
+  std::string text = RenderPrometheusText(registry);
+  CheckExpositionStructure(text);
+  // 0.05 is not exactly representable; the bound must still print as the
+  // shortest string that round-trips, not 17 significant digits.
+  EXPECT_NE(text.find("t_ms_bucket{le=\"0.05\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("t_ms_bucket{le=\"0.1\"} 1"), std::string::npos);
+  EXPECT_EQ(text.find("0.050000000000000003"), std::string::npos);
+}
+
+TEST(MetricsText, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(RenderPrometheusText(registry), "");
+}
+
+}  // namespace
+}  // namespace qpi

@@ -137,6 +137,83 @@ TEST(Gnm, FinalEstimateEqualsTruth) {
   EXPECT_DOUBLE_EQ(snap.EstimatedProgress(), 1.0);
 }
 
+TEST(Gnm, CiCombinationPinsBothFormulasOnTwoJoinPlan) {
+  // Regression: TotalHalfWidth used to add per-operator CI half-widths,
+  // overstating the query-level interval — independent CLT estimators
+  // combine by root-sum-square (variances add, not half-widths). The
+  // conservative sum stays available behind CiCombine::kConservativeSum.
+  // This pins both formulas against per-operator widths mid-query on a
+  // two-join plan, where at least two operators carry live intervals.
+  EngineFixture fx;
+  fx.Add(SkewedTable("a", 2000, 1.0, 50, 1, 1));
+  fx.Add(SkewedTable("b", 2000, 1.0, 50, 2, 2));
+  fx.Add(SkewedTable("c", 2000, 1.0, 50, 3, 3));
+  fx.ctx.mode = EstimationMode::kOnce;
+  PlanNodePtr plan = TwoJoinAggPlan();
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &fx.ctx, &root).ok());
+  GnmAccountant acc(root.get());
+  double conf = fx.ctx.confidence;
+
+  // The aggregate drains its whole input inside one NextBatch, so the
+  // joins are only ever mid-flight *inside* the tick path — probe from a
+  // TickObserver, exactly where the service publisher samples.
+  struct CiProbe : TickObserver {
+    GnmAccountant* acc;
+    double conf;
+    bool saw_two_live_intervals = false;
+    void OnTick(uint64_t) override {
+      double sum = 0;
+      double sum_sq = 0;
+      int positive = 0;
+      for (const Operator* op : acc->operators()) {
+        if (op->state() != OpState::kRunning) continue;
+        double w = op->CurrentCardinalityHalfWidth(conf);
+        sum += w;
+        sum_sq += w * w;
+        if (w > 0) ++positive;
+      }
+      // Pin both combination rules against the per-operator widths.
+      EXPECT_DOUBLE_EQ(acc->TotalHalfWidth(conf, CiCombine::kConservativeSum),
+                       sum);
+      EXPECT_DOUBLE_EQ(acc->TotalHalfWidth(conf, CiCombine::kRootSumSquare),
+                       std::sqrt(sum_sq));
+      // Root-sum-square is the default, in TotalHalfWidth and snapshots.
+      EXPECT_DOUBLE_EQ(acc->TotalHalfWidth(conf), std::sqrt(sum_sq));
+      EXPECT_DOUBLE_EQ(acc->SnapshotWithConfidence(0, conf).ci_half_width,
+                       std::sqrt(sum_sq));
+      EXPECT_DOUBLE_EQ(
+          acc->SnapshotWithConfidence(0, conf, CiCombine::kConservativeSum)
+              .ci_half_width,
+          sum);
+      if (positive >= 2) {
+        saw_two_live_intervals = true;
+        // With two live intervals the formulas genuinely differ, and RSS
+        // is the tighter while still covering the widest single one.
+        EXPECT_LT(std::sqrt(sum_sq), sum);
+        for (const Operator* op : acc->operators()) {
+          if (op->state() == OpState::kRunning) {
+            EXPECT_GE(std::sqrt(sum_sq),
+                      op->CurrentCardinalityHalfWidth(conf));
+          }
+        }
+      }
+    }
+  } probe;
+  probe.acc = &acc;
+  probe.conf = conf;
+  fx.ctx.AddTickObserver(&probe);
+  ASSERT_TRUE(QueryExecutor::Run(root.get(), &fx.ctx, nullptr, nullptr).ok());
+  fx.ctx.RemoveTickObserver(&probe);
+  EXPECT_TRUE(probe.saw_two_live_intervals)
+      << "the two-join plan never had two concurrent live intervals; the "
+         "combination rules were not actually distinguished";
+  // Finished query: no running operators, zero width under both rules.
+  EXPECT_DOUBLE_EQ(acc.TotalHalfWidth(conf, CiCombine::kRootSumSquare), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TotalHalfWidth(conf, CiCombine::kConservativeSum),
+                   0.0);
+}
+
 TEST(Gnm, FutureOperatorRefinedByInputRatio) {
   EngineFixture fx;
   fx.Add(SkewedTable("a", 100, 0.0, 10, 1, 1));

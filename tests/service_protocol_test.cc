@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,8 +51,21 @@ TEST(ServiceProtocol, ParsesEveryWellFormedRequest) {
 
   ASSERT_TRUE(ParseRequest("{\"cmd\":\"stats\"}", &request).ok());
   EXPECT_EQ(request.cmd, Request::Cmd::kStats);
+  ASSERT_TRUE(ParseRequest("{\"cmd\":\"trace\",\"id\":9}", &request).ok());
+  EXPECT_EQ(request.cmd, Request::Cmd::kTrace);
+  EXPECT_EQ(request.id, 9u);
+  ASSERT_TRUE(ParseRequest("{\"cmd\":\"metrics\"}", &request).ok());
+  EXPECT_EQ(request.cmd, Request::Cmd::kMetrics);
   ASSERT_TRUE(ParseRequest("{\"cmd\":\"quit\"}", &request).ok());
   EXPECT_EQ(request.cmd, Request::Cmd::kQuit);
+}
+
+TEST(ServiceProtocol, TraceRequestRequiresAnId) {
+  Request request;
+  EXPECT_FALSE(ParseRequest("{\"cmd\":\"trace\"}", &request).ok());
+  EXPECT_FALSE(ParseRequest("{\"cmd\":\"trace\",\"id\":-1}", &request).ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"cmd\":\"trace\",\"id\":1.5}", &request).ok());
 }
 
 TEST(ServiceProtocol, RejectsMalformedRequestsWithStatusNotCrash) {
@@ -178,6 +193,121 @@ TEST(ServiceProtocol, SnapshotRoundTripsExactly) {
   EXPECT_EQ(decoded.ops[0].state, op.state);
   EXPECT_EQ(decoded.ops[0].emitted, op.emitted);
   EXPECT_EQ(decoded.ops[0].optimizer_estimate, op.optimizer_estimate);
+}
+
+TEST(ServiceProtocol, NonFiniteCiEncodesAsNullAndDecodesAsNaN) {
+  // Regression: JsonNumberString used to spell NaN/±inf as "0", so a
+  // snapshot whose CI was not yet defined streamed a confident zero
+  // half-width. It must emit null and decode back to NaN.
+  WireSnapshot snap;
+  snap.id = 1;
+  snap.state = "running";
+  snap.gnm.current_calls = 10;
+  snap.gnm.total_estimate = std::numeric_limits<double>::infinity();
+  snap.gnm.ci_half_width = std::numeric_limits<double>::quiet_NaN();
+
+  std::string line = EncodeSnapshot(snap);
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ci_half_width\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"total_estimate\":null"), std::string::npos) << line;
+
+  JsonValue value;
+  ASSERT_TRUE(JsonParse(line, &value).ok()) << line;
+  const JsonValue* ci = value.Find("ci_half_width");
+  ASSERT_NE(ci, nullptr);
+  EXPECT_TRUE(ci->is_null());
+
+  WireSnapshot decoded;
+  ASSERT_TRUE(DecodeSnapshot(value, &decoded).ok());
+  EXPECT_TRUE(std::isnan(decoded.gnm.ci_half_width));
+  EXPECT_TRUE(std::isnan(decoded.gnm.total_estimate));
+  // Available fields still decode normally next to the null ones.
+  EXPECT_EQ(decoded.gnm.current_calls, 10);
+}
+
+TEST(ServiceProtocol, TraceRoundTripsThroughTheWire) {
+  TraceDump dump;
+  dump.id = 7;
+  dump.state = "finished";
+  dump.stride = 4;
+  dump.offered = 250;
+  dump.op_labels = {"seq_scan", "grace_hash_join"};
+  for (int i = 0; i < 3; ++i) {
+    WireTraceSample s;
+    s.tick = static_cast<uint64_t>(i) * 100;
+    s.calls = i * 100.0;
+    s.total_estimate = i == 0 ? std::numeric_limits<double>::quiet_NaN()
+                              : 200.0 + i;
+    s.ci_half_width = 1.5;
+    s.terminal = i == 2;
+    s.offer = static_cast<uint64_t>(i) * 4;
+    s.op_emitted = {static_cast<uint64_t>(i), static_cast<uint64_t>(2 * i)};
+    s.op_estimate = {100.0, 50.5};
+    dump.samples.push_back(s);
+  }
+  dump.audit_json = "{\"final_calls\":200,\"checkpoints\":[],\"ops\":[]}";
+
+  std::string line = EncodeTrace(dump);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  JsonValue value;
+  ASSERT_TRUE(JsonParse(line, &value).ok()) << line;
+  EXPECT_EQ(value.GetString("type"), "trace");
+
+  TraceDump decoded;
+  ASSERT_TRUE(DecodeTrace(value, &decoded).ok());
+  EXPECT_EQ(decoded.id, dump.id);
+  EXPECT_EQ(decoded.state, dump.state);
+  EXPECT_EQ(decoded.stride, dump.stride);
+  EXPECT_EQ(decoded.offered, dump.offered);
+  EXPECT_EQ(decoded.op_labels, dump.op_labels);
+  ASSERT_EQ(decoded.samples.size(), dump.samples.size());
+  for (size_t i = 0; i < dump.samples.size(); ++i) {
+    EXPECT_EQ(decoded.samples[i].tick, dump.samples[i].tick);
+    EXPECT_EQ(decoded.samples[i].calls, dump.samples[i].calls);
+    if (std::isnan(dump.samples[i].total_estimate)) {
+      EXPECT_TRUE(std::isnan(decoded.samples[i].total_estimate));
+    } else {
+      EXPECT_EQ(decoded.samples[i].total_estimate,
+                dump.samples[i].total_estimate);
+    }
+    EXPECT_EQ(decoded.samples[i].terminal, dump.samples[i].terminal);
+    EXPECT_EQ(decoded.samples[i].offer, dump.samples[i].offer);
+    EXPECT_EQ(decoded.samples[i].op_emitted, dump.samples[i].op_emitted);
+    EXPECT_EQ(decoded.samples[i].op_estimate, dump.samples[i].op_estimate);
+  }
+  // The audit object survives the round trip byte-identically (compact
+  // encoding on both sides).
+  EXPECT_EQ(decoded.audit_json, dump.audit_json);
+
+  // A running query's dump carries a null audit.
+  dump.audit_json = "null";
+  ASSERT_TRUE(JsonParse(EncodeTrace(dump), &value).ok());
+  ASSERT_TRUE(DecodeTrace(value, &decoded).ok());
+  EXPECT_EQ(decoded.audit_json, "null");
+}
+
+TEST(ServiceProtocol, MetricsRoundTripsMultilineText) {
+  std::string text =
+      "# HELP qpi_submits_total Queries accepted by SUBMIT.\n"
+      "# TYPE qpi_submits_total counter\n"
+      "qpi_submits_total 3\n"
+      "qpi_queries_terminal_total{kind=\"finished\"} 2\n";
+  std::string line = EncodeMetrics(text);
+  // One wire line despite the embedded newlines.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  JsonValue value;
+  ASSERT_TRUE(JsonParse(line, &value).ok());
+  EXPECT_EQ(value.GetString("type"), "metrics");
+  std::string decoded;
+  ASSERT_TRUE(DecodeMetrics(value, &decoded).ok());
+  EXPECT_EQ(decoded, text);
+
+  JsonValue empty;
+  ASSERT_TRUE(JsonParse("{\"type\":\"metrics\"}", &empty).ok());
+  EXPECT_FALSE(DecodeMetrics(empty, &decoded).ok());
 }
 
 TEST(ServiceProtocol, StatsRoundTrip) {

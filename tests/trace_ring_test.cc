@@ -1,0 +1,204 @@
+// TraceRing decimation invariants and the estimator-accuracy auditor.
+//
+// The ring must keep a *uniform* curve over the whole query lifetime in
+// bounded memory: retained non-terminal samples sit at contiguous multiples
+// of the (power-of-two) stride starting at offer 0, the terminal sample is
+// always kept, and the sample count never exceeds capacity — for any offer
+// count and any (odd or even) capacity.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "progress/accuracy_audit.h"
+#include "progress/trace_ring.h"
+
+namespace qpi {
+namespace {
+
+TraceSample SampleAt(uint64_t tick, double calls, double estimate) {
+  TraceSample s;
+  s.tick = tick;
+  s.calls = calls;
+  s.total_estimate = estimate;
+  s.ci_half_width = 0;
+  return s;
+}
+
+/// The decimation contract, checked exhaustively on a retained curve.
+void CheckDecimationInvariants(const TraceRing& ring, uint64_t offers,
+                               bool has_terminal) {
+  std::vector<TraceSample> samples = ring.Samples();
+  ASSERT_LE(samples.size(), ring.capacity()) << "memory must stay bounded";
+  uint64_t stride = ring.stride();
+  EXPECT_EQ(stride & (stride - 1), 0u) << "stride is a power of two";
+  size_t non_terminal = samples.size();
+  if (has_terminal) {
+    ASSERT_FALSE(samples.empty());
+    EXPECT_TRUE(samples.back().terminal) << "terminal sample must be last";
+    --non_terminal;
+  }
+  for (size_t i = 0; i < non_terminal; ++i) {
+    EXPECT_FALSE(samples[i].terminal);
+    // Contiguous multiples of the final stride, from the very first offer:
+    // the curve covers the whole query life uniformly, not a recent window.
+    EXPECT_EQ(samples[i].offer, i * stride)
+        << "sample " << i << " of " << offers << " offers";
+  }
+  if (!has_terminal && offers > 0) {
+    // Every stride-th offer below the high-water mark must be present.
+    EXPECT_EQ(non_terminal, (offers - 1) / stride + 1);
+  }
+}
+
+TEST(TraceRing, KeepsEverythingWhileUnderCapacity) {
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 8; ++i) {
+    ring.Record(SampleAt(i, static_cast<double>(i), 100));
+  }
+  EXPECT_EQ(ring.Samples().size(), 8u);
+  EXPECT_EQ(ring.stride(), 1u);
+  CheckDecimationInvariants(ring, 8, false);
+}
+
+TEST(TraceRing, DecimatesUniformlyAtAnyLength) {
+  for (size_t capacity : {2u, 3u, 7u, 8u, 64u}) {
+    for (uint64_t offers : {1u, 9u, 64u, 65u, 100u, 1000u, 4097u}) {
+      TraceRing ring(capacity);
+      for (uint64_t i = 0; i < offers; ++i) {
+        ring.Record(SampleAt(i, static_cast<double>(i), 1000));
+      }
+      SCOPED_TRACE("capacity=" + std::to_string(capacity) +
+                   " offers=" + std::to_string(offers));
+      CheckDecimationInvariants(ring, offers, false);
+    }
+  }
+}
+
+TEST(TraceRing, TerminalSampleAlwaysRetainedEvenWhenFull) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ring.Record(SampleAt(i, static_cast<double>(i), 1000));
+  }
+  TraceSample last = SampleAt(1000, 1000, 1000);
+  ring.RecordTerminal(last);
+  std::vector<TraceSample> samples = ring.Samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_TRUE(samples.back().terminal);
+  EXPECT_DOUBLE_EQ(samples.back().calls, 1000);
+  EXPECT_LE(samples.size(), ring.capacity());
+  CheckDecimationInvariants(ring, 1001, true);
+}
+
+TEST(TraceRing, LongQueryStillCoversItsBeginning) {
+  TraceRing ring(8);
+  const uint64_t kOffers = 1 << 16;
+  for (uint64_t i = 0; i < kOffers; ++i) {
+    ring.Record(SampleAt(i, static_cast<double>(i), kOffers));
+  }
+  std::vector<TraceSample> samples = ring.Samples();
+  ASSERT_FALSE(samples.empty());
+  // The very first observation survives every compaction.
+  EXPECT_EQ(samples.front().offer, 0u);
+  // And the retained points span at least half the offered range — a
+  // sliding window would have forgotten everything before the tail.
+  EXPECT_GE(samples.back().offer, kOffers / 2);
+}
+
+// ---- accuracy auditor -------------------------------------------------------
+
+std::vector<TraceSample> LinearCurve(double total, double estimate_factor) {
+  // C grows 0..total; the estimator reports estimate_factor * total until
+  // the end, where T̂ snaps to the truth.
+  std::vector<TraceSample> samples;
+  for (int i = 0; i <= 10; ++i) {
+    double calls = total * i / 10.0;
+    samples.push_back(SampleAt(static_cast<uint64_t>(calls), calls,
+                               i == 10 ? total : estimate_factor * total));
+  }
+  samples.back().terminal = true;
+  return samples;
+}
+
+TEST(AccuracyAudit, InvalidWithoutTerminalSample) {
+  std::vector<TraceSample> samples = LinearCurve(1000, 2.0);
+  samples.back().terminal = false;
+  AccuracyReport report = ComputeAccuracyReport(samples, {});
+  EXPECT_FALSE(report.valid);
+  EXPECT_EQ(AccuracyReportJson(report), "null");
+}
+
+TEST(AccuracyAudit, ComputesRAtEachCheckpoint) {
+  // Estimator reports half the truth all along: R = T / T̂ = 2 everywhere.
+  AccuracyReport report =
+      ComputeAccuracyReport(LinearCurve(1000, 0.5), {});
+  ASSERT_TRUE(report.valid);
+  EXPECT_DOUBLE_EQ(report.final_calls, 1000);
+  ASSERT_EQ(report.checkpoints.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.checkpoints[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(report.checkpoints[1].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.checkpoints[2].fraction, 0.75);
+  for (const CheckpointAccuracy& cp : report.checkpoints) {
+    EXPECT_DOUBLE_EQ(cp.r, 2.0) << "at fraction " << cp.fraction;
+    // Checkpoint = first sample at or past fraction * T.
+    EXPECT_GE(cp.calls, cp.fraction * 1000);
+  }
+}
+
+TEST(AccuracyAudit, PerOperatorRatiosFollowTheirEstimates) {
+  std::vector<TraceSample> samples = LinearCurve(100, 1.0);
+  for (TraceSample& s : samples) {
+    // Op 0: perfect estimate. Op 1: 4x overestimate (R = 0.25).
+    s.op_emitted = {static_cast<uint64_t>(s.calls),
+                    static_cast<uint64_t>(s.calls)};
+    s.op_estimate = {100.0, 400.0};
+  }
+  samples.back().op_estimate = {100.0, 400.0};
+  samples.back().op_emitted = {100, 100};
+  AccuracyReport report = ComputeAccuracyReport(samples, {"scan", "join"});
+  ASSERT_TRUE(report.valid);
+  ASSERT_EQ(report.ops.size(), 2u);
+  EXPECT_EQ(report.ops[0].label, "scan");
+  for (double r : report.ops[0].r) EXPECT_DOUBLE_EQ(r, 1.0);
+  for (double r : report.ops[1].r) EXPECT_DOUBLE_EQ(r, 0.25);
+}
+
+TEST(AccuracyAudit, UnavailableEstimateYieldsNaNAndSerializesAsNull) {
+  std::vector<TraceSample> samples = LinearCurve(100, 1.0);
+  for (TraceSample& s : samples) {
+    if (!s.terminal) s.total_estimate = 0;  // estimator not live yet
+  }
+  AccuracyReport report = ComputeAccuracyReport(samples, {});
+  ASSERT_TRUE(report.valid);
+  // 25/50/75% checkpoints all had no usable estimate.
+  for (size_t i = 0; i < report.checkpoints.size(); ++i) {
+    EXPECT_TRUE(std::isnan(report.checkpoints[i].r));
+  }
+  std::string json = AccuracyReportJson(report);
+  EXPECT_NE(json.find("\"r\":null"), std::string::npos);
+  // And the report is still valid JSON.
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParse(json, &parsed).ok()) << json;
+}
+
+TEST(AccuracyAudit, JsonRoundTripsThroughTheParser) {
+  AccuracyReport report =
+      ComputeAccuracyReport(LinearCurve(1000, 0.5), {"scan"});
+  std::string json = AccuracyReportJson(report);
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParse(json, &parsed).ok()) << json;
+  EXPECT_DOUBLE_EQ(parsed.GetNumber("final_calls"), 1000);
+  const JsonValue* checkpoints = parsed.Find("checkpoints");
+  ASSERT_NE(checkpoints, nullptr);
+  ASSERT_EQ(checkpoints->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(checkpoints->items[1].GetNumber("fraction"), 0.5);
+  EXPECT_DOUBLE_EQ(checkpoints->items[1].GetNumber("r"), 2.0);
+}
+
+}  // namespace
+}  // namespace qpi
