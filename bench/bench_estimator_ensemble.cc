@@ -1,0 +1,120 @@
+// Overhead of the estimator ensemble on the getnext path: the same join
+// runs with a plain TracePublisher (ONCE only — the pre-ensemble
+// configuration) vs one with the EstimatorEnsemble attached (dne + byte
+// evaluated concurrently at every publish, selector scoring, per-candidate
+// totals, published T̂ routed through the selection). The paired delta is
+// the full cost of running three estimators where one ran before, and the
+// acceptance bar for this subsystem is < 3% of the getnext path.
+//
+// Output: BENCH_estimator_ensemble.json via the OverheadRecorder, pairing
+// on the "ensemble" arg (0 = baseline).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "bench/overhead_json.h"
+#include "progress/ensemble.h"
+#include "progress/gnm.h"
+#include "progress/snapshot_slot.h"
+#include "progress/trace_ring.h"
+
+namespace qpi {
+namespace {
+
+struct Dataset {
+  TablePtr orders;
+  TablePtr lineitem;
+};
+
+const Dataset& GetDataset(int sf_permille) {
+  static std::map<int, Dataset> cache;
+  auto it = cache.find(sf_permille);
+  if (it == cache.end()) {
+    double sf = sf_permille / 1000.0;
+    TpchLikeGenerator gen(7);
+    Dataset ds;
+    ds.orders = gen.MakeOrders(sf);
+    ds.lineitem = gen.MakeLineitem(sf);
+    it = cache.emplace(sf_permille, std::move(ds)).first;
+  }
+  return it->second;
+}
+
+/// state.range(0) = SF in permille; state.range(1) = ensemble on/off;
+/// state.range(2) = publish interval in ticks. Both arms publish snapshots
+/// and record the trace ring (the service's deployed configuration); only
+/// the ensemble differs, so the paired delta isolates what this PR added:
+/// per-candidate estimation, selector scoring, and candidate trace columns
+/// — all amortized over `interval` getnext calls per publish.
+void BM_EnsembleJoin(benchmark::State& state) {
+  const Dataset& ds = GetDataset(static_cast<int>(state.range(0)));
+  bool with_ensemble = state.range(1) != 0;
+  uint64_t interval = static_cast<uint64_t>(state.range(2));
+
+  uint64_t observations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bench::Workbench wb;
+    wb.Add(ds.orders);
+    wb.Add(ds.lineitem);
+    wb.ctx.mode = EstimationMode::kOnce;
+    wb.ctx.sample_fraction = 0.01;
+    wb.ctx.rng = Pcg32(0x7c0de5ULL);
+    PlanNodePtr plan =
+        HashJoinPlan(ScanPlan("orders"), ScanPlan("lineitem"),
+                     "orders.orderkey", "lineitem.orderkey");
+    OperatorPtr root = wb.Compile(plan.get());
+    GnmAccountant accountant(root.get());
+    std::unique_ptr<EstimatorEnsemble> ensemble;
+    if (with_ensemble) {
+      ensemble = std::make_unique<EstimatorEnsemble>(&accountant, &wb.ctx,
+                                                     nullptr);
+      accountant.AttachEnsemble(ensemble.get());
+    }
+    SnapshotSlot slot;
+    TraceRing ring;
+    TracePublisher publisher(&accountant, &wb.ctx, &slot, &ring, interval,
+                             ensemble.get());
+    wb.ctx.AddTickObserver(&publisher);
+    state.ResumeTiming();
+
+    uint64_t rows = 0;
+    Status s = QueryExecutor::Run(root.get(), &wb.ctx, nullptr, &rows);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+
+    state.PauseTiming();
+    wb.ctx.RemoveTickObserver(&publisher);
+    if (ensemble != nullptr) observations = ensemble->observations();
+    state.ResumeTiming();
+  }
+  state.counters["ensemble_observations"] = static_cast<double>(observations);
+}
+
+void EnsembleArgs(benchmark::internal::Benchmark* b) {
+  // One join of ~350 ms: long enough that the noise floor of the paired
+  // minima sits below the 3% acceptance bar. The ensemble's per-publish
+  // work is a few hundred ns per operator, so the signal scales inversely
+  // with the interval — 1 is the worst case (three candidate estimators
+  // re-evaluated on every tick), 64 is the service default.
+  for (int sf : {100}) {
+    for (int ensemble : {0, 1}) {
+      for (int interval : {1, 16, 64}) b->Args({sf, ensemble, interval});
+    }
+  }
+  b->Unit(benchmark::kMillisecond);
+  b->ArgNames({"SFpermille", "ensemble", "interval"});
+  b->Repetitions(25);
+}
+
+BENCHMARK(BM_EnsembleJoin)->Apply(EnsembleArgs);
+
+}  // namespace
+}  // namespace qpi
+
+int main(int argc, char** argv) {
+  return qpi::bench::RunOverheadBenchmarks(
+      argc, argv, "BENCH_estimator_ensemble.json",
+      {/*key=*/"ensemble", /*baseline=*/"0"});
+}

@@ -19,7 +19,9 @@
 //                    the queue is empty) on N pool workers (default 4) with a
 //                    live combined progress bar from the monitor thread
 //   \serve [port]    start qpi-serve on this catalog (port 0 = ephemeral);
-//                    \quit, Ctrl-D, or SIGTERM drains and stops it
+//                    \quit, Ctrl-D, or SIGTERM drains and stops it.
+//                    `--feedback-cache <path>` persists the estimator
+//                    selector's cross-query feedback cache there.
 //
 // In --connect mode every plain SQL line is submitted and watched to
 // completion with a live progress bar; \submit defers the watch, \watch
@@ -50,6 +52,10 @@
 using namespace qpi;
 
 namespace {
+
+// --feedback-cache <path>: where \serve persists the estimator-selection
+// feedback cache across server runs (empty = in-memory only).
+std::string g_feedback_cache_path;
 
 void DrawProgress(double fraction) {
   const int kWidth = 36;
@@ -202,6 +208,7 @@ void RunAllConcurrent(Catalog* catalog, std::vector<std::string>* queued,
 void ServeCommand(Catalog* catalog, uint16_t port) {
   QpiServer::Options options;
   options.port = port;
+  options.feedback_cache_path = g_feedback_cache_path;
   options.install_sigterm_handler = true;
   QpiServer server(catalog, options);
   Status s = server.Start();
@@ -327,12 +334,46 @@ int ConnectRepl(const std::string& host, uint16_t port) {
                   (unsigned long long)dump.id, dump.state.c_str(),
                   dump.samples.size(), (unsigned long long)dump.stride,
                   (unsigned long long)dump.offered);
-      std::printf("  %10s %12s %14s %12s\n", "tick", "C", "T^", "ci");
+      // Candidate columns appear when the server ran the query with the
+      // estimator ensemble on (per-candidate T̂ curves ride the trace).
+      bool has_candidates = false;
       for (const WireTraceSample& sample : dump.samples) {
-        std::printf("  %10llu %12.0f %14.1f %12.1f%s\n",
+        if (!sample.total_candidate.empty()) has_candidates = true;
+      }
+      if (has_candidates) {
+        std::printf("  %10s %12s %14s %12s %14s %14s %14s\n", "tick", "C",
+                    "T^", "ci", "T^once", "T^dne", "T^byte");
+      } else {
+        std::printf("  %10s %12s %14s %12s\n", "tick", "C", "T^", "ci");
+      }
+      for (const WireTraceSample& sample : dump.samples) {
+        std::printf("  %10llu %12.0f %14.1f %12.1f",
                     (unsigned long long)sample.tick, sample.calls,
-                    sample.total_estimate, sample.ci_half_width,
-                    sample.terminal ? "  <- terminal" : "");
+                    sample.total_estimate, sample.ci_half_width);
+        if (has_candidates) {
+          for (size_t c = 0; c < 3; ++c) {
+            if (c < sample.total_candidate.size()) {
+              std::printf(" %14.1f", sample.total_candidate[c]);
+            } else {
+              std::printf(" %14s", "-");
+            }
+          }
+        }
+        std::printf("%s\n", sample.terminal ? "  <- terminal" : "");
+      }
+      if (has_candidates && !dump.samples.empty() &&
+          !dump.samples.back().op_selected.empty()) {
+        static const char* kCandidateNames[] = {"once", "dne", "byte"};
+        const WireTraceSample& last = dump.samples.back();
+        std::printf("  selector:");
+        for (size_t i = 0; i < last.op_selected.size(); ++i) {
+          const char* label =
+              i < dump.op_labels.size() ? dump.op_labels[i].c_str() : "?";
+          uint8_t pick = last.op_selected[i];
+          std::printf(" %s=%s", label,
+                      pick < 3 ? kCandidateNames[pick] : "?");
+        }
+        std::printf("\n");
       }
       if (dump.audit_json != "null") {
         std::printf("  audit: %s\n", dump.audit_json.c_str());
@@ -433,6 +474,8 @@ int main(int argc, char** argv) {
                              spec.c_str() + colon + 1, nullptr, 10)));
     } else if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
       scale_factor = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--feedback-cache") == 0 && i + 1 < argc) {
+      g_feedback_cache_path = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');

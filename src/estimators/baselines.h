@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/check.h"
+
 namespace qpi {
 
 /// \brief dne — the driver-node estimator of Chaudhuri et al. [9].
@@ -30,8 +32,20 @@ class DneEstimator {
   }
 
   /// Current cardinality estimate given the driver input's total size.
+  ///
+  /// `driver_total` must be ≥ the consumed count recorded by Update(): a
+  /// grace-join join phase re-reads its driver partition-wise, and a total
+  /// measured against a stale or per-partition counter can fall below the
+  /// tuples already seen, which would silently *deflate* the extrapolation
+  /// below the output already produced. Debug builds assert; release
+  /// builds clamp the total up to driver_seen so E ≥ emitted always holds.
   double Estimate(double driver_total) const {
     if (driver_seen_ == 0) return optimizer_estimate_;
+    QPI_DCHECK(driver_total >= static_cast<double>(driver_seen_) &&
+               "dne driver_total below consumed driver tuples");
+    if (driver_total < static_cast<double>(driver_seen_)) {
+      driver_total = static_cast<double>(driver_seen_);
+    }
     return static_cast<double>(emitted_) * driver_total /
            static_cast<double>(driver_seen_);
   }
@@ -68,6 +82,13 @@ class ByteEstimator {
 
   double Estimate(double driver_total) const {
     if (driver_seen_ == 0 || driver_total <= 0.0) return optimizer_estimate_;
+    // Same validity contract as DneEstimator::Estimate: a driver_total
+    // below the consumed count deflates the observed-rate term.
+    QPI_DCHECK(driver_total >= static_cast<double>(driver_seen_) &&
+               "byte driver_total below consumed driver tuples");
+    if (driver_total < static_cast<double>(driver_seen_)) {
+      driver_total = static_cast<double>(driver_seen_);
+    }
     double f = static_cast<double>(driver_seen_) / driver_total;
     if (f > 1.0) f = 1.0;
     double observed = static_cast<double>(emitted_) * driver_total /

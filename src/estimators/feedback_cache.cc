@@ -1,0 +1,183 @@
+#include "estimators/feedback_cache.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace qpi {
+
+namespace {
+
+FeedbackCache::Entry EmptyEntry() {
+  FeedbackCache::Entry entry;
+  for (size_t c = 0; c < kFeedbackCandidates; ++c) {
+    entry.score[c] = std::numeric_limits<double>::quiet_NaN();
+    entry.count[c] = 0;
+  }
+  return entry;
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+}  // namespace
+
+void FeedbackCache::UpdateLocked(const Key& key, size_t candidate,
+                                 double abs_log_r) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    it = entries_.emplace(key, EmptyEntry()).first;
+  }
+  Entry& entry = it->second;
+  if (entry.count[candidate] == 0 || !std::isfinite(entry.score[candidate])) {
+    entry.score[candidate] = abs_log_r;
+  } else {
+    entry.score[candidate] =
+        (1.0 - alpha_) * entry.score[candidate] + alpha_ * abs_log_r;
+  }
+  ++entry.count[candidate];
+}
+
+void FeedbackCache::Update(uint64_t fingerprint, const std::string& kind,
+                           size_t candidate, double abs_log_r) {
+  if (candidate >= kFeedbackCandidates) return;
+  if (!std::isfinite(abs_log_r) || abs_log_r < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateLocked(Key{fingerprint, kind}, candidate, abs_log_r);
+  if (fingerprint != 0) {
+    UpdateLocked(Key{0, kind}, candidate, abs_log_r);
+  }
+}
+
+bool FeedbackCache::Lookup(uint64_t fingerprint, const std::string& kind,
+                           Entry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{fingerprint, kind});
+  if (it == entries_.end() && fingerprint != 0) {
+    it = entries_.find(Key{0, kind});
+  }
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+size_t FeedbackCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void FeedbackCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::string FeedbackCache::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  JsonAppendKey("alpha", &out);
+  out.append(JsonNumberString(alpha_));
+  JsonAppendKey("entries", &out);
+  out.push_back('[');
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('{');
+    JsonAppendKey("fp", &out);
+    JsonAppendQuoted(FingerprintHex(key.fingerprint), &out);
+    JsonAppendKey("kind", &out);
+    JsonAppendQuoted(key.kind, &out);
+    JsonAppendKey("score", &out);
+    out.push_back('[');
+    for (size_t c = 0; c < kFeedbackCandidates; ++c) {
+      if (c > 0) out.push_back(',');
+      out.append(JsonNumberString(entry.score[c]));
+    }
+    out.push_back(']');
+    JsonAppendKey("count", &out);
+    out.push_back('[');
+    for (size_t c = 0; c < kFeedbackCandidates; ++c) {
+      if (c > 0) out.push_back(',');
+      out.append(
+          JsonNumberString(static_cast<double>(entry.count[c])));
+    }
+    out.push_back(']');
+    out.push_back('}');
+  }
+  out.push_back(']');
+  out.push_back('}');
+  return out;
+}
+
+Status FeedbackCache::FromJson(const std::string& text) {
+  JsonValue doc;
+  QPI_RETURN_NOT_OK(JsonParse(text, &doc));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("feedback cache: not a JSON object");
+  }
+  const JsonValue* entries = doc.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::InvalidArgument("feedback cache: missing entries array");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  double alpha = doc.GetNumber("alpha", alpha_);
+  if (alpha > 0.0 && alpha <= 1.0) alpha_ = alpha;
+  for (const JsonValue& item : entries->items) {
+    if (!item.is_object()) continue;
+    Key key;
+    key.fingerprint =
+        std::strtoull(item.GetString("fp", "0").c_str(), nullptr, 16);
+    key.kind = item.GetString("kind");
+    if (key.kind.empty()) continue;
+    Entry entry = EmptyEntry();
+    const JsonValue* score = item.Find("score");
+    const JsonValue* count = item.Find("count");
+    for (size_t c = 0; c < kFeedbackCandidates; ++c) {
+      if (score != nullptr && score->is_array() && c < score->items.size() &&
+          score->items[c].is_number()) {
+        entry.score[c] = score->items[c].number;
+      }
+      if (count != nullptr && count->is_array() && c < count->items.size() &&
+          count->items[c].is_number() && count->items[c].number >= 0) {
+        entry.count[c] = static_cast<uint64_t>(count->items[c].number);
+      }
+    }
+    entries_[key] = entry;
+  }
+  return Status::OK();
+}
+
+Status FeedbackCache::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("feedback cache: cannot open " + path);
+  }
+  out << ToJson() << "\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::InvalidArgument("feedback cache: write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status FeedbackCache::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("feedback cache: no file at " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromJson(buffer.str());
+}
+
+}  // namespace qpi

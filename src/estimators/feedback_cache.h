@@ -1,0 +1,109 @@
+#ifndef QPI_ESTIMATORS_FEEDBACK_CACHE_H_
+#define QPI_ESTIMATORS_FEEDBACK_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qpi {
+
+/// Number of candidate estimators the feedback cache scores. Kept as a
+/// local constant so this library stays independent of the exec layer
+/// (it must equal kNumEstimatorCandidates; ensemble.cc static_asserts).
+inline constexpr size_t kFeedbackCandidates = 3;
+
+/// \brief Cross-query estimator-accuracy memory (the workload-feedback
+/// idea of the Glue / "Breadbox" line of work, PAPERS.md).
+///
+/// Every finished, audited query deposits one observation per (plan-shape
+/// fingerprint, operator kind, candidate estimator): the mean |log R| of
+/// that candidate's checkpoint accuracy ratios — 0 for a perfect estimator,
+/// growing symmetrically for over- and under-estimation. The ensemble
+/// selector reads the entry back on the next structurally similar plan and
+/// seeds its per-candidate prior with it, so the server gets better at
+/// picking estimators the longer it runs.
+///
+/// Keying is two-level:
+///  - exact: (fingerprint, kind) — same plan shape, same operator;
+///  - fallback: (0, kind) — any plan, same operator kind; always updated
+///    alongside the exact entry, queried when the exact key is cold.
+///
+/// Invalidation: entries are EWMA summaries (decay `alpha`), so stale
+/// workloads age out instead of pinning the prior forever; Clear() drops
+/// everything (catalog reload). The cache is engine-wide shared state and
+/// internally locked — queries update it only at audit time (once per
+/// query), never on the tick path.
+class FeedbackCache {
+ public:
+  struct Entry {
+    /// EWMA of mean |log R| per candidate; NaN until first observation.
+    double score[kFeedbackCandidates];
+    /// Observations folded into each candidate's score.
+    uint64_t count[kFeedbackCandidates];
+  };
+
+  explicit FeedbackCache(double alpha = 0.3) : alpha_(alpha) {}
+
+  /// Fold one audited observation for (fingerprint, kind, candidate).
+  /// `abs_log_r` must be finite and ≥ 0 (callers skip degenerate or
+  /// unavailable checkpoints). Also updates the kind-level fallback entry.
+  void Update(uint64_t fingerprint, const std::string& kind, size_t candidate,
+              double abs_log_r);
+
+  /// Read the prior for (fingerprint, kind): the exact entry when it has
+  /// observations, else the kind-level fallback, else false. `out` holds
+  /// one score per candidate (NaN where unobserved).
+  bool Lookup(uint64_t fingerprint, const std::string& kind,
+              Entry* out) const;
+
+  /// Total distinct (fingerprint, kind) keys, fallback keys included.
+  size_t size() const;
+
+  void Clear();
+
+  /// Persist to / restore from a JSON file, so the prior survives server
+  /// restarts. Save is atomic-ish (write then rename is overkill here; the
+  /// file is advisory state — a torn file fails to parse and loads empty).
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  /// JSON round-trip used by SaveToFile/LoadFromFile (also handy in tests):
+  /// {"alpha":..,"entries":[{"fp":"<hex>","kind":"..","score":[..],
+  ///                          "count":[..]},..]}
+  std::string ToJson() const;
+  Status FromJson(const std::string& text);
+
+ private:
+  struct Key {
+    uint64_t fingerprint;
+    std::string kind;
+    bool operator==(const Key& other) const {
+      return fingerprint == other.fingerprint && kind == other.kind;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      size_t h = std::hash<std::string>{}(key.kind);
+      // splitmix-style fold of the fingerprint into the kind hash.
+      uint64_t x = key.fingerprint + 0x9e3779b97f4a7c15ULL + h;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+
+  void UpdateLocked(const Key& key, size_t candidate, double abs_log_r);
+
+  double alpha_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_ESTIMATORS_FEEDBACK_CACHE_H_

@@ -34,6 +34,18 @@ const char* QueryPhaseName(QueryPhase phase) {
   return "?";
 }
 
+const char* EstimatorCandidateName(EstimatorCandidate candidate) {
+  switch (candidate) {
+    case EstimatorCandidate::kOnce:
+      return "once";
+    case EstimatorCandidate::kDne:
+      return "dne";
+    case EstimatorCandidate::kByte:
+      return "byte";
+  }
+  return "?";
+}
+
 const char* EstimationModeName(EstimationMode mode) {
   switch (mode) {
     case EstimationMode::kNone:

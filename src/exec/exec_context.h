@@ -27,6 +27,22 @@ enum class EstimationMode {
 
 const char* EstimationModeName(EstimationMode mode);
 
+/// A concrete candidate estimator the ensemble runs concurrently. Unlike
+/// EstimationMode (which selects the *one* framework the engine acts on),
+/// every candidate produces an estimate off the same live counters on each
+/// publish, and the selector picks per operator which one the published
+/// snapshot uses. Values are dense and start at 0 so they index plain
+/// arrays of size kNumEstimatorCandidates.
+enum class EstimatorCandidate : unsigned char {
+  kOnce = 0,  ///< the paper's online framework
+  kDne = 1,   ///< driver-node extrapolation (Chaudhuri et al. [9])
+  kByte = 2,  ///< optimizer-weighted blend (Luo et al. [18])
+};
+
+inline constexpr size_t kNumEstimatorCandidates = 3;
+
+const char* EstimatorCandidateName(EstimatorCandidate candidate);
+
 /// How per-operator CLT half-widths combine into one query-level interval
 /// (GnmAccountant::TotalHalfWidth). The per-operator estimators are
 /// independent, so their variances add and the combined half-width is the

@@ -85,6 +85,18 @@ double FilterOp::CurrentCardinalityEstimate() const {
   return pass_rate * child(0)->CurrentCardinalityEstimate();
 }
 
+double FilterOp::CandidateCardinalityEstimate(
+    EstimatorCandidate candidate) const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  uint64_t consumed = child(0)->tuples_emitted();
+  if (consumed == 0) return optimizer_estimate();
+  double pass_rate = static_cast<double>(tuples_emitted()) /
+                     static_cast<double>(consumed);
+  return pass_rate * child(0)->CandidateCardinalityEstimate(candidate);
+}
+
 ProjectOp::ProjectOp(OperatorPtr child, std::vector<size_t> indices,
                      Schema output_schema)
     : Operator("Project", OneChild(std::move(child))),

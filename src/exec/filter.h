@@ -21,6 +21,8 @@ class FilterOp : public Operator {
   ~FilterOp() override;
 
   double CurrentCardinalityEstimate() const override;
+  double CandidateCardinalityEstimate(
+      EstimatorCandidate candidate) const override;
   bool ProducesRandomStream() const override {
     return child(0)->ProducesRandomStream();
   }
@@ -55,6 +57,10 @@ class ProjectOp : public Operator {
 
   double CurrentCardinalityEstimate() const override {
     return child(0)->CurrentCardinalityEstimate();
+  }
+  double CandidateCardinalityEstimate(
+      EstimatorCandidate candidate) const override {
+    return child(0)->CandidateCardinalityEstimate(candidate);
   }
   bool CardinalityExact() const override {
     return child(0)->CardinalityExact();

@@ -439,24 +439,48 @@ double GraceHashJoinOp::DneEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
-  uint64_t consumed = join_driver_consumed();
-  if (consumed == 0) return optimizer_estimate();
-  double driver_total = static_cast<double>(probe_partition_consumed_);
-  return static_cast<double>(tuples_emitted()) * driver_total /
-         static_cast<double>(consumed);
+  DneEstimator dne(optimizer_estimate());
+  dne.Update(join_driver_consumed(), tuples_emitted());
+  return dne.Estimate(static_cast<double>(probe_partition_consumed_));
 }
 
 double GraceHashJoinOp::ByteEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
-  uint64_t consumed = join_driver_consumed();
-  if (consumed == 0) return optimizer_estimate();
-  double driver_total = static_cast<double>(probe_partition_consumed_);
-  double f = static_cast<double>(consumed) / driver_total;
-  double observed = static_cast<double>(tuples_emitted()) * driver_total /
-                    static_cast<double>(consumed);
-  return f * observed + (1.0 - f) * optimizer_estimate();
+  ByteEstimator byte(optimizer_estimate());
+  byte.Update(join_driver_consumed(), tuples_emitted());
+  return byte.Estimate(static_cast<double>(probe_partition_consumed_));
+}
+
+double GraceHashJoinOp::OnceEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  if (pipeline_ != nullptr && pipeline_->Resolved(pipeline_index_)) {
+    if (pipeline_->driver_rows_seen() == 0) return optimizer_estimate();
+    return pipeline_->EstimateForJoin(pipeline_index_);
+  }
+  if (once_ != nullptr) {
+    if (once_->probe_tuples_seen() == 0) return optimizer_estimate();
+    return once_->Estimate();
+  }
+  // No preprocessing-phase estimator applies: default to dne (paper
+  // Sections 4.1.3 / 4.3).
+  return DneEstimate();
+}
+
+double GraceHashJoinOp::CandidateCardinalityEstimate(
+    EstimatorCandidate candidate) const {
+  switch (candidate) {
+    case EstimatorCandidate::kOnce:
+      return OnceEstimate();
+    case EstimatorCandidate::kDne:
+      return DneEstimate();
+    case EstimatorCandidate::kByte:
+      return ByteEstimate();
+  }
+  return optimizer_estimate();
 }
 
 double GraceHashJoinOp::CurrentCardinalityEstimate() const {
@@ -467,19 +491,8 @@ double GraceHashJoinOp::CurrentCardinalityEstimate() const {
   switch (mode) {
     case EstimationMode::kNone:
       return optimizer_estimate();
-    case EstimationMode::kOnce: {
-      if (pipeline_ != nullptr && pipeline_->Resolved(pipeline_index_)) {
-        if (pipeline_->driver_rows_seen() == 0) return optimizer_estimate();
-        return pipeline_->EstimateForJoin(pipeline_index_);
-      }
-      if (once_ != nullptr) {
-        if (once_->probe_tuples_seen() == 0) return optimizer_estimate();
-        return once_->Estimate();
-      }
-      // No preprocessing-phase estimator applies: default to dne (paper
-      // Sections 4.1.3 / 4.3).
-      return DneEstimate();
-    }
+    case EstimationMode::kOnce:
+      return OnceEstimate();
     case EstimationMode::kDne:
       return DneEstimate();
     case EstimationMode::kByte:

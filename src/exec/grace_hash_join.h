@@ -60,6 +60,8 @@ class GraceHashJoinOp : public Operator {
                         size_t index, bool is_lowest);
 
   double CurrentCardinalityEstimate() const override;
+  double CandidateCardinalityEstimate(
+      EstimatorCandidate candidate) const override;
   double CurrentCardinalityHalfWidth(double confidence) const override;
   bool CardinalityExact() const override;
 
@@ -126,6 +128,10 @@ class GraceHashJoinOp : public Operator {
 
   Operator* build_child() const { return child(0); }
   Operator* probe_child() const { return child(1); }
+
+  /// The ONCE-path estimate (pipeline → binary → dne fallback),
+  /// independent of ctx->mode.
+  double OnceEstimate() const;
 
   uint64_t BuildKeyCode(const Row& row) const;
   uint64_t ProbeKeyCode(const Row& row) const;

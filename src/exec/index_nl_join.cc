@@ -1,5 +1,6 @@
 #include "exec/index_nl_join.h"
 
+#include "estimators/baselines.h"
 #include "stats/hash_histogram.h"
 
 namespace qpi {
@@ -88,10 +89,43 @@ double IndexNestedLoopsJoinOp::DneEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
-  if (outer_consumed_ == 0) return optimizer_estimate();
-  double outer_total = child(0)->CurrentCardinalityEstimate();
-  return static_cast<double>(tuples_emitted()) * outer_total /
-         static_cast<double>(outer_consumed_);
+  DneEstimator dne(optimizer_estimate());
+  dne.Update(outer_consumed_, tuples_emitted());
+  // The outer total is itself a live estimate and may transiently lag the
+  // consumed count mid-batch; DneEstimator clamps.
+  return dne.Estimate(child(0)->CurrentCardinalityEstimate());
+}
+
+double IndexNestedLoopsJoinOp::ByteEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  ByteEstimator byte(optimizer_estimate());
+  byte.Update(outer_consumed_, tuples_emitted());
+  return byte.Estimate(child(0)->CurrentCardinalityEstimate());
+}
+
+double IndexNestedLoopsJoinOp::OnceEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  if (once_ != nullptr && once_->probe_tuples_seen() > 0) {
+    return once_->Estimate();
+  }
+  return DneEstimate();
+}
+
+double IndexNestedLoopsJoinOp::CandidateCardinalityEstimate(
+    EstimatorCandidate candidate) const {
+  switch (candidate) {
+    case EstimatorCandidate::kOnce:
+      return OnceEstimate();
+    case EstimatorCandidate::kDne:
+      return DneEstimate();
+    case EstimatorCandidate::kByte:
+      return ByteEstimate();
+  }
+  return optimizer_estimate();
 }
 
 double IndexNestedLoopsJoinOp::CurrentCardinalityEstimate() const {
@@ -103,21 +137,11 @@ double IndexNestedLoopsJoinOp::CurrentCardinalityEstimate() const {
     case EstimationMode::kNone:
       return optimizer_estimate();
     case EstimationMode::kOnce:
-      if (once_ != nullptr && once_->probe_tuples_seen() > 0) {
-        return once_->Estimate();
-      }
-      return DneEstimate();
+      return OnceEstimate();
     case EstimationMode::kDne:
       return DneEstimate();
-    case EstimationMode::kByte: {
-      if (outer_consumed_ == 0) return optimizer_estimate();
-      double outer_total = child(0)->CurrentCardinalityEstimate();
-      double f = outer_total > 0
-                     ? static_cast<double>(outer_consumed_) / outer_total
-                     : 1.0;
-      if (f > 1.0) f = 1.0;
-      return f * DneEstimate() + (1.0 - f) * optimizer_estimate();
-    }
+    case EstimationMode::kByte:
+      return ByteEstimate();
   }
   return optimizer_estimate();
 }

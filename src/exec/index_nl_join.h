@@ -34,12 +34,18 @@ class IndexNestedLoopsJoinOp : public Operator {
   void EnableOnceEstimation();
 
   double CurrentCardinalityEstimate() const override;
+  double CandidateCardinalityEstimate(
+      EstimatorCandidate candidate) const override;
   double CurrentCardinalityHalfWidth(double confidence) const override;
   bool CardinalityExact() const override;
 
   const OnceBinaryJoinEstimator* once_estimator() const { return once_.get(); }
   uint64_t outer_consumed() const { return outer_consumed_; }
   double DneEstimate() const;
+  double ByteEstimate() const;
+  /// The ONCE-path estimate (binary → dne fallback), independent of
+  /// ctx->mode.
+  double OnceEstimate() const;
 
  protected:
   bool NextImpl(Row* out) override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "estimators/baselines.h"
 #include "stats/hash_histogram.h"
 
 namespace qpi {
@@ -176,22 +177,46 @@ double MergeJoinOp::DneEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
-  if (merge_right_consumed_ == 0) return optimizer_estimate();
-  double driver_total = static_cast<double>(right_rows_.size());
-  return static_cast<double>(tuples_emitted()) * driver_total /
-         static_cast<double>(merge_right_consumed_);
+  DneEstimator dne(optimizer_estimate());
+  dne.Update(merge_right_consumed_, tuples_emitted());
+  return dne.Estimate(static_cast<double>(right_rows_.size()));
 }
 
 double MergeJoinOp::ByteEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
-  if (merge_right_consumed_ == 0) return optimizer_estimate();
-  double driver_total = static_cast<double>(right_rows_.size());
-  double f = static_cast<double>(merge_right_consumed_) / driver_total;
-  double observed = static_cast<double>(tuples_emitted()) * driver_total /
-                    static_cast<double>(merge_right_consumed_);
-  return f * observed + (1.0 - f) * optimizer_estimate();
+  ByteEstimator byte(optimizer_estimate());
+  byte.Update(merge_right_consumed_, tuples_emitted());
+  return byte.Estimate(static_cast<double>(right_rows_.size()));
+}
+
+double MergeJoinOp::OnceEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  if (pipeline_ != nullptr && pipeline_->Resolved(pipeline_index_)) {
+    if (pipeline_->driver_rows_seen() == 0) return optimizer_estimate();
+    return pipeline_->EstimateForJoin(pipeline_index_);
+  }
+  if (once_ != nullptr) {
+    if (once_->probe_tuples_seen() == 0) return optimizer_estimate();
+    return once_->Estimate();
+  }
+  return DneEstimate();
+}
+
+double MergeJoinOp::CandidateCardinalityEstimate(
+    EstimatorCandidate candidate) const {
+  switch (candidate) {
+    case EstimatorCandidate::kOnce:
+      return OnceEstimate();
+    case EstimatorCandidate::kDne:
+      return DneEstimate();
+    case EstimatorCandidate::kByte:
+      return ByteEstimate();
+  }
+  return optimizer_estimate();
 }
 
 double MergeJoinOp::CurrentCardinalityEstimate() const {
@@ -203,15 +228,7 @@ double MergeJoinOp::CurrentCardinalityEstimate() const {
     case EstimationMode::kNone:
       return optimizer_estimate();
     case EstimationMode::kOnce:
-      if (pipeline_ != nullptr && pipeline_->Resolved(pipeline_index_)) {
-        if (pipeline_->driver_rows_seen() == 0) return optimizer_estimate();
-        return pipeline_->EstimateForJoin(pipeline_index_);
-      }
-      if (once_ != nullptr) {
-        if (once_->probe_tuples_seen() == 0) return optimizer_estimate();
-        return once_->Estimate();
-      }
-      return DneEstimate();
+      return OnceEstimate();
     case EstimationMode::kDne:
       return DneEstimate();
     case EstimationMode::kByte:

@@ -44,10 +44,15 @@ class MergeJoinOp : public Operator {
   }
 
   double CurrentCardinalityEstimate() const override;
+  double CandidateCardinalityEstimate(
+      EstimatorCandidate candidate) const override;
   bool CardinalityExact() const override;
 
   double DneEstimate() const;
   double ByteEstimate() const;
+  /// The ONCE-path estimate (pipeline → binary → dne fallback),
+  /// independent of ctx->mode.
+  double OnceEstimate() const;
 
   uint64_t merge_right_consumed() const { return merge_right_consumed_; }
   const OnceBinaryJoinEstimator* once_estimator() const { return once_.get(); }

@@ -121,6 +121,20 @@ class Operator {
   /// Live estimate of N_i, the total output cardinality.
   virtual double CurrentCardinalityEstimate() const = 0;
 
+  /// Live N_i estimate under one *specific* candidate estimator, regardless
+  /// of the context's EstimationMode — the ensemble selector samples all
+  /// candidates off the same counters on every publish and compares them
+  /// against realized progress. Operators without per-candidate machinery
+  /// (scans, aggregates) answer the same number for every candidate; joins
+  /// and filters override. Like CurrentCardinalityEstimate(), this reads
+  /// live estimator internals and must only be called from the thread
+  /// executing the query.
+  virtual double CandidateCardinalityEstimate(
+      EstimatorCandidate candidate) const {
+    (void)candidate;
+    return CurrentCardinalityEstimate();
+  }
+
   /// Half-width of the `confidence` CLT interval around
   /// CurrentCardinalityEstimate(), when this operator carries an online
   /// estimator that provides one; 0 when the estimate is exact or no

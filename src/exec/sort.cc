@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "estimators/baselines.h"
+
 namespace qpi {
 
 namespace {
@@ -134,20 +136,59 @@ bool NestedLoopsJoinOp::NextImpl(Row* out) {
 
 void NestedLoopsJoinOp::CloseImpl() { inner_rows_.clear(); }
 
+double NestedLoopsJoinOp::DneEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  DneEstimator dne(optimizer_estimate());
+  dne.Update(outer_consumed_, tuples_emitted());
+  return dne.Estimate(child(0)->CurrentCardinalityEstimate());
+}
+
+double NestedLoopsJoinOp::ByteEstimate() const {
+  if (state() == OpState::kFinished) {
+    return static_cast<double>(tuples_emitted());
+  }
+  ByteEstimator byte(optimizer_estimate());
+  byte.Update(outer_consumed_, tuples_emitted());
+  return byte.Estimate(child(0)->CurrentCardinalityEstimate());
+}
+
+double NestedLoopsJoinOp::CandidateCardinalityEstimate(
+    EstimatorCandidate candidate) const {
+  switch (candidate) {
+    case EstimatorCandidate::kOnce:
+      if (state() != OpState::kFinished && theta_ != nullptr &&
+          theta_->outer_tuples_seen() > 0) {
+        return theta_->Estimate();
+      }
+      // Equijoin NL (no preprocessing): ONCE degenerates to dne
+      // (Section 4.1.3).
+      return DneEstimate();
+    case EstimatorCandidate::kDne:
+      return DneEstimate();
+    case EstimatorCandidate::kByte:
+      return ByteEstimate();
+  }
+  return optimizer_estimate();
+}
+
 double NestedLoopsJoinOp::CurrentCardinalityEstimate() const {
   if (state() == OpState::kFinished) {
     return static_cast<double>(tuples_emitted());
   }
   EstimationMode mode = ctx_ != nullptr ? ctx_->mode : EstimationMode::kNone;
-  if (mode == EstimationMode::kOnce && theta_ != nullptr &&
-      theta_->outer_tuples_seen() > 0) {
-    return theta_->Estimate();
+  switch (mode) {
+    case EstimationMode::kNone:
+      break;
+    case EstimationMode::kOnce:
+      return CandidateCardinalityEstimate(EstimatorCandidate::kOnce);
+    case EstimationMode::kDne:
+      return DneEstimate();
+    case EstimationMode::kByte:
+      return ByteEstimate();
   }
-  // Equijoin NL (no preprocessing): ONCE degenerates to dne (Section 4.1.3).
-  if (outer_consumed_ == 0) return optimizer_estimate();
-  double outer_total = child(0)->CurrentCardinalityEstimate();
-  return static_cast<double>(tuples_emitted()) * outer_total /
-         static_cast<double>(outer_consumed_);
+  return DneEstimate();
 }
 
 double NestedLoopsJoinOp::CurrentCardinalityHalfWidth(

@@ -59,8 +59,13 @@ class NestedLoopsJoinOp : public Operator {
   void EnableThetaOnceEstimation();
 
   double CurrentCardinalityEstimate() const override;
+  double CandidateCardinalityEstimate(
+      EstimatorCandidate candidate) const override;
   double CurrentCardinalityHalfWidth(double confidence) const override;
   bool CardinalityExact() const override;
+
+  double DneEstimate() const;
+  double ByteEstimate() const;
 
   uint64_t outer_consumed() const { return outer_consumed_; }
   CompareOp join_op() const { return join_op_; }

@@ -44,8 +44,9 @@ AccuracyReport ComputeAccuracyReport(
     // The checkpoint sample: the first observation at or past `fraction`
     // of the *true* total — i.e. what the estimator believed when the
     // query had actually done that share of its work. The terminal sample
-    // itself qualifies for late checkpoints on short traces (R = 1 there
-    // by construction, since T̂ = C at the end).
+    // itself qualifies for late checkpoints on short traces, but then
+    // R = 1 holds by construction (T̂ = C at the end) and the checkpoint
+    // is flagged degenerate so estimator-scoring consumers can skip it.
     double threshold = fraction * report.final_calls;
     const TraceSample* at = nullptr;
     for (const TraceSample& sample : samples) {
@@ -62,12 +63,35 @@ AccuracyReport ComputeAccuracyReport(
     cp.calls = at->calls;
     cp.estimate = at->total_estimate;
     cp.r = Ratio(report.final_calls, at->total_estimate);
-    report.checkpoints.push_back(cp);
+    cp.degenerate = at->terminal;
+    cp.candidate_r.reserve(at->total_candidate.size());
+    for (double total : at->total_candidate) {
+      cp.candidate_r.push_back(Ratio(report.final_calls, total));
+    }
+    size_t num_candidates = cp.candidate_r.size();
+    report.checkpoints.push_back(std::move(cp));
 
     for (size_t i = 0; i < report.ops.size(); ++i) {
       double estimate = i < at->op_estimate.size() ? at->op_estimate[i]
                                                    : std::numeric_limits<double>::quiet_NaN();
       report.ops[i].r.push_back(Ratio(report.ops[i].final_emitted, estimate));
+      std::vector<double> by_candidate;
+      by_candidate.reserve(num_candidates);
+      for (size_t c = 0; c < num_candidates; ++c) {
+        size_t flat = i * num_candidates + c;
+        double cand = flat < at->op_candidate.size()
+                          ? at->op_candidate[flat]
+                          : std::numeric_limits<double>::quiet_NaN();
+        by_candidate.push_back(Ratio(report.ops[i].final_emitted, cand));
+      }
+      report.ops[i].candidate_r.push_back(std::move(by_candidate));
+    }
+  }
+
+  // Terminal selector choices, when the trace recorded them.
+  for (size_t i = 0; i < report.ops.size(); ++i) {
+    if (i < final_sample.op_selected.size()) {
+      report.ops[i].selected = final_sample.op_selected[i];
     }
   }
   return report;
@@ -94,6 +118,17 @@ std::string AccuracyReportJson(const AccuracyReport& report) {
     out.append(JsonNumberString(cp.estimate));
     JsonAppendKey("r", &out);
     out.append(JsonNumberString(cp.r));
+    JsonAppendKey("degenerate", &out);
+    out.append(cp.degenerate ? "true" : "false");
+    if (!cp.candidate_r.empty()) {
+      JsonAppendKey("candidates", &out);
+      out.push_back('[');
+      for (size_t k = 0; k < cp.candidate_r.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        out.append(JsonNumberString(cp.candidate_r[k]));
+      }
+      out.push_back(']');
+    }
     out.push_back('}');
   }
   out.push_back(']');
@@ -114,6 +149,13 @@ std::string AccuracyReportJson(const AccuracyReport& report) {
       out.append(JsonNumberString(op.r[k]));
     }
     out.push_back(']');
+    if (op.selected >= 0 &&
+        op.selected < static_cast<int>(kNumEstimatorCandidates)) {
+      JsonAppendKey("selected", &out);
+      JsonAppendQuoted(
+          EstimatorCandidateName(static_cast<EstimatorCandidate>(op.selected)),
+          &out);
+    }
     out.push_back('}');
   }
   out.push_back(']');

@@ -25,6 +25,15 @@ struct CheckpointAccuracy {
   double calls = 0;     ///< C at the checkpoint
   double estimate = 0;  ///< T̂ at the checkpoint
   double r = 0;         ///< R = T / T̂ (NaN when T̂ is unavailable)
+  /// True when only the *terminal* sample satisfied this checkpoint (short
+  /// or sparsely published traces). T̂ = C there by construction, so R = 1
+  /// carries no information about the estimator; consumers that score
+  /// estimators (the selector's feedback, the Prometheus error histogram)
+  /// must exclude degenerate checkpoints.
+  bool degenerate = false;
+  /// R under each concurrent candidate's own T̂ curve, indexed by
+  /// EstimatorCandidate — empty when the trace carries no ensemble columns.
+  std::vector<double> candidate_r;
 };
 
 /// One operator's accuracy ratios across the checkpoints.
@@ -35,6 +44,12 @@ struct OperatorAccuracy {
   /// estimate there was 0 or unavailable). Parallel to `checkpoints` of
   /// the enclosing report.
   std::vector<double> r;
+  /// Per-checkpoint, per-candidate R_i (inner vectors indexed by
+  /// EstimatorCandidate; empty without ensemble columns). Parallel to `r`.
+  std::vector<std::vector<double>> candidate_r;
+  /// Terminal selector choice for this operator (EstimatorCandidate value;
+  /// -1 when the trace carries no selection history).
+  int selected = -1;
 };
 
 struct AccuracyReport {
@@ -58,9 +73,13 @@ AccuracyReport ComputeAccuracyReport(const std::vector<TraceSample>& samples,
 /// Machine-readable JSON form (one object, no trailing newline):
 ///   {"final_calls":N,
 ///    "checkpoints":[{"fraction":0.25,"tick":..,"calls":..,
-///                    "estimate":..,"r":..},...],
-///    "ops":[{"label":"...","final":N,"r":[r25,r50,r75]},...]}
-/// Unavailable ratios serialize as null (see JsonNumberString).
+///                    "estimate":..,"r":..,"degenerate":false,
+///                    "candidates":[r_once,r_dne,r_byte]},...],
+///    "ops":[{"label":"...","final":N,"r":[r25,r50,r75],
+///            "selected":"once"},...]}
+/// Unavailable ratios serialize as null (see JsonNumberString); the
+/// "candidates" array and "selected" member appear only when the trace
+/// carried ensemble columns.
 std::string AccuracyReportJson(const AccuracyReport& report);
 
 }  // namespace qpi

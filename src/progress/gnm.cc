@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "progress/ensemble.h"
+
 namespace qpi {
 
 GnmAccountant::GnmAccountant(Operator* root) : root_(root) {
@@ -18,8 +20,13 @@ double GnmAccountant::RefinedEstimate(const Operator* op) const {
   switch (op->state()) {
     case OpState::kFinished:
       return static_cast<double>(op->tuples_emitted());
-    case OpState::kRunning:
+    case OpState::kRunning: {
+      if (ensemble_ != nullptr) {
+        double selected = ensemble_->PublishedEstimate(op);
+        if (std::isfinite(selected) && selected >= 0) return selected;
+      }
       return op->CurrentCardinalityEstimate();
+    }
     case OpState::kNotStarted: {
       // Future operator: scale the optimizer estimate by how much the live
       // estimates of its inputs have moved relative to their own optimizer

@@ -44,9 +44,22 @@ struct GnmSnapshot {
 /// internals, which only the thread executing the query may touch; a
 /// concurrent executor publishes those snapshots from the worker's tick
 /// path through a SnapshotSlot (see DESIGN.md, "Threading model").
+class EstimatorEnsemble;
+
 class GnmAccountant {
  public:
   explicit GnmAccountant(Operator* root);
+
+  /// Route running-operator N_i estimates through an ensemble selector:
+  /// once attached, RefinedEstimate answers the selector's published
+  /// per-operator choice (refreshed by EstimatorEnsemble::Observe on the
+  /// publish path) instead of the mode's single estimator, falling back to
+  /// CurrentCardinalityEstimate() until the ensemble has observed once.
+  /// The ensemble must outlive this accountant or be detached (nullptr).
+  void AttachEnsemble(const EstimatorEnsemble* ensemble) {
+    ensemble_ = ensemble;
+  }
+  const EstimatorEnsemble* ensemble() const { return ensemble_; }
 
   /// C(Q) right now. Safe from any thread (relaxed atomic loads).
   uint64_t CurrentCalls() const;
@@ -85,6 +98,7 @@ class GnmAccountant {
  private:
   Operator* root_;
   std::vector<const Operator*> ops_;  // flattened tree
+  const EstimatorEnsemble* ensemble_ = nullptr;
 };
 
 }  // namespace qpi

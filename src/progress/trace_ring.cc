@@ -3,8 +3,27 @@
 #include <utility>
 
 #include "common/check.h"
+#include "progress/ensemble.h"
 
 namespace qpi {
+
+void TracePublisher::OnTick(uint64_t n) {
+  ticks_ += n;
+  if (ticks_ - last_publish_ < interval_) return;
+  last_publish_ = ticks_;
+  // Selector first: the snapshot below publishes through the selections
+  // this observation produces.
+  if (ensemble_ != nullptr) ensemble_->Observe(ticks_);
+  GnmSnapshot snap = accountant_->SnapshotWithConfidence(
+      ticks_, ctx_->confidence, ctx_->ci_combine);
+  slot_->Store(snap);
+  if (ring_ != nullptr) {
+    TraceSample sample = MakeTraceSample(*accountant_, snap, ctx_->phase());
+    if (ensemble_ != nullptr) ensemble_->FillTraceSample(&sample);
+    ring_->Record(std::move(sample));
+    ++samples_offered_;
+  }
+}
 
 TraceRing::TraceRing(size_t capacity)
     : capacity_(capacity < 2 ? 2 : capacity) {

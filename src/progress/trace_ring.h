@@ -26,6 +26,18 @@ struct TraceSample {
   uint64_t offer = 0;
   std::vector<uint64_t> op_emitted;  ///< K_i per operator (pre-order)
   std::vector<double> op_estimate;   ///< live N̂_i per operator (pre-order)
+
+  // --- ensemble columns (empty when no ensemble is attached) ---------------
+  /// Query-level T̂ under each candidate estimator, indexed by
+  /// EstimatorCandidate (size kNumEstimatorCandidates when present).
+  std::vector<double> total_candidate;
+  /// Per-operator candidate estimates, flattened pre-order:
+  /// op_candidate[i * kNumEstimatorCandidates + c] is operator i's N̂ under
+  /// candidate c.
+  std::vector<double> op_candidate;
+  /// The selector's per-operator choice at this sample (values index
+  /// EstimatorCandidate; parallel to op_emitted).
+  std::vector<uint8_t> op_selected;
 };
 
 /// \brief Fixed-memory history of one query's progress curve.
@@ -81,34 +93,33 @@ class TraceRing {
 TraceSample MakeTraceSample(const GnmAccountant& accountant,
                             const GnmSnapshot& snap, QueryPhase phase);
 
+class EstimatorEnsemble;
+
 /// \brief The executing worker's publish hook: every `interval` ticks,
 /// takes one SnapshotWithConfidence, stores it in the seqlock slot for
 /// live watchers, and offers the same observation (plus per-operator
 /// counters and estimates) to the trace ring. Pass a null ring to publish
 /// without tracing — the configuration bench_trace_overhead baselines
 /// against.
+///
+/// With an ensemble attached, every publish first refreshes the candidate
+/// estimators and the selector (EstimatorEnsemble::Observe) *before* the
+/// snapshot is taken, so the published T̂ is built from the selections the
+/// just-observed counters justify, and the recorded sample additionally
+/// carries the per-candidate curves and choice history.
 class TracePublisher : public TickObserver {
  public:
   TracePublisher(const GnmAccountant* accountant, const ExecContext* ctx,
-                 SnapshotSlot* slot, TraceRing* ring, uint64_t interval)
+                 SnapshotSlot* slot, TraceRing* ring, uint64_t interval,
+                 EstimatorEnsemble* ensemble = nullptr)
       : accountant_(accountant),
         ctx_(ctx),
         slot_(slot),
         ring_(ring),
+        ensemble_(ensemble),
         interval_(interval == 0 ? 1 : interval) {}
 
-  void OnTick(uint64_t n) override {
-    ticks_ += n;
-    if (ticks_ - last_publish_ < interval_) return;
-    last_publish_ = ticks_;
-    GnmSnapshot snap = accountant_->SnapshotWithConfidence(
-        ticks_, ctx_->confidence, ctx_->ci_combine);
-    slot_->Store(snap);
-    if (ring_ != nullptr) {
-      ring_->Record(MakeTraceSample(*accountant_, snap, ctx_->phase()));
-      ++samples_offered_;
-    }
-  }
+  void OnTick(uint64_t n) override;
 
   uint64_t ticks() const { return ticks_; }
   uint64_t samples_offered() const { return samples_offered_; }
@@ -118,6 +129,7 @@ class TracePublisher : public TickObserver {
   const ExecContext* ctx_;
   SnapshotSlot* slot_;
   TraceRing* ring_;
+  EstimatorEnsemble* ensemble_;
   uint64_t interval_;
   uint64_t ticks_ = 0;
   uint64_t last_publish_ = 0;

@@ -212,6 +212,36 @@ std::string EncodeTrace(const TraceDump& dump) {
       out.append(JsonNumberString(s.op_estimate[k]));
     }
     out.push_back(']');
+    // Ensemble columns travel only when present, so traces from a server
+    // running without the candidate estimators are byte-identical to the
+    // previous wire format.
+    if (!s.total_candidate.empty()) {
+      JsonAppendKey("total_candidates", &out);
+      out.push_back('[');
+      for (size_t k = 0; k < s.total_candidate.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        out.append(JsonNumberString(s.total_candidate[k]));
+      }
+      out.push_back(']');
+    }
+    if (!s.op_candidate.empty()) {
+      JsonAppendKey("op_candidates", &out);
+      out.push_back('[');
+      for (size_t k = 0; k < s.op_candidate.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        out.append(JsonNumberString(s.op_candidate[k]));
+      }
+      out.push_back(']');
+    }
+    if (!s.op_selected.empty()) {
+      JsonAppendKey("selected", &out);
+      out.push_back('[');
+      for (size_t k = 0; k < s.op_selected.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        out.append(JsonNumberString(static_cast<double>(s.op_selected[k])));
+      }
+      out.push_back(']');
+    }
     out.push_back('}');
   }
   out.push_back(']');
@@ -306,6 +336,28 @@ Status DecodeTrace(const JsonValue& line, TraceDump* out) {
         w.op_estimate.reserve(estimates->items.size());
         for (const JsonValue& n : estimates->items) {
           w.op_estimate.push_back(n.is_number() ? n.number : kNaN);
+        }
+      }
+      const JsonValue* total_candidates = s.Find("total_candidates");
+      if (total_candidates != nullptr && total_candidates->is_array()) {
+        w.total_candidate.reserve(total_candidates->items.size());
+        for (const JsonValue& n : total_candidates->items) {
+          w.total_candidate.push_back(n.is_number() ? n.number : kNaN);
+        }
+      }
+      const JsonValue* op_candidates = s.Find("op_candidates");
+      if (op_candidates != nullptr && op_candidates->is_array()) {
+        w.op_candidate.reserve(op_candidates->items.size());
+        for (const JsonValue& n : op_candidates->items) {
+          w.op_candidate.push_back(n.is_number() ? n.number : kNaN);
+        }
+      }
+      const JsonValue* selected = s.Find("selected");
+      if (selected != nullptr && selected->is_array()) {
+        w.op_selected.reserve(selected->items.size());
+        for (const JsonValue& n : selected->items) {
+          w.op_selected.push_back(
+              n.is_number() ? static_cast<uint8_t>(n.number) : 0);
         }
       }
       out->samples.push_back(std::move(w));

@@ -75,6 +75,12 @@ struct WireTraceSample {
   uint64_t offer = 0;
   std::vector<uint64_t> op_emitted;
   std::vector<double> op_estimate;
+  /// Ensemble columns (present only when the query ran with the candidate
+  /// estimators on — absent members decode to empty, keeping old clients
+  /// and old servers mutually compatible). Layout matches TraceSample.
+  std::vector<double> total_candidate;
+  std::vector<double> op_candidate;
+  std::vector<uint8_t> op_selected;
 };
 
 /// A full TRACE reply: the retained curve plus the estimator-accuracy

@@ -34,9 +34,17 @@ extern "C" void QpiServeSigtermHandler(int) {
 }
 
 /// |T̂/T − 1| — the estimator's relative error given the paper's accuracy
-/// ratio r = T/T̂. NaN (unavailable estimate) propagates; the histogram
-/// routes it to +Inf.
+/// ratio r = T/T̂. Callers must guard: a non-finite or non-positive r has
+/// no defined error (division blows up or flips sign) and such checkpoints
+/// are skipped and counted, never observed.
 double RelativeErrorFromRatio(double r) { return std::fabs(1.0 / r - 1.0); }
+
+/// A checkpoint ratio usable for estimator scoring: finite and positive,
+/// and not from a checkpoint the audit flagged degenerate (terminal-sample
+/// satisfied, where R = 1 by construction).
+bool ScorableRatio(double r, bool degenerate) {
+  return !degenerate && std::isfinite(r) && r > 0;
+}
 
 }  // namespace
 
@@ -67,11 +75,36 @@ ServerMetrics::ServerMetrics() {
       "qpi_snapshot_delivery_ms",
       "Publish-to-socket-write latency of streamed snapshots.",
       {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250});
+  const std::vector<double> error_bounds = {0.01, 0.02, 0.05, 0.1,
+                                            0.2,  0.5,  1,    2,   5};
   relative_error = registry.AddHistogram(
       "qpi_estimator_relative_error",
       "Estimator relative error |T_hat/T - 1| at the 25/50/75% "
       "checkpoints of finished queries.",
-      {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5});
+      error_bounds);
+  for (size_t c = 0; c < kNumEstimatorCandidates; ++c) {
+    std::string label = "estimator=\"";
+    label += EstimatorCandidateName(static_cast<EstimatorCandidate>(c));
+    label += '"';
+    candidate_error[c] = registry.AddHistogram(
+        "qpi_estimator_relative_error",
+        "Estimator relative error |T_hat/T - 1| at the 25/50/75% "
+        "checkpoints of finished queries.",
+        error_bounds, label);
+  }
+  audit_skipped = registry.AddCounter(
+      "qpi_audit_checkpoints_skipped_total",
+      "Audit checkpoints excluded from the error histograms (degenerate "
+      "terminal-sample checkpoints, or R non-finite / not positive).");
+  for (size_t c = 0; c < kNumEstimatorCandidates; ++c) {
+    std::string label = "estimator=\"";
+    label += EstimatorCandidateName(static_cast<EstimatorCandidate>(c));
+    label += '"';
+    selected[c] = registry.AddCounter(
+        "qpi_estimator_selected_total",
+        "Operators whose selector finished the query on each candidate.",
+        label);
+  }
 }
 
 const char* QueryHandle::WireState() const {
@@ -125,6 +158,11 @@ QpiServer::~QpiServer() {
 }
 
 Status QpiServer::Start() {
+  if (!options_.feedback_cache_path.empty()) {
+    // Best-effort warm start: a missing or malformed cache file only means
+    // the selector starts cold, never that the server fails to come up.
+    (void)feedback_cache_.LoadFromFile(options_.feedback_cache_path);
+  }
   QPI_RETURN_NOT_OK(TcpListen(options_.port, &listen_fd_, &port_));
   if (::pipe(pipe_fds_) != 0) {
     ::close(listen_fd_);
@@ -189,6 +227,11 @@ Status QpiServer::Submit(const std::string& sql, uint64_t* id) {
   QPI_RETURN_NOT_OK(handle->ctx->Validate());
   QPI_RETURN_NOT_OK(CompilePlan(plan.get(), handle->ctx.get(), &handle->root));
   handle->accountant = std::make_unique<GnmAccountant>(handle->root.get());
+  if (options_.ensemble) {
+    handle->ensemble = std::make_unique<EstimatorEnsemble>(
+        handle->accountant.get(), handle->ctx.get(), &feedback_cache_);
+    handle->accountant->AttachEnsemble(handle->ensemble.get());
+  }
   handle->ctx->set_phase(QueryPhase::kQueued);
   handle->trace = std::make_unique<TraceRing>(options_.trace_capacity);
   handle->op_labels.reserve(handle->accountant->operators().size());
@@ -294,6 +337,9 @@ Status QpiServer::BuildTrace(uint64_t id, TraceDump* out) {
     w.offer = s.offer;
     w.op_emitted = s.op_emitted;
     w.op_estimate = s.op_estimate;
+    w.total_candidate = s.total_candidate;
+    w.op_candidate = s.op_candidate;
+    w.op_selected = s.op_selected;
     out->samples.push_back(std::move(w));
   }
   out->state = handle->WireState();
@@ -322,7 +368,8 @@ void QpiServer::DispatchLoop() {
 void QpiServer::RunOne(QueryHandle* handle) {
   TracePublisher publisher(handle->accountant.get(), handle->ctx.get(),
                            &handle->slot, handle->trace.get(),
-                           options_.publish_interval);
+                           options_.publish_interval,
+                           handle->ensemble.get());
   handle->ctx->AddTickObserver(&publisher);
   Status s = handle->root->Open(handle->ctx.get());
   if (s.ok()) {
@@ -342,11 +389,21 @@ void QpiServer::RunOne(QueryHandle* handle) {
   // (every operator finished, so T̂ = C and the half-width is 0). The
   // trace's terminal sample and the audit land in the same window, so a
   // TRACE after the terminal state sees both.
+  if (handle->ensemble != nullptr) {
+    // One last observation with every operator finished: each candidate's
+    // total collapses to C, so the terminal sample's candidate columns end
+    // on the exact point the audit expects (T̂ = C for every curve).
+    handle->ensemble->Observe(handle->ticks);
+  }
   GnmSnapshot final_snap = handle->accountant->SnapshotWithConfidence(
       handle->ticks, handle->ctx->confidence, handle->ctx->ci_combine);
   handle->slot.Store(final_snap);
-  handle->trace->RecordTerminal(
-      MakeTraceSample(*handle->accountant, final_snap, handle->ctx->phase()));
+  TraceSample terminal_sample =
+      MakeTraceSample(*handle->accountant, final_snap, handle->ctx->phase());
+  if (handle->ensemble != nullptr) {
+    handle->ensemble->FillTraceSample(&terminal_sample);
+  }
+  handle->trace->RecordTerminal(std::move(terminal_sample));
   QueryHandle::Terminal terminal;
   if (!s.ok()) {
     handle->error = s.ToString();
@@ -366,8 +423,31 @@ void QpiServer::RunOne(QueryHandle* handle) {
     AccuracyReport report =
         ComputeAccuracyReport(handle->trace->Samples(), handle->op_labels);
     handle->audit_json = AccuracyReportJson(report);
+    if (handle->ensemble != nullptr) {
+      // Deposit this query's audited per-candidate accuracy into the
+      // cross-query cache before any metric reads it back out.
+      handle->ensemble->Finalize(report);
+    }
     for (const CheckpointAccuracy& cp : report.checkpoints) {
-      metrics_.relative_error->Observe(RelativeErrorFromRatio(cp.r));
+      if (!ScorableRatio(cp.r, cp.degenerate)) {
+        metrics_.audit_skipped->Increment();
+      } else {
+        metrics_.relative_error->Observe(RelativeErrorFromRatio(cp.r));
+      }
+      for (size_t c = 0;
+           c < cp.candidate_r.size() && c < kNumEstimatorCandidates; ++c) {
+        if (ScorableRatio(cp.candidate_r[c], cp.degenerate)) {
+          metrics_.candidate_error[c]->Observe(
+              RelativeErrorFromRatio(cp.candidate_r[c]));
+        }
+      }
+    }
+    if (handle->ensemble != nullptr) {
+      std::vector<uint64_t> counts = handle->ensemble->SelectedCounts();
+      for (size_t c = 0;
+           c < counts.size() && c < kNumEstimatorCandidates; ++c) {
+        if (counts[c] > 0) metrics_.selected[c]->Increment(counts[c]);
+      }
     }
   }
   handle->terminal.store(terminal, std::memory_order_release);
@@ -464,6 +544,11 @@ void QpiServer::DrainInternal() {
   // hanging the process forever.
   admission_.WaitIdle(std::chrono::milliseconds(60000));
   exec_pool_.reset();  // joins the exec workers
+  if (!options_.feedback_cache_path.empty()) {
+    // All workers joined: no Finalize() runs concurrently, the cache is
+    // quiescent, and what we persist is the post-drain state.
+    (void)feedback_cache_.SaveToFile(options_.feedback_cache_path);
+  }
 
   std::vector<Session*> open_sessions;
   {

@@ -15,8 +15,10 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "estimators/feedback_cache.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
+#include "progress/ensemble.h"
 #include "progress/gnm.h"
 #include "progress/snapshot_slot.h"
 #include "progress/trace_ring.h"
@@ -41,6 +43,10 @@ struct QueryHandle {
   OperatorPtr root;
   std::unique_ptr<ExecContext> ctx;
   std::unique_ptr<GnmAccountant> accountant;
+  /// Concurrent candidate estimators + online selector (null when the
+  /// server's ensemble option is off). Attached to the accountant at
+  /// Submit; observed and finalized by the executing worker only.
+  std::unique_ptr<EstimatorEnsemble> ensemble;
   SnapshotSlot slot;                      ///< latest published GnmSnapshot
   std::atomic<uint64_t> rows_emitted{0};  ///< root rows, readable live
   std::atomic<double> progress_floor{0.0};
@@ -99,6 +105,15 @@ struct ServerMetrics {
   MetricGauge* draining;            ///< qpi_draining (0/1)
   MetricHistogram* delivery_ms;     ///< qpi_snapshot_delivery_ms
   MetricHistogram* relative_error;  ///< qpi_estimator_relative_error
+  /// qpi_estimator_relative_error{estimator="once|dne|byte"} — the same
+  /// error, per concurrent candidate curve, indexed by EstimatorCandidate.
+  MetricHistogram* candidate_error[kNumEstimatorCandidates];
+  /// qpi_audit_checkpoints_skipped_total — audit checkpoints excluded from
+  /// the error histograms (degenerate, or R non-finite / not positive).
+  MetricCounter* audit_skipped;
+  /// qpi_estimator_selected_total{estimator="..."} — operators whose
+  /// selector ended the query on each candidate, indexed likewise.
+  MetricCounter* selected[kNumEstimatorCandidates];
 };
 
 /// \brief qpi-serve: the paper's progress framework behind a TCP socket.
@@ -141,6 +156,13 @@ class QpiServer {
     /// How long a session writer may take to flush final snapshots.
     std::chrono::milliseconds session_drain_deadline{1000};
     EstimationMode mode = EstimationMode::kOnce;
+    /// Run the concurrent candidate estimators + selector per query and
+    /// route the published T̂ through the selection (the ensemble). Off,
+    /// queries publish exactly the paper's single-estimator curve.
+    bool ensemble = true;
+    /// When non-empty, the cross-query feedback cache is loaded from this
+    /// file at Start() (missing file is fine) and saved there at drain.
+    std::string feedback_cache_path;
     /// Route SIGTERM to this server's drain via the self-pipe. At most one
     /// server per process may enable this.
     bool install_sigterm_handler = false;
@@ -195,6 +217,9 @@ class QpiServer {
 
   ServerMetrics& metrics() { return metrics_; }
 
+  /// The server-wide cross-query feedback cache (internally locked).
+  FeedbackCache* feedback_cache() { return &feedback_cache_; }
+
  private:
   friend class Session;
 
@@ -231,6 +256,7 @@ class QpiServer {
   std::atomic<uint64_t> cancelled_{0};
 
   ServerMetrics metrics_;
+  FeedbackCache feedback_cache_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

@@ -169,8 +169,17 @@ TEST_F(ServiceTraceTest, TraceErrorsOnUnknownIdAndMetricsReflectWork) {
             std::string::npos);
   EXPECT_NE(text.find("qpi_snapshot_delivery_ms_bucket{le=\"+Inf\"}"),
             std::string::npos);
-  // The finished query contributed 3 checkpoint observations.
-  EXPECT_NE(text.find("qpi_estimator_relative_error_count 3"),
+  // The trivial scan finishes within one publish interval, so every audit
+  // checkpoint is satisfied only by the terminal sample (degenerate,
+  // R = 1 by construction) — all 3 are skipped, none observed.
+  EXPECT_NE(text.find("qpi_estimator_relative_error_count 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("qpi_audit_checkpoints_skipped_total 3"),
+            std::string::npos);
+  // The candidate-error families exist (labeled series of the same name).
+  EXPECT_NE(text.find("qpi_estimator_relative_error_count{estimator=\"once\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE qpi_estimator_selected_total counter"),
             std::string::npos);
   EXPECT_NE(text.find("qpi_sessions 1"), std::string::npos);
 }
