@@ -16,12 +16,15 @@
 // Shell commands (backslash-prefixed lines):
 //   \queue <sql>     queue a statement without running it
 //   \runall-mt [N]   run the queued statements (or the canned demo batch if
-//                    the queue is empty) on N pool workers (default 4) with a
-//                    live combined progress bar from the monitor thread
+//                    the queue is empty) on N scheduler workers (default 4)
+//                    with a live combined progress bar from the monitor thread
 //   \serve [port]    start qpi-serve on this catalog (port 0 = ephemeral);
 //                    \quit, Ctrl-D, or SIGTERM drains and stops it.
 //                    `--feedback-cache <path>` persists the estimator
-//                    selector's cross-query feedback cache there.
+//                    selector's cross-query feedback cache there;
+//                    `--exec-workers <n>` sizes the scheduler fleet.
+//                    \stats prints admission gauges plus the fleet's
+//                    task/steal/queue-depth counters.
 //
 // In --connect mode every plain SQL line is submitted and watched to
 // completion with a live progress bar; \submit defers the watch, \watch
@@ -56,6 +59,9 @@ namespace {
 // --feedback-cache <path>: where \serve persists the estimator-selection
 // feedback cache across server runs (empty = in-memory only).
 std::string g_feedback_cache_path;
+
+// --exec-workers <n>: \serve's scheduler fleet size (0 = server default).
+size_t g_exec_workers = 0;
 
 void DrawProgress(double fraction) {
   const int kWidth = 36;
@@ -209,6 +215,7 @@ void ServeCommand(Catalog* catalog, uint16_t port) {
   QpiServer::Options options;
   options.port = port;
   options.feedback_cache_path = g_feedback_cache_path;
+  if (g_exec_workers > 0) options.exec_workers = g_exec_workers;
   options.install_sigterm_handler = true;
   QpiServer server(catalog, options);
   Status s = server.Start();
@@ -228,12 +235,18 @@ void ServeCommand(Catalog* catalog, uint16_t port) {
       ServerStats stats = server.GetStats();
       std::printf(
           "  submitted=%llu queued=%llu running=%llu finished=%llu "
-          "failed=%llu cancelled=%llu sessions=%llu watchers=%llu\n",
+          "failed=%llu cancelled=%llu sessions=%llu watchers=%llu\n"
+          "  sched: tasks_query=%llu tasks_morsel=%llu tasks_stolen=%llu "
+          "run_queue_depth=%llu\n",
           (unsigned long long)stats.submitted, (unsigned long long)stats.queued,
           (unsigned long long)stats.running, (unsigned long long)stats.finished,
           (unsigned long long)stats.failed, (unsigned long long)stats.cancelled,
           (unsigned long long)stats.sessions,
-          (unsigned long long)stats.watchers);
+          (unsigned long long)stats.watchers,
+          (unsigned long long)stats.tasks_query,
+          (unsigned long long)stats.tasks_morsel,
+          (unsigned long long)stats.tasks_stolen,
+          (unsigned long long)stats.run_queue_depth);
       continue;
     }
     std::printf("serving; \\quit stops, \\stats prints gauges.\n");
@@ -303,13 +316,19 @@ int ConnectRepl(const std::string& host, uint16_t port) {
       }
       std::printf(
           "  submitted=%llu queued=%llu running=%llu finished=%llu "
-          "failed=%llu cancelled=%llu sessions=%llu watchers=%llu%s\n",
+          "failed=%llu cancelled=%llu sessions=%llu watchers=%llu%s\n"
+          "  sched: tasks_query=%llu tasks_morsel=%llu tasks_stolen=%llu "
+          "run_queue_depth=%llu\n",
           (unsigned long long)stats.submitted, (unsigned long long)stats.queued,
           (unsigned long long)stats.running, (unsigned long long)stats.finished,
           (unsigned long long)stats.failed, (unsigned long long)stats.cancelled,
           (unsigned long long)stats.sessions,
           (unsigned long long)stats.watchers,
-          stats.draining ? " (draining)" : "");
+          stats.draining ? " (draining)" : "",
+          (unsigned long long)stats.tasks_query,
+          (unsigned long long)stats.tasks_morsel,
+          (unsigned long long)stats.tasks_stolen,
+          (unsigned long long)stats.run_queue_depth);
       continue;
     }
     if (line == "\\metrics") {
@@ -476,6 +495,8 @@ int main(int argc, char** argv) {
       scale_factor = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--feedback-cache") == 0 && i + 1 < argc) {
       g_feedback_cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--exec-workers") == 0 && i + 1 < argc) {
+      g_exec_workers = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');

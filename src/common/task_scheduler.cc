@@ -1,0 +1,291 @@
+#include "common/task_scheduler.h"
+
+#include <chrono>
+#include <limits>
+
+namespace qpi {
+
+namespace {
+
+/// Identifies the current thread as a fleet worker of one scheduler, so
+/// Submit can push to the local deque and HelpOneSubtask can prefer it.
+/// Plain pointers: a worker belongs to exactly one scheduler for its
+/// lifetime, and external (non-fleet) threads stay null.
+struct WorkerTls {
+  const void* sched = nullptr;
+  size_t index = 0;
+};
+
+thread_local WorkerTls t_worker;
+
+constexpr size_t kNotAWorker = std::numeric_limits<size_t>::max();
+
+}  // namespace
+
+const char* TaskLaneName(TaskLane lane) {
+  switch (lane) {
+    case TaskLane::kQuery:
+      return "query";
+    case TaskLane::kSubtask:
+      return "morsel";
+  }
+  return "?";
+}
+
+TaskScheduler::TaskScheduler(size_t num_workers)
+    : TaskScheduler(Options{num_workers, 256, 1024, 4096}) {}
+
+TaskScheduler::TaskScheduler(const Options& options) : options_(options) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.worker_queue_capacity == 0) options_.worker_queue_capacity = 1;
+  if (options_.inject_capacity == 0) options_.inject_capacity = 1;
+  if (options_.query_lane_capacity == 0) options_.query_lane_capacity = 1;
+  queues_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_ = true;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskScheduler::Notify(bool all) {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    ++epoch_;
+  }
+  if (all) {
+    work_cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
+}
+
+void TaskScheduler::Submit(TaskLane lane, uint64_t tag,
+                           std::function<void()> task) {
+  if (lane == TaskLane::kQuery) {
+    {
+      std::unique_lock<std::mutex> lock(query_mu_);
+      query_space_cv_.wait(lock, [this] {
+        return query_pending_ < options_.query_lane_capacity;
+      });
+      query_tags_[tag].pending.emplace_back(query_seq_++, std::move(task));
+      ++query_pending_;
+    }
+    depth_.fetch_add(1, std::memory_order_relaxed);
+    Notify(false);
+    return;
+  }
+
+  if (t_worker.sched == this) {
+    WorkerQueue& q = *queues_[t_worker.index];
+    bool run_inline = false;
+    {
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.tasks.size() >= options_.worker_queue_capacity) {
+        // Full local deque: run the new task inline. LIFO would pop it
+        // next anyway, and inline execution is the backpressure — the
+        // submitter pays instead of growing an unbounded queue.
+        run_inline = true;
+      } else {
+        q.tasks.push_back(std::move(task));
+      }
+    }
+    if (run_inline) {
+      RunTask(TaskLane::kSubtask, &task, /*stolen=*/false);
+      return;
+    }
+    depth_.fetch_add(1, std::memory_order_relaxed);
+    Notify(false);
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(inject_mu_);
+    inject_space_cv_.wait(lock, [this] {
+      return inject_.size() < options_.inject_capacity;
+    });
+    inject_.push_back(std::move(task));
+  }
+  depth_.fetch_add(1, std::memory_order_relaxed);
+  Notify(false);
+}
+
+bool TaskScheduler::PopSubtask(size_t self, std::function<void()>* task,
+                               bool* stolen) {
+  *stolen = false;
+  if (self != kNotAWorker) {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (!inject_.empty()) {
+      *task = std::move(inject_.front());
+      inject_.pop_front();
+      inject_space_cv_.notify_one();
+      return true;
+    }
+  }
+  size_t n = queues_.size();
+  size_t start = self == kNotAWorker ? 0 : self + 1;
+  for (size_t k = 0; k < n; ++k) {
+    size_t victim = (start + k) % n;
+    if (victim == self) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());  // FIFO steal: oldest item
+      q.tasks.pop_front();
+      *stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TaskScheduler::PopQueryTask(std::function<void()>* task) {
+  std::lock_guard<std::mutex> lock(query_mu_);
+  if (query_pending_ == 0) return false;
+  // Fair-share pick: fewest dispatches first, arrival order on ties. A
+  // single active tag degenerates to exact FIFO.
+  auto best = query_tags_.end();
+  for (auto it = query_tags_.begin(); it != query_tags_.end(); ++it) {
+    if (it->second.pending.empty()) continue;
+    if (best == query_tags_.end() ||
+        it->second.dispatched < best->second.dispatched ||
+        (it->second.dispatched == best->second.dispatched &&
+         it->second.pending.front().first <
+             best->second.pending.front().first)) {
+      best = it;
+    }
+  }
+  if (best == query_tags_.end()) return false;
+  *task = std::move(best->second.pending.front().second);
+  best->second.pending.pop_front();
+  ++best->second.dispatched;
+  --query_pending_;
+  if (best->second.pending.empty()) query_tags_.erase(best);
+  query_space_cv_.notify_one();
+  return true;
+}
+
+void TaskScheduler::RunTask(TaskLane lane, std::function<void()>* task,
+                            bool stolen) {
+  if (stolen) stolen_.fetch_add(1, std::memory_order_relaxed);
+  // Count before the body runs: completion signals (TaskGroup notify,
+  // result cv) fire inside the body, so counting after it would let a
+  // waiter observe "all work done" with the counter still one short.
+  executed_[static_cast<size_t>(lane)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  (*task)();
+  *task = nullptr;  // release captures before the next dispatch
+}
+
+bool TaskScheduler::RunOneTask(size_t self) {
+  std::function<void()> task;
+  bool stolen = false;
+  if (PopSubtask(self, &task, &stolen)) {
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    RunTask(TaskLane::kSubtask, &task, stolen);
+    return true;
+  }
+  if (PopQueryTask(&task)) {
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    RunTask(TaskLane::kQuery, &task, /*stolen=*/false);
+    return true;
+  }
+  return false;
+}
+
+bool TaskScheduler::HelpOneSubtask() {
+  size_t self =
+      t_worker.sched == this ? t_worker.index : kNotAWorker;
+  std::function<void()> task;
+  bool stolen = false;
+  if (!PopSubtask(self, &task, &stolen)) return false;
+  depth_.fetch_sub(1, std::memory_order_relaxed);
+  RunTask(TaskLane::kSubtask, &task, stolen);
+  return true;
+}
+
+void TaskScheduler::WorkerLoop(size_t self) {
+  t_worker.sched = this;
+  t_worker.index = self;
+  while (true) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    if (stop_) {
+      // Drain semantics: exit only once nothing is queued anywhere. Work
+      // still executing on another worker cannot enqueue more by contract
+      // (owners wait their TaskGroups before destroying the scheduler).
+      if (depth_.load(std::memory_order_relaxed) <= 0) break;
+      lock.unlock();
+      if (!RunOneTask(self)) std::this_thread::yield();
+      continue;
+    }
+    uint64_t seen = epoch_;
+    lock.unlock();
+    // Re-scan after reading the epoch: an enqueue between the failed scan
+    // and the epoch read is caught here; one after the read bumps the
+    // epoch and defeats the wait below.
+    if (RunOneTask(self)) continue;
+    lock.lock();
+    if (!stop_ && epoch_ == seen) {
+      work_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+  t_worker.sched = nullptr;
+}
+
+void TaskGroup::Submit(TaskLane lane, uint64_t tag,
+                       std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  sched_->Submit(lane, tag, [this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (outstanding_ == 0) return;
+    }
+    // Helping keeps a fleet worker productive while its own fan-out
+    // drains — and is what makes waiting on the shared fleet deadlock-
+    // free (subtask bodies never block).
+    if (sched_->HelpOneSubtask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (outstanding_ == 0) return;
+    done_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+size_t TaskGroup::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+}  // namespace qpi

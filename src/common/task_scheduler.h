@@ -1,0 +1,219 @@
+#ifndef QPI_COMMON_TASK_SCHEDULER_H_
+#define QPI_COMMON_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace qpi {
+
+/// Which class of work a task belongs to. The scheduler keeps the two in
+/// separate structures because their policies differ (see TaskScheduler).
+enum class TaskLane : unsigned char {
+  kQuery = 0,    ///< run one query to completion (inter-query parallelism)
+  kSubtask = 1,  ///< a morsel / join-partition piece of a running query
+};
+
+inline constexpr size_t kNumTaskLanes = 2;
+
+/// Stable lane names for metrics labels ("query" / "morsel").
+const char* TaskLaneName(TaskLane lane);
+
+/// \brief The engine's single execution substrate: a fixed work-stealing
+/// worker fleet serving both inter-query and intra-query parallelism.
+///
+/// Replaces the former FIFO ThreadPool (inter-query) plus lazily-created
+/// per-query intra pools. One fleet, two lanes:
+///
+///  - **Subtask lane** (morsels, join partitions): per-worker bounded
+///    deques with LIFO local push / FIFO steal — a worker expanding a
+///    query keeps cache-hot work for itself while idle workers steal the
+///    oldest (largest-granularity) items from the front. External threads
+///    (a query's driving thread that is not itself a fleet worker) submit
+///    through a bounded central injection queue. Subtasks always run
+///    before query-lane tasks: they finish work already admitted.
+///  - **Query lane**: per-tag FIFOs with a fair-share pick — among tags
+///    with pending tasks, the one with the fewest dispatches wins, ties
+///    broken by arrival order, so a tenant hammering SUBMIT cannot starve
+///    another; a single tag degenerates to exact FIFO.
+///
+/// Every submission path is **bounded with backpressure** (the unbounded
+/// ThreadPool::Submit hazard is gone): a fleet worker whose own deque is
+/// full runs the new task inline (which is exactly the LIFO semantics),
+/// and external submitters block until space frees up — safe because
+/// subtask bodies never block, so the fleet always drains.
+///
+/// **Helping protocol**: a blocked query-level wait (a morsel merge
+/// waiting for morsel k, a join merge waiting for partition p, a
+/// TaskGroup::Wait) must not park a fleet worker while runnable subtasks
+/// exist, or a fleet saturated with blocked query tasks deadlocks
+/// against its own fan-out. Waiters therefore loop on HelpOneSubtask()
+/// — legal from any thread precisely because subtask bodies never block
+/// (the grace join's partition results are buffered, not pushed through
+/// a blocking queue).
+///
+/// The destructor keeps the old pool's drain contract: every queued task
+/// (both lanes) executes before the workers join — the service drain
+/// relies on queued work terminalizing, never vanishing.
+class TaskScheduler {
+ public:
+  struct Options {
+    size_t num_workers = 1;           ///< fleet size (clamped to >= 1)
+    size_t worker_queue_capacity = 256;  ///< per-worker deque bound
+    size_t inject_capacity = 1024;       ///< central subtask queue bound
+    size_t query_lane_capacity = 4096;   ///< pending query tasks bound
+  };
+
+  explicit TaskScheduler(size_t num_workers);
+  explicit TaskScheduler(const Options& options);
+
+  /// Drains every queued task (both lanes), then joins the fleet.
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Enqueue a task. `tag` identifies the submitting query/tenant: the
+  /// query lane's fair-share pick balances across tags, and subtask tags
+  /// keep accounting attributable. May block (bounded queues, see class
+  /// comment); a fleet worker submitting to its own full deque runs the
+  /// task inline instead. Tasks must not throw; subtask bodies must not
+  /// block.
+  void Submit(TaskLane lane, uint64_t tag, std::function<void()> task);
+
+  /// Run one pending subtask if any is queued (own deque first on a fleet
+  /// worker, then the injection queue, then stealing). Safe from any
+  /// thread; blocked waiters call this in a loop instead of parking.
+  /// Returns false when no subtask was runnable at the scan instant.
+  bool HelpOneSubtask();
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // --- observability (relaxed reads, safe from any thread) -----------------
+
+  /// Tasks dispatched for execution, per lane (helped and inline runs
+  /// count: the task executed, wherever it ran). Incremented as the body
+  /// starts, so any wait that observes the work finished also observes
+  /// the count.
+  uint64_t tasks_executed(TaskLane lane) const {
+    return executed_[static_cast<size_t>(lane)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Subtasks taken from a deque the running thread did not own.
+  uint64_t tasks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks queued and not yet claimed by a runner, across both lanes
+  /// (point in time; excludes bodies currently executing).
+  size_t run_queue_depth() const {
+    int64_t d = depth_.load(std::memory_order_relaxed);
+    return d > 0 ? static_cast<size_t>(d) : 0;
+  }
+
+ private:
+  struct alignas(64) WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;  ///< back = newest (LIFO pop)
+  };
+
+  struct TagQueue {
+    std::deque<std::pair<uint64_t, std::function<void()>>> pending;
+    uint64_t dispatched = 0;  ///< fair-share balance count
+  };
+
+  void WorkerLoop(size_t self);
+  /// One dispatch: subtask lane first, then the query lane's fair pick.
+  bool RunOneTask(size_t self);
+  /// Pop a subtask: own deque back (when `self` < fleet size), injection
+  /// front, then steal other fronts. Sets `*stolen` on a cross-deque pop.
+  bool PopSubtask(size_t self, std::function<void()>* task, bool* stolen);
+  bool PopQueryTask(std::function<void()>* task);
+  void RunTask(TaskLane lane, std::function<void()>* task, bool stolen);
+  void Notify(bool all);
+
+  Options options_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  std::mutex inject_mu_;
+  std::condition_variable inject_space_cv_;
+  std::deque<std::function<void()>> inject_;
+
+  std::mutex query_mu_;
+  std::condition_variable query_space_cv_;
+  std::map<uint64_t, TagQueue> query_tags_;
+  size_t query_pending_ = 0;
+  uint64_t query_seq_ = 0;
+
+  // Sleep/wake: workers that found nothing re-check under sleep_mu_ that
+  // no enqueue bumped the epoch since their scan began, so a task can
+  // never be published without either a worker awake or a wakeup pending.
+  std::mutex sleep_mu_;
+  std::condition_variable work_cv_;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> executed_[kNumTaskLanes] = {};
+  std::atomic<uint64_t> stolen_{0};
+  std::atomic<int64_t> depth_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+/// \brief A waitable group of tasks on a shared TaskScheduler.
+///
+/// Same contract as the old pool's TaskGroup — Submit wraps each task
+/// with completion bookkeeping, Wait blocks only on this group's
+/// outstanding work with a happens-before edge from every task body, the
+/// destructor waits — plus the scheduler's helping protocol: Wait runs
+/// pending subtasks instead of parking, so a fleet worker waiting on its
+/// own fan-out makes progress rather than wedging the fleet.
+class TaskGroup {
+ public:
+  /// Tasks submitted through the one-argument Submit go to `lane` under
+  /// `tag` (the owning query's id).
+  explicit TaskGroup(TaskScheduler* sched, uint64_t tag = 0,
+                     TaskLane lane = TaskLane::kSubtask)
+      : sched_(sched), tag_(tag), lane_(lane) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> task) {
+    Submit(lane_, tag_, std::move(task));
+  }
+
+  /// Enqueue under an explicit lane/tag (a multi-query driver groups
+  /// query-lane tasks with per-entry tags).
+  void Submit(TaskLane lane, uint64_t tag, std::function<void()> task);
+
+  /// Block until every task submitted to this group finished, helping the
+  /// subtask lane while any remain.
+  void Wait();
+
+  /// Tasks submitted but not yet finished (advisory; racy by nature).
+  size_t outstanding() const;
+
+ private:
+  TaskScheduler* sched_;
+  uint64_t tag_;
+  TaskLane lane_;
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace qpi
+
+#endif  // QPI_COMMON_TASK_SCHEDULER_H_

@@ -1,17 +1,18 @@
 #include "exec/exec_context.h"
 
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace qpi {
 
 ExecContext::ExecContext() = default;
 ExecContext::~ExecContext() = default;
 
-ThreadPool* ExecContext::intra_query_pool() {
-  if (intra_pool_ == nullptr) {
-    intra_pool_ = std::make_unique<ThreadPool>(exec_workers);
+TaskScheduler* ExecContext::scheduler() {
+  if (attached_sched_ != nullptr) return attached_sched_;
+  if (owned_sched_ == nullptr) {
+    owned_sched_ = std::make_unique<TaskScheduler>(exec_workers);
   }
-  return intra_pool_.get();
+  return owned_sched_.get();
 }
 
 uint64_t ExecContext::DrainConcurrentTicks() {

@@ -95,7 +95,7 @@ class FunctionTickObserver : public TickObserver {
   std::function<void(uint64_t)> fn_;
 };
 
-class ThreadPool;
+class TaskScheduler;
 
 /// \brief Per-query execution context shared by all operators.
 struct ExecContext {
@@ -129,6 +129,11 @@ struct ExecContext {
   /// Rows per scan morsel on the parallel scan path.
   size_t morsel_rows = 4096;
 
+  /// Upper bound Validate() accepts for exec_workers: far above any real
+  /// fleet, low enough that a corrupted knob cannot spawn thousands of
+  /// threads.
+  static constexpr size_t kMaxExecWorkers = 256;
+
   /// Let the optimizer consult per-column equi-depth histograms (Section 3's
   /// optional base-table statistics) instead of uniform interpolation.
   bool use_column_histograms = false;
@@ -154,6 +159,12 @@ struct ExecContext {
     }
     if (morsel_rows == 0) {
       return Status::InvalidArgument("morsel_rows must be >= 1");
+    }
+    if (exec_workers == 0) {
+      return Status::InvalidArgument("exec_workers must be >= 1");
+    }
+    if (exec_workers > kMaxExecWorkers) {
+      return Status::InvalidArgument("exec_workers must be <= 256");
     }
     return Status::OK();
   }
@@ -246,11 +257,26 @@ struct ExecContext {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
-  /// The per-query worker pool for intra-query parallelism, created lazily
-  /// with exec_workers threads on first use (never called when
-  /// exec_workers == 1). Owned by the context; destroyed with it, after
-  /// every operator has closed and waited for its task groups.
-  ThreadPool* intra_query_pool();
+  /// The scheduler this query's subtasks (morsels, join partitions) run
+  /// on. A service/multi-query driver attaches its shared fleet before
+  /// execution (AttachScheduler); otherwise a private fleet of
+  /// exec_workers workers is created lazily on first use (never called
+  /// when exec_workers == 1) and destroyed with the context, after every
+  /// operator has closed and waited for its task groups.
+  TaskScheduler* scheduler();
+
+  /// Borrow a shared fleet for this query's subtasks; `tag` names the
+  /// query in the scheduler's accounting (fair-share, stealing
+  /// attribution). The scheduler must outlive the query's execution;
+  /// detach (nullptr) before it is destroyed. Not thread-safe: call
+  /// between executions only.
+  void AttachScheduler(TaskScheduler* scheduler, uint64_t tag) {
+    attached_sched_ = scheduler;
+    sched_tag_ = scheduler == nullptr ? 0 : tag;
+  }
+
+  /// This query's tag on the attached (or owned) scheduler.
+  uint64_t sched_tag() const { return sched_tag_; }
 
   ExecContext();
   ~ExecContext();
@@ -271,7 +297,9 @@ struct ExecContext {
   std::atomic<bool> executing_{false};
   std::atomic<bool> has_concurrent_ticks_{false};
   TickShard tick_shards_[kTickShards];
-  std::unique_ptr<ThreadPool> intra_pool_;
+  TaskScheduler* attached_sched_ = nullptr;
+  uint64_t sched_tag_ = 0;
+  std::unique_ptr<TaskScheduler> owned_sched_;
 };
 
 }  // namespace qpi

@@ -1,8 +1,10 @@
 #include "exec/grace_hash_join.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/check.h"
-#include "common/row_batch_queue.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace qpi {
 
@@ -124,10 +126,11 @@ void GraceHashJoinOp::EnlistInPipeline(
 }
 
 GraceHashJoinOp::~GraceHashJoinOp() {
-  // Destruction without Close (error paths): unblock any producer parked
-  // on the queue before waiting the task group, then let the remaining
-  // members (partitions included) die only after every worker has exited.
-  if (join_queue_ != nullptr) join_queue_->Abort();
+  // Destruction without Close (error paths): flag the abort before
+  // waiting the task group (its Wait helps the fleet drain), so the
+  // remaining members (partitions included) die only after every
+  // partition subtask has exited.
+  join_abort_.store(true, std::memory_order_relaxed);
   join_group_.reset();
 }
 
@@ -228,30 +231,79 @@ bool GraceHashJoinOp::NextImpl(Row* out) {
 
 void GraceHashJoinOp::StartParallelJoin() {
   parallel_join_ = true;
-  join_queue_ = std::make_unique<RowBatchQueue>(2 * ctx_->exec_workers + 2);
-  parts_remaining_.store(num_partitions_, std::memory_order_relaxed);
-  join_group_ = std::make_unique<TaskGroup>(ctx_->intra_query_pool());
-  for (size_t p = 0; p < num_partitions_; ++p) {
+  join_abort_.store(false, std::memory_order_relaxed);
+  part_results_.clear();
+  part_results_.resize(num_partitions_);
+  // In-flight memory is bounded by the submission window, like the morsel
+  // driver's: at most ~2·workers+2 partitions run ahead of the merge
+  // cursor, and the merge drains each partition's batches while it is
+  // still producing, so even a skew-heavy partition streams through
+  // rather than materializing its whole output.
+  join_window_ = std::min(2 * ctx_->exec_workers + 2, num_partitions_);
+  join_submitted_ = 0;
+  join_emit_part_ = 0;
+  join_merge_batch_ = RowBatch(0);
+  join_emit_row_ = 0;
+  join_sched_ = ctx_->scheduler();
+  join_group_ = std::make_unique<TaskGroup>(join_sched_, ctx_->sched_tag());
+  SubmitJoinUpTo(join_window_);
+}
+
+void GraceHashJoinOp::SubmitJoinUpTo(size_t limit) {
+  limit = std::min(limit, num_partitions_);
+  while (join_submitted_ < limit) {
+    size_t p = join_submitted_++;
     join_group_->Submit([this, p] { JoinPartitionTask(p); });
   }
 }
 
 void GraceHashJoinOp::JoinPartitionTask(size_t part) {
+  // Claimed-bail entry: every submission (initial window fill, driver
+  // requeue after a stall, helping thread racing a worker) funnels through
+  // here, and only one claims the partition — duplicates see a state other
+  // than kQueued and return immediately.
+  {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    PartitionResult& result = part_results_[part];
+    if (result.state != PartitionResult::State::kQueued) return;
+    result.state = PartitionResult::State::kRunning;
+  }
+  RunJoinChunk(part);
+}
+
+void GraceHashJoinOp::RunJoinChunk(size_t part) {
+  PartitionResult& result = part_results_[part];
   const std::vector<Row>& build_rows = build_parts_[part];
   const std::vector<Row>& probe_rows = probe_parts_[part];
   size_t batch_rows = ctx_->batch_size;
-  RowBatch batch(batch_rows);
+  // Resume the in-progress output batch saved by the previous chunk; the
+  // initial `partial` is a capacity-1 placeholder, replaced on first use.
+  RowBatch batch = std::move(result.partial);
+  if (batch.capacity() != batch_rows) batch = RowBatch(batch_rows);
+  result.partial = RowBatch(0);
   uint64_t local_consumed = 0;
-  bool dead = false;  // queue aborted: consumer is gone, stop producing
+  // Set by flush when `ready` reaches the cap; checked between probe rows
+  // so the chunk pauses instead of materializing an unbounded backlog.
+  bool at_cap = false;
 
   // Flush emitted-count and driver-consumption *before* publishing the
   // batch, so a monitor never sees more output than accounted input.
+  // Publication is a bounded-time push under join_mu_ — never a wait on
+  // the consumer — which keeps the subtask-never-blocks contract the
+  // fleet's helping protocol relies on, while letting the merge drain
+  // this partition concurrently with its production.
   auto flush = [&] {
     if (batch.empty()) return;
     CountEmitted(batch.size());
     join_driver_consumed_.fetch_add(local_consumed, std::memory_order_relaxed);
     local_consumed = 0;
-    if (!join_queue_->Push(std::move(batch))) dead = true;
+    {
+      std::lock_guard<std::mutex> lock(join_mu_);
+      result.ready.push_back(std::move(batch));
+      at_cap = result.ready.size() >= kJoinReadyCap;
+    }
+    // The merge driver is the only join_cv_ waiter.
+    join_cv_.notify_one();
     batch = RowBatch(batch_rows);
   };
   auto emit = [&](Row row) {
@@ -259,14 +311,50 @@ void GraceHashJoinOp::JoinPartitionTask(size_t part) {
     if (batch.full()) flush();
   };
 
-  if (!ctx_->IsCancelled()) {
-    std::unordered_map<uint64_t, std::vector<size_t>> table;
-    table.reserve(build_rows.size());
-    for (size_t i = 0; i < build_rows.size(); ++i) {
-      table[BuildKeyCode(build_rows[i])].push_back(i);
+  bool aborted =
+      join_abort_.load(std::memory_order_relaxed) || ctx_->IsCancelled();
+  if (!aborted) {
+    if (!result.table_built) {
+      result.table.reserve(build_rows.size());
+      for (size_t i = 0; i < build_rows.size(); ++i) {
+        result.table[BuildKeyCode(build_rows[i])].push_back(i);
+      }
+      result.table_built = true;
     }
-    for (size_t pi = 0; pi < probe_rows.size() && !dead; ++pi) {
-      if ((pi & 1023u) == 0 && ctx_->IsCancelled()) break;
+    const auto& table = result.table;
+    for (size_t pi = result.resume_pi; pi < probe_rows.size(); ++pi) {
+      if (at_cap) {
+        // Re-check under the lock — the merge driver may have drained the
+        // queue since the flush that tripped the cap, in which case the
+        // chunk keeps producing instead of paying a stall round-trip.
+        {
+          std::lock_guard<std::mutex> lock(join_mu_);
+          if (result.ready.size() < kJoinReadyCap) at_cap = false;
+        }
+        if (at_cap) {
+          // Pause: hand the resume point and the partial batch back to
+          // the partition slot, *then* publish kStalled — the next runner
+          // only reads the resume state after observing kQueued under
+          // join_mu_, so the mutex chain orders the handoff.
+          if (local_consumed != 0) {
+            join_driver_consumed_.fetch_add(local_consumed,
+                                            std::memory_order_relaxed);
+          }
+          result.resume_pi = pi;
+          result.partial = std::move(batch);
+          {
+            std::lock_guard<std::mutex> lock(join_mu_);
+            result.state = PartitionResult::State::kStalled;
+          }
+          join_cv_.notify_one();
+          return;
+        }
+      }
+      if ((pi & 1023u) == 0 &&
+          (join_abort_.load(std::memory_order_relaxed) ||
+           ctx_->IsCancelled())) {
+        break;
+      }
       const Row& probe_row = probe_rows[pi];
       ++local_consumed;
       auto it = table.find(ProbeKeyCode(probe_row));
@@ -291,20 +379,23 @@ void GraceHashJoinOp::JoinPartitionTask(size_t part) {
         continue;
       }
       for (size_t idx : it->second) {
-        if (dead) break;
         const Row& build_row = build_rows[idx];
         if (!KeysEqual(build_row, probe_row)) continue;  // code collision
         emit(ConcatRows(build_row, probe_row));
       }
     }
   }
-  if (!dead) flush();
+  flush();
   if (local_consumed != 0) {
     join_driver_consumed_.fetch_add(local_consumed, std::memory_order_relaxed);
   }
-  if (parts_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    join_queue_->Close();
+  {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    result.state = PartitionResult::State::kDone;
+    // The hash table is dead weight once the partition is exhausted.
+    std::unordered_map<uint64_t, std::vector<size_t>>().swap(result.table);
   }
+  join_cv_.notify_one();
 }
 
 void GraceHashJoinOp::NextBatchImpl(RowBatch* out) {
@@ -318,21 +409,68 @@ void GraceHashJoinOp::NextBatchImpl(RowBatch* out) {
     StartParallelJoin();
   }
   if (parallel_join_) {
-    // Merge worker batches; the workers already advanced `emitted_` when
-    // they flushed, so the merge must not count again. The wrapper's
-    // Tick(out->size()) still delivers the progress ticks for these rows
-    // on the driving thread.
+    // Merge published batches in partition-index order — each drained as
+    // soon as its producer publishes it, so in-flight output stays near
+    // one batch per running subtask. The subtasks already advanced
+    // `emitted_` when they flushed, so the merge must not count again.
+    // The wrapper's Tick(out->size()) still delivers the progress ticks
+    // for these rows on the driving thread.
     while (!out->full()) {
-      if (!pending_valid_ || pending_pos_ >= pending_.size()) {
-        if (!join_queue_->Pop(&pending_)) {
-          phase_ = Phase::kDone;
-          break;
-        }
-        pending_valid_ = true;
-        pending_pos_ = 0;
+      while (join_emit_row_ < join_merge_batch_.size() && !out->full()) {
+        out->PushRow(std::move(join_merge_batch_.row(join_emit_row_++)));
       }
-      while (pending_pos_ < pending_.size() && !out->full()) {
-        out->PushRow(std::move(pending_.row(pending_pos_++)));
+      if (out->full()) break;
+      if (join_emit_part_ >= num_partitions_) {
+        phase_ = Phase::kDone;
+        break;
+      }
+      PartitionResult& r = part_results_[join_emit_part_];
+      enum class Next { kBatch, kAdvance, kWait } next;
+      bool requeue = false;  // stalled runner drained below the cap
+      {
+        std::lock_guard<std::mutex> lock(join_mu_);
+        if (!r.ready.empty()) {
+          join_merge_batch_ = std::move(r.ready.front());
+          r.ready.pop_front();
+          join_emit_row_ = 0;
+          next = Next::kBatch;
+          if (r.state == PartitionResult::State::kStalled &&
+              r.ready.size() < kJoinReadyCap) {
+            r.state = PartitionResult::State::kQueued;
+            requeue = true;
+          }
+        } else if (r.state == PartitionResult::State::kDone) {
+          next = Next::kAdvance;
+        } else {
+          if (r.state == PartitionResult::State::kStalled) {
+            r.state = PartitionResult::State::kQueued;
+            requeue = true;
+          }
+          next = Next::kWait;
+        }
+      }
+      if (requeue) {
+        size_t p = join_emit_part_;
+        join_group_->Submit([this, p] { JoinPartitionTask(p); });
+      }
+      if (next == Next::kBatch) continue;
+      if (next == Next::kAdvance) {
+        join_merge_batch_ = RowBatch(0);
+        join_emit_row_ = 0;
+        ++join_emit_part_;
+        SubmitJoinUpTo(join_emit_part_ + join_window_);
+        continue;
+      }
+      // Wait for the next batch by helping the fleet (same protocol as
+      // the morsel merge): run pending subtasks instead of parking, with
+      // a timed wait only for the instant where the needed partition is
+      // mid-production elsewhere and nothing else is runnable.
+      if (join_sched_->HelpOneSubtask()) continue;
+      {
+        std::unique_lock<std::mutex> lock(join_mu_);
+        if (r.ready.empty() && r.state != PartitionResult::State::kDone) {
+          join_cv_.wait_for(lock, std::chrono::milliseconds(2));
+        }
       }
     }
     return;
@@ -421,15 +559,20 @@ bool GraceHashJoinOp::AdvanceJoin(Row* out) {
 }
 
 void GraceHashJoinOp::CloseImpl() {
-  // Tear down the parallel join phase first: aborting the queue unblocks
-  // any producer parked on a full queue, and resetting the group waits for
-  // every worker before the partitions they read are cleared.
-  if (join_queue_ != nullptr) join_queue_->Abort();
+  // Tear down the parallel join phase first: the abort flag makes still-
+  // queued partition subtasks exit at their next check, and resetting the
+  // group waits (helping the fleet) for every subtask before the
+  // partitions they read are cleared.
+  join_abort_.store(true, std::memory_order_relaxed);
   join_group_.reset();
-  join_queue_.reset();
+  join_sched_ = nullptr;
+  part_results_.clear();
   parallel_join_ = false;
-  pending_valid_ = false;
-  pending_pos_ = 0;
+  join_window_ = 0;
+  join_submitted_ = 0;
+  join_emit_part_ = 0;
+  join_merge_batch_ = RowBatch(0);
+  join_emit_row_ = 0;
   build_parts_.clear();
   probe_parts_.clear();
   part_table_.clear();

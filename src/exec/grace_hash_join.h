@@ -2,7 +2,10 @@
 #define QPI_EXEC_GRACE_HASH_JOIN_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -14,8 +17,8 @@
 
 namespace qpi {
 
-class RowBatchQueue;
 class TaskGroup;
+class TaskScheduler;
 
 /// \brief Grace hash join with the three-phase structure the paper
 /// instruments (Section 4.1.1).
@@ -117,14 +120,28 @@ class GraceHashJoinOp : public Operator {
   void RunProbePartitionPhase();
   bool AdvanceJoin(Row* out);
 
-  /// Fan the partition pairs out onto the per-query pool (batch path with
-  /// ctx->exec_workers > 1). Each task joins one partition into batches
-  /// pushed on `join_queue_`; the driving thread merges them in
-  /// NextBatchImpl. Output order becomes partition-interleaved — legal
-  /// because gnm progress and the final counters are order-invariant and
-  /// the join phase performs no estimator observation.
+  /// Fan the partition pairs out as subtasks on the query's TaskScheduler
+  /// (batch path with ctx->exec_workers > 1), at most `join_window_`
+  /// partitions ahead of the merge cursor. Each subtask joins one
+  /// partition, publishing every completed output batch under `join_mu_`
+  /// as it is produced — a bounded-time push, never a blocking wait, which
+  /// is what lets any blocked waiter help the fleet (see task_scheduler.h)
+  /// — and the driving thread merges batches **in partition-index order**
+  /// in NextBatchImpl, draining a partition concurrently with its
+  /// production (so a skew-heavy partition's output streams through
+  /// instead of materializing wholesale). Partition order is exactly the
+  /// sequential join cursor's order, so the emitted stream is
+  /// bit-identical to the sequential engine at any worker count; gnm
+  /// counters were already order-invariant, and the join phase performs
+  /// no estimator observation.
   void StartParallelJoin();
+  void SubmitJoinUpTo(size_t limit);
   void JoinPartitionTask(size_t part);
+  /// One bounded chunk of partition `part`'s join: probes until the
+  /// partition is exhausted (-> kDone) or kJoinReadyCap batches wait
+  /// unmerged (-> kStalled, resume state saved). Called with the
+  /// partition in state kRunning.
+  void RunJoinChunk(size_t part);
 
   Operator* build_child() const { return child(0); }
   Operator* probe_child() const { return child(1); }
@@ -160,14 +177,43 @@ class GraceHashJoinOp : public Operator {
   // sequential join cursor; read by monitor-thread estimates.
   std::atomic<uint64_t> join_driver_consumed_{0};
 
-  // Parallel join phase (see StartParallelJoin).
-  std::unique_ptr<RowBatchQueue> join_queue_;
-  std::unique_ptr<TaskGroup> join_group_;
-  std::atomic<size_t> parts_remaining_{0};
+  // Parallel join phase (see StartParallelJoin). A partition's output is
+  // produced in bounded chunks: its runner pauses (returns to the fleet,
+  // never blocks) once `ready` holds kJoinReadyCap unmerged batches, and
+  // the merge driver requeues it after draining — so in-flight join
+  // output is capped at ~window × cap batches no matter how skewed one
+  // partition's output is.
+  struct PartitionResult {
+    enum class State : unsigned char {
+      kQueued,   ///< a task for the next chunk is (re)submitted
+      kRunning,  ///< a runner is producing batches right now
+      kStalled,  ///< paused at the ready-cap; the driver requeues it
+      kDone,     ///< fully joined, nothing more will be produced
+    };
+    std::deque<RowBatch> ready;     ///< produced, not yet merged (join_mu_)
+    State state = State::kQueued;   ///< guarded by join_mu_
+    // Chunk-resume state, owned by the current runner (handed off through
+    // the join_mu_ state transitions above).
+    std::unordered_map<uint64_t, std::vector<size_t>> table;
+    bool table_built = false;
+    size_t resume_pi = 0;    ///< next probe row index
+    RowBatch partial{0};     ///< in-progress output batch across chunks
+  };
+  static constexpr size_t kJoinReadyCap = 16;
+  std::vector<PartitionResult> part_results_;
+  std::mutex join_mu_;
+  std::condition_variable join_cv_;
+  std::atomic<bool> join_abort_{false};
+  TaskScheduler* join_sched_ = nullptr;
   bool parallel_join_ = false;
-  RowBatch pending_;     // partially drained batch from join_queue_
-  size_t pending_pos_ = 0;
-  bool pending_valid_ = false;
+  size_t join_window_ = 0;     // partitions in flight past the merge cursor
+  size_t join_submitted_ = 0;  // partitions handed to the scheduler
+  size_t join_emit_part_ = 0;  // merge cursor (driving thread only)
+  RowBatch join_merge_batch_{0};  // batch being merged (driving thread only)
+  size_t join_emit_row_ = 0;
+  // Declared after the members its tasks touch: the group's destructor
+  // waits for outstanding partition subtasks.
+  std::unique_ptr<TaskGroup> join_group_;
 
   // Estimation attachments.
   std::unique_ptr<OnceBinaryJoinEstimator> once_;

@@ -1,9 +1,10 @@
 #include "exec/morsel_scan.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "exec/exec_context.h"
 #include "exec/filter.h"
 #include "exec/operator.h"
@@ -52,7 +53,8 @@ MorselScanDriver::MorselScanDriver(SeqScanOp* scan,
     }
   }
 
-  group_ = std::make_unique<TaskGroup>(ctx_->intra_query_pool());
+  sched_ = ctx_->scheduler();
+  group_ = std::make_unique<TaskGroup>(sched_, ctx_->sched_tag());
   SubmitUpTo(window_);
 }
 
@@ -155,9 +157,21 @@ void MorselScanDriver::ProcessMorsel(size_t m) {
 void MorselScanDriver::Fill(RowBatch* out) {
   while (!out->full() && emit_idx_ < morsel_count_) {
     MorselResult& r = results_[emit_idx_];
-    {
+    // Wait for morsel emit_idx_ by *helping*: drain pending subtasks
+    // (often our own, possibly another query's on a shared fleet) instead
+    // of parking. A driving thread that is itself a fleet worker would
+    // otherwise deadlock the fleet once every worker waits like this; the
+    // timed wait is only a safety net for the instant where the needed
+    // morsel is mid-execution elsewhere and nothing else is runnable.
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (r.done) break;
+      }
+      if (sched_->HelpOneSubtask()) continue;
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&r] { return r.done; });
+      if (r.done) break;
+      cv_.wait_for(lock, std::chrono::milliseconds(2), [&r] { return r.done; });
     }
     while (cursor_ < r.rows.size() && !out->full()) {
       bool in_run = run_open_ && cursor_ < r.random_limit;

@@ -18,6 +18,7 @@ class ExecContext;
 class Operator;
 class SeqScanOp;
 class TaskGroup;
+class TaskScheduler;
 struct ScanOrder;
 class Table;
 
@@ -36,7 +37,8 @@ struct MorselStage {
 ///
 /// The scan order (random-sample prefix first, then the remaining blocks)
 /// is cut into fixed-size morsels of `ExecContext::morsel_rows` virtual
-/// rows. Worker tasks on the per-query pool evaluate the whole fused chain
+/// rows. Subtasks on the query's TaskScheduler (a shared fleet when one is
+/// attached, a private one otherwise) evaluate the whole fused chain
 /// over their morsel — scan, predicates, projections — into a per-morsel
 /// result buffer; the query's driving thread merges results back **in
 /// morsel-index order**, so the emitted row stream, every batch boundary,
@@ -93,6 +95,7 @@ class MorselScanDriver {
   SeqScanOp* scan_;
   std::vector<MorselStage> stages_;
   ExecContext* ctx_;
+  TaskScheduler* sched_;  ///< the fleet morsel subtasks run on
   const Table* table_;
   const ScanOrder* order_;
 

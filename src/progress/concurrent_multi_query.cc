@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 
 namespace qpi {
 
@@ -155,12 +155,26 @@ Status ConcurrentMultiQueryExecutor::RunAll(uint64_t quantum) {
   monitor_stop_.store(false, std::memory_order_relaxed);
   std::thread monitor([this] { MonitorLoop(); });
   {
-    ThreadPool pool(options_.num_workers);
+    // One fleet serves both layers: each registered query is a query-lane
+    // task (fair-share across entry tags), and any intra-query fan-out
+    // (morsel scans, join partitions) lands on the same workers through
+    // the entry context's attached scheduler handle.
+    TaskScheduler sched(options_.num_workers);
+    TaskGroup group(&sched);
+    uint64_t tag = 1;
+    std::vector<ExecContext*> attached;
     for (auto& entry : entries_) {
       if (entry->done.load(std::memory_order_acquire)) continue;
-      pool.Submit([this, e = entry.get()] { RunOne(e); });
+      entry->ctx->AttachScheduler(&sched, tag);
+      attached.push_back(entry->ctx.get());
+      group.Submit(TaskLane::kQuery, tag,
+                   [this, e = entry.get()] { RunOne(e); });
+      ++tag;
     }
-    pool.Wait();
+    group.Wait();
+    // Detach before the fleet dies: entries outlive RunAll and may run
+    // again against a different scheduler.
+    for (ExecContext* ctx : attached) ctx->AttachScheduler(nullptr, 0);
   }
   monitor_stop_.store(true, std::memory_order_release);
   monitor.join();

@@ -4,32 +4,61 @@
 
 namespace qpi {
 
-bool AdmissionQueue::Enqueue(QueryHandle* handle) {
+bool AdmissionQueue::Enqueue(QueryHandle* handle, uint64_t tenant) {
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return false;
-  pending_.push_back(handle);
+  lanes_[tenant].pending.emplace_back(arrival_seq_++, handle);
+  ++pending_count_;
   dispatch_cv_.notify_one();
   return true;
+}
+
+std::map<uint64_t, AdmissionQueue::Lane>::iterator AdmissionQueue::PickLane() {
+  // Fewest running queries wins; among tied tenants, the earliest-arrived
+  // head. With one tenant this is the plain FIFO the e2e tests pin down.
+  auto best = lanes_.end();
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    if (it->second.pending.empty()) continue;
+    if (best == lanes_.end() ||
+        it->second.running < best->second.running ||
+        (it->second.running == best->second.running &&
+         it->second.pending.front().first < best->second.pending.front().first)) {
+      best = it;
+    }
+  }
+  return best;
 }
 
 QueryHandle* AdmissionQueue::NextRunnable() {
   std::unique_lock<std::mutex> lock(mu_);
   dispatch_cv_.wait(lock, [this] {
-    return closed_ || (!pending_.empty() && inflight_ < max_inflight_);
+    return closed_ || (pending_count_ > 0 && inflight_ < max_inflight_);
   });
-  if (pending_.empty() || inflight_ >= max_inflight_) {
+  if (pending_count_ == 0 || inflight_ >= max_inflight_) {
     // Only reachable when closed: either nothing is pending (drained) or
     // the remaining pending entries belong to DrainPending().
     return nullptr;
   }
-  QueryHandle* handle = pending_.front();
-  pending_.pop_front();
+  auto lane = PickLane();
+  QueryHandle* handle = lane->second.pending.front().second;
+  lane->second.pending.pop_front();
+  --pending_count_;
+  ++lane->second.running;
   ++inflight_;
   return handle;
 }
 
-void AdmissionQueue::OnComplete() {
+void AdmissionQueue::OnComplete(uint64_t tenant) {
   std::lock_guard<std::mutex> lock(mu_);
+  auto it = lanes_.find(tenant);
+  if (it != lanes_.end() && it->second.running > 0) {
+    --it->second.running;
+    // Idle lanes are garbage-collected so a server accepting many
+    // short-lived sessions doesn't grow the map without bound.
+    if (it->second.running == 0 && it->second.pending.empty()) {
+      lanes_.erase(it);
+    }
+  }
   --inflight_;
   dispatch_cv_.notify_one();
   if (inflight_ == 0) idle_cv_.notify_all();
@@ -37,10 +66,18 @@ void AdmissionQueue::OnComplete() {
 
 bool AdmissionQueue::Remove(QueryHandle* handle) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = std::find(pending_.begin(), pending_.end(), handle);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
-  return true;
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    auto& pending = it->second.pending;
+    auto pos = std::find_if(
+        pending.begin(), pending.end(),
+        [handle](const auto& entry) { return entry.second == handle; });
+    if (pos == pending.end()) continue;
+    pending.erase(pos);
+    --pending_count_;
+    if (it->second.running == 0 && pending.empty()) lanes_.erase(it);
+    return true;
+  }
+  return false;
 }
 
 void AdmissionQueue::CloseAdmission() {
@@ -51,8 +88,21 @@ void AdmissionQueue::CloseAdmission() {
 
 std::vector<QueryHandle*> AdmissionQueue::DrainPending() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<QueryHandle*> out(pending_.begin(), pending_.end());
-  pending_.clear();
+  std::vector<std::pair<uint64_t, QueryHandle*>> all;
+  all.reserve(pending_count_);
+  for (auto it = lanes_.begin(); it != lanes_.end();) {
+    auto& lane = it->second;
+    all.insert(all.end(), lane.pending.begin(), lane.pending.end());
+    lane.pending.clear();
+    it = lane.running == 0 ? lanes_.erase(it) : ++it;
+  }
+  pending_count_ = 0;
+  // Terminalization order is global arrival order, exactly what the old
+  // single FIFO produced.
+  std::sort(all.begin(), all.end());
+  std::vector<QueryHandle*> out;
+  out.reserve(all.size());
+  for (auto& entry : all) out.push_back(entry.second);
   return out;
 }
 
@@ -63,7 +113,7 @@ bool AdmissionQueue::WaitIdle(std::chrono::milliseconds timeout) {
 
 size_t AdmissionQueue::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return pending_.size();
+  return pending_count_;
 }
 
 size_t AdmissionQueue::inflight() const {

@@ -4,53 +4,65 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace qpi {
 
 struct QueryHandle;
 
-/// \brief FIFO admission control for qpi-serve.
+/// \brief Fair-share admission control for qpi-serve.
 ///
 /// The server accepts arbitrarily many SUBMITs but runs at most
-/// `max_inflight` queries at once: excess submissions queue here in FIFO
-/// order and report the "queued" pre-execution phase to their watchers
-/// (ExecContext::QueryPhase::kQueued). The dispatcher thread blocks in
-/// NextRunnable() until a slot frees up; query completion returns the slot
-/// via OnComplete().
+/// `max_inflight` queries at once; excess submissions queue here and
+/// report the "queued" pre-execution phase to their watchers
+/// (ExecContext::QueryPhase::kQueued). Rather than one global FIFO, the
+/// queue keeps a per-tenant (per-session) lane and NextRunnable() picks
+/// fairly: among tenants with pending work, the one with the fewest
+/// queries currently running wins, ties broken by arrival order — so one
+/// session hammering SUBMIT cannot monopolize the inflight slots while
+/// another waits. A single tenant degenerates to exact FIFO, and the
+/// runnable queries feed the server's shared TaskScheduler fleet as
+/// query-lane tasks (admission is the policy, the fleet the mechanism).
 ///
 /// Drain protocol: CloseAdmission() makes Enqueue() fail (new SUBMITs get
-/// an error reply), DrainPending() empties the FIFO (the server terminal-
-/// izes those handles as cancelled), and NextRunnable() returns nullptr
-/// once closed with nothing left — the dispatcher's exit condition.
-/// WaitIdle() is the drain deadline barrier on the inflight count.
+/// an error reply), DrainPending() empties every lane in global arrival
+/// order (the server terminalizes those handles as cancelled), and
+/// NextRunnable() returns nullptr once closed with nothing left — the
+/// dispatcher's exit condition. WaitIdle() is the drain deadline barrier
+/// on the inflight count.
 class AdmissionQueue {
  public:
   explicit AdmissionQueue(size_t max_inflight)
       : max_inflight_(max_inflight == 0 ? 1 : max_inflight) {}
 
-  /// FIFO-append a submitted query. False once admission is closed.
-  bool Enqueue(QueryHandle* handle);
+  /// Append a submitted query to its tenant's lane. False once admission
+  /// is closed.
+  bool Enqueue(QueryHandle* handle, uint64_t tenant = 0);
 
-  /// Block until a query may start (pending FIFO non-empty and a slot
-  /// free); claims the slot and returns the handle. Returns nullptr when
-  /// admission is closed and the FIFO has drained.
+  /// Block until a query may start (some lane non-empty and a slot
+  /// free); claims the slot via the fair-share pick and returns the
+  /// handle. Returns nullptr when admission is closed and every lane has
+  /// drained.
   QueryHandle* NextRunnable();
 
   /// Return a slot claimed by NextRunnable() (called when its query
-  /// reaches a terminal state).
-  void OnComplete();
+  /// reaches a terminal state). `tenant` must match the Enqueue call.
+  void OnComplete(uint64_t tenant = 0);
 
   /// Remove a still-queued handle (CANCEL before execution). False when
-  /// the handle already left the FIFO (it is running or done).
+  /// the handle already left its lane (it is running or done).
   bool Remove(QueryHandle* handle);
 
   /// Stop admitting; wakes the dispatcher.
   void CloseAdmission();
 
-  /// Empty the FIFO, returning the never-started handles.
+  /// Empty every lane, returning the never-started handles in global
+  /// arrival order.
   std::vector<QueryHandle*> DrainPending();
 
   /// Wait until no query is inflight, up to `timeout`. True on idle.
@@ -61,11 +73,21 @@ class AdmissionQueue {
   size_t max_inflight() const { return max_inflight_; }
 
  private:
+  struct Lane {
+    std::deque<std::pair<uint64_t, QueryHandle*>> pending;  ///< (seq, handle)
+    size_t running = 0;  ///< this tenant's claimed inflight slots
+  };
+
+  /// The fair pick under mu_: nullptr when nothing is runnable.
+  std::map<uint64_t, Lane>::iterator PickLane();
+
   const size_t max_inflight_;
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;  ///< pending/slot/closed changes
   std::condition_variable idle_cv_;      ///< inflight drained
-  std::deque<QueryHandle*> pending_;
+  std::map<uint64_t, Lane> lanes_;
+  size_t pending_count_ = 0;
+  uint64_t arrival_seq_ = 0;
   size_t inflight_ = 0;
   bool closed_ = false;
 };

@@ -168,6 +168,10 @@ std::string EncodeStats(const ServerStats& stats) {
   AppendUint("watchers", stats.watchers, &out);
   AppendUint("max_inflight", stats.max_inflight, &out);
   AppendBool("draining", stats.draining, &out);
+  AppendUint("tasks_query", stats.tasks_query, &out);
+  AppendUint("tasks_morsel", stats.tasks_morsel, &out);
+  AppendUint("tasks_stolen", stats.tasks_stolen, &out);
+  AppendUint("run_queue_depth", stats.run_queue_depth, &out);
   out.append("}\n");
   return out;
 }
@@ -394,6 +398,11 @@ Status DecodeStats(const JsonValue& line, ServerStats* out) {
   out->watchers = static_cast<uint64_t>(line.GetNumber("watchers"));
   out->max_inflight = static_cast<uint64_t>(line.GetNumber("max_inflight"));
   out->draining = line.GetBool("draining");
+  out->tasks_query = static_cast<uint64_t>(line.GetNumber("tasks_query"));
+  out->tasks_morsel = static_cast<uint64_t>(line.GetNumber("tasks_morsel"));
+  out->tasks_stolen = static_cast<uint64_t>(line.GetNumber("tasks_stolen"));
+  out->run_queue_depth =
+      static_cast<uint64_t>(line.GetNumber("run_queue_depth"));
   return Status::OK();
 }
 

@@ -108,6 +108,11 @@ struct ServerStats {
   uint64_t watchers = 0;
   uint64_t max_inflight = 0;
   bool draining = false;
+  // Scheduler-fleet counters (absent in older servers; decode defaults 0).
+  uint64_t tasks_query = 0;      ///< query-lane tasks executed
+  uint64_t tasks_morsel = 0;     ///< morsel/partition subtasks executed
+  uint64_t tasks_stolen = 0;     ///< tasks stolen across worker deques
+  uint64_t run_queue_depth = 0;  ///< fleet tasks queued, not yet claimed
 };
 
 std::string EncodeHello();

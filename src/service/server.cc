@@ -105,6 +105,20 @@ ServerMetrics::ServerMetrics() {
         "Operators whose selector finished the query on each candidate.",
         label);
   }
+  for (size_t l = 0; l < kNumTaskLanes; ++l) {
+    std::string label = "lane=\"";
+    label += TaskLaneName(static_cast<TaskLane>(l));
+    label += '"';
+    tasks_executed[l] = registry.AddCounter(
+        "qpi_tasks_executed_total",
+        "Tasks executed by the scheduler fleet, by lane.", label);
+  }
+  tasks_stolen = registry.AddCounter(
+      "qpi_tasks_stolen_total",
+      "Tasks stolen from another worker's deque before executing.");
+  run_queue_depth = registry.AddGauge(
+      "qpi_run_queue_depth",
+      "Tasks submitted to the scheduler fleet and not yet finished.");
 }
 
 const char* QueryHandle::WireState() const {
@@ -177,7 +191,10 @@ Status QpiServer::Start() {
     ::sigaction(SIGTERM, &action, nullptr);
     sigterm_installed_ = true;
   }
-  exec_pool_ = std::make_unique<ThreadPool>(options_.exec_workers);
+  {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    fleet_ = std::make_unique<TaskScheduler>(options_.exec_workers);
+  }
   started_.store(true, std::memory_order_release);
   dispatch_thread_ = std::thread([this] { DispatchLoop(); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -212,7 +229,8 @@ void QpiServer::Shutdown() {
   started_.store(false, std::memory_order_release);
 }
 
-Status QpiServer::Submit(const std::string& sql, uint64_t* id) {
+Status QpiServer::Submit(const std::string& sql, uint64_t* id,
+                         uint64_t tenant) {
   if (draining()) {
     return Status::Internal("server is draining; submissions are closed");
   }
@@ -220,10 +238,15 @@ Status QpiServer::Submit(const std::string& sql, uint64_t* id) {
   PlanNodePtr plan;
   QPI_RETURN_NOT_OK(planner.PlanQuery(sql, &plan));
   auto handle = std::make_unique<QueryHandle>();
+  handle->tenant = tenant;
   handle->sql = sql;
   handle->ctx = std::make_unique<ExecContext>();
   handle->ctx->catalog = catalog_;
   handle->ctx->mode = options_.mode;
+  // Served queries fan intra-query subtasks (morsel scans, grace-join
+  // partitions) out on the shared fleet; the per-query tag keeps the
+  // sharing fair when several queries are inflight.
+  handle->ctx->exec_workers = options_.exec_workers;
   QPI_RETURN_NOT_OK(handle->ctx->Validate());
   QPI_RETURN_NOT_OK(CompilePlan(plan.get(), handle->ctx.get(), &handle->root));
   handle->accountant = std::make_unique<GnmAccountant>(handle->root.get());
@@ -254,7 +277,7 @@ Status QpiServer::Submit(const std::string& sql, uint64_t* id) {
     std::lock_guard<std::mutex> lock(queries_mu_);
     queries_.emplace(raw->id, std::move(handle));
   }
-  if (!admission_.Enqueue(raw)) {
+  if (!admission_.Enqueue(raw, tenant)) {
     // The drain closed admission between the check above and here; the id
     // is already visible, so terminalize it rather than leak a handle a
     // watcher could wait on forever.
@@ -301,6 +324,11 @@ ServerStats QpiServer::GetStats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.max_inflight = admission_.max_inflight();
   stats.draining = draining();
+  SyncSchedulerStats();
+  stats.tasks_query = sched_tasks_[0].load(std::memory_order_relaxed);
+  stats.tasks_morsel = sched_tasks_[1].load(std::memory_order_relaxed);
+  stats.tasks_stolen = sched_stolen_.load(std::memory_order_relaxed);
+  stats.run_queue_depth = sched_depth_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     stats.sessions = sessions_.size();
@@ -349,8 +377,29 @@ Status QpiServer::BuildTrace(uint64_t id, TraceDump* out) {
   return Status::OK();
 }
 
+void QpiServer::SyncSchedulerStats() const {
+  // One lock serves two purposes: the fleet pointer cannot be reset by
+  // drain step 5 mid-read, and concurrent renderers cannot both apply the
+  // same counter delta (which would double-count).
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  if (fleet_ == nullptr) return;  // post-drain renders keep the last totals
+  auto& metrics = const_cast<QpiServer*>(this)->metrics_;
+  for (size_t l = 0; l < kNumTaskLanes; ++l) {
+    uint64_t total = fleet_->tasks_executed(static_cast<TaskLane>(l));
+    sched_tasks_[l].store(total, std::memory_order_relaxed);
+    metrics.tasks_executed[l]->Increment(total -
+                                         metrics.tasks_executed[l]->Value());
+  }
+  uint64_t stolen = fleet_->tasks_stolen();
+  sched_stolen_.store(stolen, std::memory_order_relaxed);
+  metrics.tasks_stolen->Increment(stolen - metrics.tasks_stolen->Value());
+  size_t depth = fleet_->run_queue_depth();
+  sched_depth_.store(depth, std::memory_order_relaxed);
+  metrics.run_queue_depth->Set(static_cast<double>(depth));
+}
+
 std::string QpiServer::RenderMetricsText() {
-  ServerStats stats = GetStats();
+  ServerStats stats = GetStats();  // refreshes the scheduler counters too
   metrics_.queue_depth->Set(static_cast<double>(stats.queued));
   metrics_.running->Set(static_cast<double>(stats.running));
   metrics_.sessions->Set(static_cast<double>(stats.sessions));
@@ -360,12 +409,21 @@ std::string QpiServer::RenderMetricsText() {
 }
 
 void QpiServer::DispatchLoop() {
+  // The dispatcher outlives the fleet reset only by the drain protocol
+  // (step 3 joins this thread before step 5 resets fleet_), so the raw
+  // access is safe. Each admitted query is a query-lane task tagged with
+  // its id: with several inflight, the fleet round-robins dispatch across
+  // them instead of draining one query's backlog first.
   while (QueryHandle* handle = admission_.NextRunnable()) {
-    exec_pool_->Submit([this, handle] { RunOne(handle); });
+    fleet_->Submit(TaskLane::kQuery, handle->id,
+                   [this, handle] { RunOne(handle); });
   }
 }
 
 void QpiServer::RunOne(QueryHandle* handle) {
+  // Any intra-query fan-out this query performs (exec_workers > 1 in its
+  // context) rides the same fleet, tagged by query id for fair sharing.
+  handle->ctx->AttachScheduler(fleet_.get(), handle->id);
   TracePublisher publisher(handle->accountant.get(), handle->ctx.get(),
                            &handle->slot, handle->trace.get(),
                            options_.publish_interval,
@@ -451,7 +509,8 @@ void QpiServer::RunOne(QueryHandle* handle) {
     }
   }
   handle->terminal.store(terminal, std::memory_order_release);
-  admission_.OnComplete();
+  handle->ctx->AttachScheduler(nullptr, 0);
+  admission_.OnComplete(handle->tenant);
 }
 
 void QpiServer::TerminalizeQueued(QueryHandle* handle) {
@@ -503,8 +562,9 @@ void QpiServer::AcceptLoop() {
     if (fds[0].revents & POLLIN) {
       int client_fd = ::accept(listen_fd_, nullptr, nullptr);
       if (client_fd < 0) continue;
-      auto session =
-          std::make_unique<Session>(this, client_fd, options_.max_line_bytes);
+      auto session = std::make_unique<Session>(
+          this, client_fd, options_.max_line_bytes,
+          next_tenant_.fetch_add(1, std::memory_order_relaxed));
       Session* raw = session.get();
       {
         std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -521,7 +581,7 @@ void QpiServer::AcceptLoop() {
 ///  2. still-queued queries terminalize as cancelled;
 ///  3. the dispatcher joins (NextRunnable returns nullptr);
 ///  4. running queries get drain_deadline to finish, then RequestCancel;
-///  5. the exec pool joins;
+///  5. the scheduler fleet drains its queued tasks and joins;
 ///  6. every session flushes a final snapshot per watch + bye, then its
 ///     socket is force-closed and both its threads join;
 ///  7. the listen socket closes and drained_ flips.
@@ -543,7 +603,11 @@ void QpiServer::DrainInternal() {
   // so this wait terminates; a generous cap keeps a wedged build from
   // hanging the process forever.
   admission_.WaitIdle(std::chrono::milliseconds(60000));
-  exec_pool_.reset();  // joins the exec workers
+  SyncSchedulerStats();  // final counter refresh before the fleet dies
+  {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    fleet_.reset();  // drains stragglers and joins the fleet workers
+  }
   if (!options_.feedback_cache_path.empty()) {
     // All workers joined: no Finalize() runs concurrently, the cache is
     // quiescent, and what we persist is the post-drain state.

@@ -14,7 +14,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "estimators/feedback_cache.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
@@ -39,6 +39,9 @@ class Session;
 /// field a watcher touches is an atomic or a seqlock read.
 struct QueryHandle {
   uint64_t id = 0;
+  /// Admission fair-share lane (the submitting session's id; 0 for
+  /// programmatic Submit calls). Immutable after Submit.
+  uint64_t tenant = 0;
   std::string sql;
   OperatorPtr root;
   std::unique_ptr<ExecContext> ctx;
@@ -114,6 +117,14 @@ struct ServerMetrics {
   /// qpi_estimator_selected_total{estimator="..."} — operators whose
   /// selector ended the query on each candidate, indexed likewise.
   MetricCounter* selected[kNumEstimatorCandidates];
+  /// qpi_tasks_executed_total{lane="query|morsel"} — tasks the scheduler
+  /// fleet ran, per lane, indexed by TaskLane.
+  MetricCounter* tasks_executed[kNumTaskLanes];
+  /// qpi_tasks_stolen_total — tasks that ran on a worker other than the
+  /// one whose deque first held them.
+  MetricCounter* tasks_stolen;
+  /// qpi_run_queue_depth — tasks queued to the fleet awaiting dispatch.
+  MetricGauge* run_queue_depth;
 };
 
 /// \brief qpi-serve: the paper's progress framework behind a TCP socket.
@@ -128,10 +139,13 @@ struct ServerMetrics {
 ///  - accept thread: poll()s the listen socket plus a self-pipe; spawns a
 ///    Session (reader + writer thread) per connection, reaps finished
 ///    ones, and runs the drain when the pipe fires;
-///  - dispatcher thread: pops the admission queue (FIFO, at most
-///    `max_inflight` running) and hands queries to the exec pool;
-///  - exec pool: runs each query to completion, publishing snapshots from
-///    the executing worker through the per-query SnapshotSlot.
+///  - dispatcher thread: pops the admission queue (per-session fair-share,
+///    at most `max_inflight` running) and submits queries to the fleet;
+///  - fleet: a TaskScheduler shared with the engine's intra-query
+///    parallelism — each admitted query is a query-lane task tagged with
+///    its id, and any morsel/partition fan-out it performs lands on the
+///    same workers as subtasks. Workers run each query to completion,
+///    publishing snapshots through the per-query SnapshotSlot.
 ///
 /// Snapshot delivery is *coalescing*: a watcher's writer reads the latest
 /// slot at each send instant, so a slow client sees fewer snapshots —
@@ -146,7 +160,7 @@ class QpiServer {
   struct Options {
     uint16_t port = 0;  ///< 0 = ephemeral; see port() after Start()
     size_t max_inflight = 2;
-    size_t exec_workers = 2;  ///< query-execution pool size
+    size_t exec_workers = 2;  ///< scheduler fleet size
     uint64_t publish_interval = 1024;
     size_t max_line_bytes = kDefaultMaxLineBytes;
     /// Per-query trace-ring capacity (samples kept per progress curve).
@@ -196,8 +210,9 @@ class QpiServer {
   // -- session-facing API (thread-safe) --
 
   /// Plan + compile + enqueue a statement. On success `*id` names the
-  /// query; it starts in the "queued" wire state.
-  Status Submit(const std::string& sql, uint64_t* id);
+  /// query; it starts in the "queued" wire state. `tenant` selects the
+  /// admission fair-share lane (sessions pass their session id).
+  Status Submit(const std::string& sql, uint64_t* id, uint64_t tenant = 0);
 
   /// Cancel a queued (removed before it runs) or running (cooperative
   /// RequestCancel) query.
@@ -226,6 +241,10 @@ class QpiServer {
   void AcceptLoop();
   void DispatchLoop();
   void RunOne(QueryHandle* handle);
+  /// Refresh the cached scheduler counters from the fleet (no-op when the
+  /// fleet is gone, keeping the last values — so stats rendered after
+  /// drain step 5 still see the totals). Safe from any thread.
+  void SyncSchedulerStats() const;
   /// Terminalize a query that never ran (cancelled while queued / at
   /// drain): publishes its seeded snapshot as final with state cancelled.
   void TerminalizeQueued(QueryHandle* handle);
@@ -239,9 +258,17 @@ class QpiServer {
   int pipe_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
 
   AdmissionQueue admission_;
-  std::unique_ptr<ThreadPool> exec_pool_;
+  /// The unified worker fleet. Guarded by fleet_mu_ for the reset at drain
+  /// step 5 racing stats renders from still-open sessions.
+  mutable std::mutex fleet_mu_;
+  std::unique_ptr<TaskScheduler> fleet_;
+  /// Last-seen fleet counters (see SyncSchedulerStats).
+  mutable std::atomic<uint64_t> sched_tasks_[kNumTaskLanes] = {};
+  mutable std::atomic<uint64_t> sched_stolen_{0};
+  mutable std::atomic<size_t> sched_depth_{0};
   std::thread accept_thread_;
   std::thread dispatch_thread_;
+  std::atomic<uint64_t> next_tenant_{1};  ///< session fair-share lane ids
 
   mutable std::mutex queries_mu_;
   std::unordered_map<uint64_t, std::unique_ptr<QueryHandle>> queries_;

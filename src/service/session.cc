@@ -23,8 +23,9 @@ constexpr size_t kMaxOutboxLines = 1024;
 
 }  // namespace
 
-Session::Session(QpiServer* server, int fd, size_t max_line_bytes)
-    : server_(server), fd_(fd), reader_(fd, max_line_bytes) {}
+Session::Session(QpiServer* server, int fd, size_t max_line_bytes,
+                 uint64_t tenant)
+    : server_(server), fd_(fd), tenant_(tenant), reader_(fd, max_line_bytes) {}
 
 Session::~Session() { Join(); }
 
@@ -109,7 +110,7 @@ void Session::HandleRequest(const Request& request) {
   switch (request.cmd) {
     case Request::Cmd::kSubmit: {
       uint64_t id = 0;
-      Status s = server_->Submit(request.sql, &id);
+      Status s = server_->Submit(request.sql, &id, tenant_);
       if (!s.ok()) {
         EnqueueLine(EncodeError(s));
         return;

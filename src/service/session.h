@@ -32,7 +32,9 @@ struct QueryHandle;
 /// socket afterwards to unblock the reader and Join()s both threads.
 class Session {
  public:
-  Session(QpiServer* server, int fd, size_t max_line_bytes);
+  /// `tenant` is the server-assigned admission fair-share lane for every
+  /// query this session submits.
+  Session(QpiServer* server, int fd, size_t max_line_bytes, uint64_t tenant);
   ~Session();
 
   Session(const Session&) = delete;
@@ -82,6 +84,7 @@ class Session {
 
   QpiServer* server_;
   int fd_;
+  const uint64_t tenant_;
   LineReader reader_;
 
   mutable std::mutex mu_;

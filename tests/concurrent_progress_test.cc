@@ -10,7 +10,6 @@
 #include <chrono>
 #include <thread>
 
-#include "common/thread_pool.h"
 #include "datagen/table_builder.h"
 #include "exec/compiler.h"
 #include "exec/executor.h"
@@ -240,31 +239,6 @@ TEST_F(ConcurrentProgressTest, AddRejectsNullInputs) {
   ConcurrentMultiQueryExecutor mq;
   EXPECT_EQ(mq.Add("bad", nullptr, nullptr).code(),
             Status::Code::kInvalidArgument);
-}
-
-TEST(ThreadPoolTest, RunsAllTasksAcrossWorkers) {
-  ThreadPool pool(4);
-  std::atomic<int> counter{0};
-  for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
-  }
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 100);
-  // Pool is reusable after Wait.
-  pool.Submit([&counter] { counter.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 101);
-}
-
-TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
-  std::atomic<int> counter{0};
-  {
-    ThreadPool pool(2);
-    for (int i = 0; i < 50; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
-    }
-  }
-  EXPECT_EQ(counter.load(), 50);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/task_scheduler.h"
 #include "datagen/table_builder.h"
 #include "exec/compiler.h"
 #include "exec/executor.h"
@@ -302,6 +303,71 @@ TEST(ExecContextValidation, ZeroBatchAndMorselSizesRejected) {
     EXPECT_FALSE(s.ok()) << (zero_batch ? "batch_size" : "morsel_rows");
     EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
   }
+}
+
+/// exec_workers gets the same guard rails as batch_size: 0 workers cannot
+/// run anything and an absurd count (beyond kMaxExecWorkers) is a config
+/// error, both rejected by Validate() before any task is scheduled.
+TEST(ExecContextValidation, WorkerCountBoundsRejected) {
+  Catalog catalog;
+  BuildCatalog(&catalog, 19);
+  for (const size_t workers : {size_t{0}, ExecContext::kMaxExecWorkers + 1}) {
+    ExecContext ctx;
+    ctx.catalog = &catalog;
+    ctx.exec_workers = workers;
+    PlanNodePtr plan = ScanPlan("r1");
+    OperatorPtr root;
+    ASSERT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+    Status s = QueryExecutor::Run(root.get(), &ctx, nullptr, nullptr);
+    EXPECT_FALSE(s.ok()) << "exec_workers " << workers;
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  }
+  ExecContext ok_ctx;
+  ok_ctx.exec_workers = ExecContext::kMaxExecWorkers;
+  ok_ctx.catalog = &catalog;
+  EXPECT_TRUE(ok_ctx.Validate().ok());
+}
+
+/// A query attached to an external shared fleet (the server / multi-query
+/// path) must produce exactly the same observable run as one that lazily
+/// owns its scheduler — same rows in the same order, same counters.
+TEST(SharedFleet, AttachedSchedulerMatchesOwned) {
+  Catalog catalog;
+  BuildCatalog(&catalog, 23);
+  const Shape shape{"hash_join", [] {
+                      return HashJoinPlan(ScanPlan("r1"), ScanPlan("r2"),
+                                          "r1.k", "r2.k");
+                    }};
+  RunResult reference = RunQuery(catalog, shape, EstimationMode::kOnce, 1);
+
+  TaskScheduler fleet(4);
+  for (size_t workers : {size_t{2}, size_t{4}, size_t{8}}) {
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    ExecContext ctx;
+    ctx.catalog = &catalog;
+    ctx.mode = EstimationMode::kOnce;
+    ctx.sample_fraction = 0.1;
+    ctx.batch_size = 256;
+    ctx.exec_workers = workers;
+    ctx.morsel_rows = 64;
+    ctx.hash_join_partitions = 16;
+    ctx.AttachScheduler(&fleet, /*tag=*/workers);
+    PlanNodePtr plan = shape.make();
+    OperatorPtr root;
+    ASSERT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+    std::vector<Row> rows;
+    uint64_t rows_emitted = 0;
+    ASSERT_TRUE(
+        QueryExecutor::Run(root.get(), &ctx, &rows, &rows_emitted).ok());
+    ctx.AttachScheduler(nullptr, 0);
+    std::vector<std::string> canonical;
+    canonical.reserve(rows.size());
+    for (const Row& row : rows) canonical.push_back(RowToString(row));
+    std::sort(canonical.begin(), canonical.end());
+    EXPECT_EQ(rows_emitted, reference.rows_emitted);
+    EXPECT_EQ(canonical, reference.rows);
+  }
+  EXPECT_GT(fleet.tasks_executed(TaskLane::kSubtask), 0u);
 }
 
 /// The concurrent executor rejects an invalid context at Add — before the

@@ -203,6 +203,11 @@ TEST_F(ServiceE2eTest, AdmissionQueueReportsQueuedPhaseFifo) {
   ServerStats stats;
   ASSERT_TRUE(submitter.Stats(&stats).ok());
   EXPECT_EQ(stats.submitted, 4u);
+  // The watched query is terminal, so the scheduler fleet ran at least its
+  // query-lane task; nothing here fans out subtasks (exec_workers == 1
+  // contexts), so the morsel lane stays untouched.
+  EXPECT_GE(stats.tasks_query, 1u);
+  EXPECT_EQ(stats.tasks_morsel, 0u);
   submitter.Quit();
   server->Shutdown();
 }
