@@ -1,0 +1,167 @@
+// Overhead and convergence of online aggregation on the getnext path: the
+// same aggregate-over-join runs with the publisher alone (snapshots only —
+// the OLA-off service configuration) vs with an OlaCollector wired onto
+// the aggregate's intake and the publish cadence. The paired delta is the
+// full cost of OLA as the service deploys it (per-batch moment folding +
+// per-publish estimate refresh), and the acceptance bar is < 3% of the
+// getnext path. Neither arm sets a stop target, so both do identical query
+// work and the pairing is exact.
+//
+// Convergence is reported as user counters on the OLA arm: the tick at
+// which every aggregate's CI half-width first dropped under 5% of its
+// estimate, and the draws behind the final estimate.
+//
+// Output: BENCH_ola_convergence.json via the OverheadRecorder, pairing on
+// the "ola" arg (0 = baseline).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "bench/overhead_json.h"
+#include "ola/ola_collector.h"
+#include "ola/ola_snapshot.h"
+#include "progress/gnm.h"
+#include "progress/snapshot_slot.h"
+#include "progress/trace_ring.h"
+
+namespace qpi {
+namespace {
+
+struct Dataset {
+  TablePtr orders;
+  TablePtr lineitem;
+};
+
+const Dataset& GetDataset(int sf_permille) {
+  static std::map<int, Dataset> cache;
+  auto it = cache.find(sf_permille);
+  if (it == cache.end()) {
+    double sf = sf_permille / 1000.0;
+    TpchLikeGenerator gen(7);
+    Dataset ds;
+    ds.orders = gen.MakeOrders(sf);
+    ds.lineitem = gen.MakeLineitem(sf);
+    it = cache.emplace(sf_permille, std::move(ds)).first;
+  }
+  return it->second;
+}
+
+/// state.range(0) = SF in permille; state.range(1) = OLA on/off;
+/// state.range(2) = publish interval in ticks. Both arms install the same
+/// TracePublisher (the service always publishes snapshots); only the OLA
+/// collector differs, so the paired delta isolates what this PR added.
+void BM_OlaAggregateJoin(benchmark::State& state) {
+  const Dataset& ds = GetDataset(static_cast<int>(state.range(0)));
+  bool ola_on = state.range(1) != 0;
+  uint64_t interval = static_cast<uint64_t>(state.range(2));
+
+  uint64_t draws = 0;
+  uint64_t ticks_to_target = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bench::Workbench wb;
+    wb.Add(ds.orders);
+    wb.Add(ds.lineitem);
+    wb.ctx.mode = EstimationMode::kOnce;
+    wb.ctx.rng = Pcg32(0x01a0a0ULL);
+    wb.ctx.ola.enabled = ola_on;
+    PlanNodePtr plan = HashAggregatePlan(
+        HashJoinPlan(ScanPlan("orders"), ScanPlan("lineitem"),
+                     "orders.orderkey", "lineitem.orderkey"),
+        {},
+        {AggregateSpec{AggregateSpec::Kind::kCountStar, ""},
+         AggregateSpec{AggregateSpec::Kind::kSum, "totalprice"}});
+    OperatorPtr root = wb.Compile(plan.get());
+    GnmAccountant accountant(root.get());
+    SnapshotSlot slot;
+    TracePublisher publisher(&accountant, &wb.ctx, &slot, nullptr, interval);
+    OlaSnapshotSlot ola_slot;
+    std::unique_ptr<OlaCollector> collector;
+    uint64_t first_at_target = 0;
+    if (ola_on) {
+      Status s = AttachOla(root.get(), &wb.ctx, &ola_slot, &collector);
+      if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+      collector->set_publish_hook([&](const OlaSnapshot& snap) {
+        if (first_at_target != 0 || snap.exact || snap.draws == 0) return;
+        for (uint32_t a = 0; a < snap.num_aggregates; ++a) {
+          if (!(snap.half_width[a] <=
+                0.05 * std::fabs(snap.estimate[a]))) {
+            return;
+          }
+        }
+        first_at_target = snap.tick;
+      });
+      publisher.set_ola_feed(collector.get());
+    }
+    wb.ctx.AddTickObserver(&publisher);
+    state.ResumeTiming();
+
+    uint64_t rows = 0;
+    Status s = QueryExecutor::Run(root.get(), &wb.ctx, nullptr, &rows);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+
+    state.PauseTiming();
+    wb.ctx.RemoveTickObserver(&publisher);
+    if (collector != nullptr) {
+      draws = ola_slot.Load().draws;
+      ticks_to_target = first_at_target;
+    }
+    state.ResumeTiming();
+  }
+  if (ola_on) {
+    state.counters["ola_draws"] = static_cast<double>(draws);
+    state.counters["ticks_to_5pct_ci"] = static_cast<double>(ticks_to_target);
+  }
+}
+
+void OlaArgs(benchmark::internal::Benchmark* b) {
+  // One aggregate-over-join of a few hundred ms: long enough that the
+  // paired minima's noise floor sits below the 3% acceptance bar.
+  for (int sf : {100}) {
+    for (int ola : {0, 1}) {
+      // 1024 is the service default publish interval; 64 stresses the
+      // per-publish estimate refresh.
+      for (int interval : {64, 1024}) b->Args({sf, ola, interval});
+    }
+  }
+  b->Unit(benchmark::kMillisecond);
+  b->ArgNames({"SFpermille", "ola", "interval"});
+  // Min-folding over repetitions (the JSON recorder keeps the minimum)
+  // drops the scheduler noise under the acceptance bar.
+  b->Repetitions(25);
+}
+
+BENCHMARK(BM_OlaAggregateJoin)->Apply(OlaArgs);
+
+/// The per-batch folding cost in isolation: Observe 1024 draws into a
+/// private shard and merge it, exactly the work OnIntakeBatch adds per
+/// delivered batch. Nanoseconds here × batches per query bounds the intake
+/// side of the overhead without scheduler noise.
+void BM_OlaStateFoldBatch(benchmark::State& state) {
+  OlaAggregateState global;
+  double y = 0.0;
+  for (auto _ : state) {
+    OlaAggregateState shard;
+    for (int i = 0; i < 1024; ++i) {
+      y += 1.0;
+      shard.Observe(y);
+    }
+    global.Merge(shard);
+    benchmark::DoNotOptimize(global.mean);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_OlaStateFoldBatch)->Unit(benchmark::kNanosecond)->Repetitions(5);
+
+}  // namespace
+}  // namespace qpi
+
+int main(int argc, char** argv) {
+  return qpi::bench::RunOverheadBenchmarks(
+      argc, argv, "BENCH_ola_convergence.json",
+      {/*key=*/"ola", /*baseline=*/"0"});
+}

@@ -28,7 +28,9 @@
 //
 // In --connect mode every plain SQL line is submitted and watched to
 // completion with a live progress bar; \submit defers the watch, \watch
-// re-attaches, \cancel aborts, \stats prints server gauges.
+// re-attaches, \cancel aborts, \stats prints server gauges. \ola submits
+// an aggregate query with online aggregation and streams its running
+// estimate ± CI; \stop accepts the current estimate early.
 
 #include <chrono>
 #include <cstdio>
@@ -268,6 +270,60 @@ void DrawWireSnapshot(const WireSnapshot& snap) {
   std::fflush(stdout);
 }
 
+void DrawOlaSnapshot(const WireSnapshot& snap) {
+  std::printf("\r  %5.1f%% %-11s draws=%-8llu", snap.progress * 100,
+              snap.state.c_str(),
+              static_cast<unsigned long long>(snap.ola.draws));
+  for (size_t a = 0; a < snap.ola.estimate.size(); ++a) {
+    const char* label =
+        a < snap.ola.labels.size() ? snap.ola.labels[a].c_str() : "?";
+    if (snap.ola.exact) {
+      std::printf(" %s=%.4g (exact)", label, snap.ola.estimate[a]);
+    } else {
+      std::printf(" %s=%.4g\xC2\xB1%.3g", label, snap.ola.estimate[a],
+                  snap.ola.half_width[a]);
+    }
+  }
+  std::printf("   ");
+  std::fflush(stdout);
+}
+
+/// \ola — submit with online aggregation and stream estimate ± CI until
+/// the query finishes, meets its stop target, or \stop accepts it.
+void WatchOlaToCompletion(QpiClient* client, const std::string& sql,
+                          const OlaOptions& ola, double period_ms) {
+  uint64_t id = 0;
+  Status s = client->SubmitOla(sql, ola, &id);
+  if (!s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf("submitted as q%llu (online aggregation)\n",
+              (unsigned long long)id);
+  WireSnapshot final_snap;
+  s = client->WatchOla(id, period_ms, DrawOlaSnapshot, &final_snap);
+  std::printf("\n");
+  if (!s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf("  q%llu %s after %llu draw(s):\n",
+              (unsigned long long)final_snap.id, final_snap.state.c_str(),
+              (unsigned long long)final_snap.ola.draws);
+  for (size_t a = 0; a < final_snap.ola.estimate.size(); ++a) {
+    const char* label =
+        a < final_snap.ola.labels.size() ? final_snap.ola.labels[a].c_str()
+                                         : "?";
+    if (final_snap.ola.exact) {
+      std::printf("    %s = %.10g (exact)\n", label,
+                  final_snap.ola.estimate[a]);
+    } else {
+      std::printf("    %s = %.10g \xC2\xB1 %.6g\n", label,
+                  final_snap.ola.estimate[a], final_snap.ola.half_width[a]);
+    }
+  }
+}
+
 /// Watch query `id` to its terminal snapshot, drawing the progress bar.
 void WatchToCompletion(QpiClient* client, uint64_t id, double period_ms) {
   WireSnapshot final_snap;
@@ -298,6 +354,9 @@ int ConnectRepl(const std::string& host, uint16_t port) {
     std::printf(
         "SQL lines are submitted and watched live; \\submit <sql> defers,\n"
         "\\watch <id> [period_ms] re-attaches, \\cancel <id> aborts,\n"
+        "\\ola [rel=R] [abs=A] <sql> streams estimate\xC2\xB1CI (online "
+        "aggregation),\n"
+        "\\stop <id> accepts an OLA query's current estimate,\n"
         "\\trace <id> dumps a progress curve, \\metrics scrapes the server,\n"
         "\\stats prints gauges, quit exits.\n");
   }
@@ -404,6 +463,41 @@ int ConnectRepl(const std::string& host, uint16_t port) {
       s = client.Cancel(id);
       std::printf("%s\n", s.ok() ? "cancelled"
                                  : ("error: " + s.ToString()).c_str());
+      continue;
+    }
+    if (line.rfind("\\stop ", 0) == 0) {
+      uint64_t id = std::strtoull(line.c_str() + 6, nullptr, 10);
+      s = client.Stop(id);
+      std::printf("%s\n", s.ok() ? "stopped (estimate accepted)"
+                                 : ("error: " + s.ToString()).c_str());
+      continue;
+    }
+    if (line.rfind("\\ola ", 0) == 0) {
+      std::string rest = line.substr(5);
+      OlaOptions ola;
+      // Optional leading rel=R / abs=A tokens set a CI stop target; the
+      // rest of the line is the statement.
+      while (true) {
+        if (rest.rfind("rel=", 0) == 0) {
+          char* end = nullptr;
+          ola.rel_target = std::strtod(rest.c_str() + 4, &end);
+          ola.has_rel_target = true;
+          rest = rest.substr(static_cast<size_t>(end - rest.c_str()));
+        } else if (rest.rfind("abs=", 0) == 0) {
+          char* end = nullptr;
+          ola.abs_target = std::strtod(rest.c_str() + 4, &end);
+          ola.has_abs_target = true;
+          rest = rest.substr(static_cast<size_t>(end - rest.c_str()));
+        } else {
+          break;
+        }
+        while (!rest.empty() && rest[0] == ' ') rest = rest.substr(1);
+      }
+      if (rest.empty()) {
+        std::printf("usage: \\ola [rel=R] [abs=A] <sql>\n");
+        continue;
+      }
+      WatchOlaToCompletion(&client, rest, ola, 50);
       continue;
     }
     if (line.rfind("\\watch ", 0) == 0) {

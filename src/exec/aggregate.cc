@@ -53,6 +53,7 @@ uint64_t AggregateBaseOp::GroupKeyCode(const Row& row) const {
 
 void AggregateBaseOp::ObserveIntakeBatch(const RowBatch& batch) {
   input_consumed_ += batch.size();
+  if (ola_observer_ != nullptr) ola_observer_->OnIntakeBatch(batch);
   if (estimator_ == nullptr || estimation_frozen_) return;
   size_t run = static_cast<size_t>(batch.random_run());
   if (run > batch.size()) run = batch.size();
@@ -65,6 +66,11 @@ void AggregateBaseOp::ObserveIntakeBatch(const RowBatch& batch) {
 void AggregateBaseOp::IntakeComplete(uint64_t exact_groups) {
   intake_done_ = true;
   exact_groups_ = exact_groups;
+  // A cancelled drain reaches here with only part of the input consumed;
+  // never present that as a complete (exact) pass to the OLA side.
+  if (ola_observer_ != nullptr && (ctx_ == nullptr || !ctx_->IsCancelled())) {
+    ola_observer_->OnIntakeComplete();
+  }
 }
 
 double AggregateBaseOp::CurrentCardinalityEstimate() const {
@@ -140,11 +146,18 @@ void HashAggregateOp::DoIntake() {
       }
       ++acc->count;
       for (size_t a = 0; a < aggregates_.size(); ++a) {
-        if (aggregates_[a].kind == AggregateSpec::Kind::kSum) {
+        if (aggregates_[a].kind != AggregateSpec::Kind::kCountStar) {
           acc->sums[a] += row[aggregates_[a].column_index].AsDouble();
         }
       }
     }
+  }
+  if (group_indices_.empty() && num_groups == 0) {
+    // Global aggregation over an empty input still yields one row
+    // (COUNT(*)=0, SUM/AVG=0).
+    Accumulator& acc = groups_[0].emplace_back();
+    acc.sums.assign(aggregates_.size(), 0.0);
+    num_groups = 1;
   }
   IntakeComplete(num_groups);
   emit_order_.reserve(num_groups);
@@ -162,6 +175,8 @@ void HashAggregateOp::FillOutputRow(const Accumulator& acc, Row* out) const {
   for (size_t a = 0; a < aggregates_.size(); ++a) {
     if (aggregates_[a].kind == AggregateSpec::Kind::kCountStar) {
       out->emplace_back(static_cast<int64_t>(acc.count));
+    } else if (aggregates_[a].kind == AggregateSpec::Kind::kAvg) {
+      out->emplace_back(acc.count ? acc.sums[a] / acc.count : 0.0);
     } else {
       out->emplace_back(acc.sums[a]);
     }
@@ -231,6 +246,10 @@ void SortAggregateOp::DoIntake() {
       }
     }
   }
+  if (group_indices_.empty() && num_groups == 0) {
+    pending_global_zero_ = true;  // empty input still yields one global row
+    num_groups = 1;
+  }
   IntakeComplete(num_groups);
   pos_ = 0;
 }
@@ -251,6 +270,19 @@ void SortAggregateOp::NextBatchImpl(RowBatch* out) {
 }
 
 bool SortAggregateOp::EmitGroup(Row* out) {
+  if (pending_global_zero_) {
+    pending_global_zero_ = false;
+    out->clear();
+    out->reserve(aggregates_.size());
+    for (const BoundAggregate& agg : aggregates_) {
+      if (agg.kind == AggregateSpec::Kind::kCountStar) {
+        out->emplace_back(static_cast<int64_t>(0));
+      } else {
+        out->emplace_back(0.0);
+      }
+    }
+    return true;
+  }
   if (pos_ >= rows_.size()) return false;
   // Fold the current equal-key run.
   size_t start = pos_;
@@ -267,7 +299,7 @@ bool SortAggregateOp::EmitGroup(Row* out) {
     if (!same) break;
     ++count;
     for (size_t a = 0; a < aggregates_.size(); ++a) {
-      if (aggregates_[a].kind == AggregateSpec::Kind::kSum) {
+      if (aggregates_[a].kind != AggregateSpec::Kind::kCountStar) {
         sums[a] += rows_[pos_][aggregates_[a].column_index].AsDouble();
       }
     }
@@ -279,6 +311,8 @@ bool SortAggregateOp::EmitGroup(Row* out) {
   for (size_t a = 0; a < aggregates_.size(); ++a) {
     if (aggregates_[a].kind == AggregateSpec::Kind::kCountStar) {
       out->emplace_back(static_cast<int64_t>(count));
+    } else if (aggregates_[a].kind == AggregateSpec::Kind::kAvg) {
+      out->emplace_back(count ? sums[a] / count : 0.0);
     } else {
       out->emplace_back(sums[a]);
     }

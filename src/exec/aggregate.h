@@ -15,7 +15,22 @@ namespace qpi {
 /// One bound aggregate: which function over which input column index.
 struct BoundAggregate {
   AggregateSpec::Kind kind = AggregateSpec::Kind::kCountStar;
-  size_t column_index = 0;  ///< used by kSum
+  size_t column_index = 0;  ///< used by kSum / kAvg
+};
+
+/// \brief Observer of aggregation intake, driven by the thread running the
+/// pre-emit phase (hashing/sorting) as it consumes the child stream.
+///
+/// The OLA subsystem (src/ola/) implements this to maintain running
+/// approximate answers while the blocking aggregate is still buffering.
+class OlaIntakeObserver {
+ public:
+  virtual ~OlaIntakeObserver() = default;
+  /// One intake batch, exactly as delivered by child(0)->NextBatch().
+  virtual void OnIntakeBatch(const RowBatch& batch) = 0;
+  /// Intake consumed the entire input (never called after cancellation, so
+  /// partial drains cannot masquerade as exact answers).
+  virtual void OnIntakeComplete() = 0;
 };
 
 /// \brief Shared base for hash- and sort-based grouping (γ).
@@ -44,6 +59,11 @@ class AggregateBaseOp : public Operator {
       std::shared_ptr<PipelineJoinEstimator> pipeline);
 
   const std::vector<size_t>& group_indices() const { return group_indices_; }
+  const std::vector<BoundAggregate>& aggregates() const { return aggregates_; }
+
+  /// Attach an OLA observer fed from ObserveIntakeBatch / IntakeComplete.
+  /// Not owned; must outlive the operator. Null detaches.
+  void SetOlaObserver(OlaIntakeObserver* observer) { ola_observer_ = observer; }
 
   double CurrentCardinalityEstimate() const override;
   bool CardinalityExact() const override;
@@ -80,6 +100,7 @@ class AggregateBaseOp : public Operator {
  private:
   std::unique_ptr<AdaptiveGroupEstimator> estimator_;
   std::shared_ptr<PipelineJoinEstimator> pushdown_;
+  OlaIntakeObserver* ola_observer_ = nullptr;
   uint64_t input_consumed_ = 0;
   bool estimation_frozen_ = false;
 };
@@ -133,6 +154,8 @@ class SortAggregateOp : public AggregateBaseOp {
 
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  /// Global aggregation over an empty input owes exactly one zero row.
+  bool pending_global_zero_ = false;
 };
 
 }  // namespace qpi

@@ -123,7 +123,7 @@ Status CompileNode(const PlanNode& node, ExecContext* ctx, OperatorPtr* out) {
       for (const AggregateSpec& spec : node.aggregates) {
         BoundAggregate bound;
         bound.kind = spec.kind;
-        if (spec.kind == AggregateSpec::Kind::kSum) {
+        if (spec.kind != AggregateSpec::Kind::kCountStar) {
           QPI_RETURN_NOT_OK(ResolveColumnIndex(child->schema(), spec.column,
                                                &bound.column_index));
         }

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -97,6 +98,31 @@ class FunctionTickObserver : public TickObserver {
 
 class TaskScheduler;
 
+/// \brief Online-aggregation (OLA) knobs for one query.
+///
+/// When enabled, the query's topmost aggregate streams a running
+/// (estimate, CI half-width) pair per aggregate function alongside its
+/// progress, and the stop condition below may end the query early through
+/// the cooperative cancellation path with a distinct terminal kind. The
+/// targets are optional: a query with neither target runs to completion
+/// unless a watcher issues an explicit stop.
+struct OlaOptions {
+  bool enabled = false;
+  /// Absolute CI half-width target: stop once every aggregate's half-width
+  /// is at or below this value. Set iff has_abs_target.
+  bool has_abs_target = false;
+  double abs_target = 0.0;
+  /// Relative target: stop once every aggregate's half-width is at or
+  /// below rel_target * |estimate|. Set iff has_rel_target.
+  bool has_rel_target = false;
+  double rel_target = 0.0;
+  /// Confidence level of the published intervals, in (0, 1).
+  double confidence = 0.95;
+  /// Never stop on a target before this many sample draws — the CLT
+  /// interval is meaningless on a handful of rows.
+  uint64_t min_draws = 256;
+};
+
 /// \brief Per-query execution context shared by all operators.
 struct ExecContext {
   Catalog* catalog = nullptr;
@@ -144,6 +170,10 @@ struct ExecContext {
   /// land on the same tuples as the pre-batch engine).
   size_t batch_size = 1024;
 
+  /// Online-aggregation options (src/ola). Defaults to disabled, in which
+  /// case no OLA hook runs anywhere on the execution path.
+  OlaOptions ola;
+
   Pcg32 rng{0x5eed5eedULL};
 
   /// Check the knobs that would otherwise produce undefined looping at
@@ -165,6 +195,23 @@ struct ExecContext {
     }
     if (exec_workers > kMaxExecWorkers) {
       return Status::InvalidArgument("exec_workers must be <= 256");
+    }
+    if (ola.enabled) {
+      if (ola.has_abs_target &&
+          (!std::isfinite(ola.abs_target) || ola.abs_target <= 0.0)) {
+        return Status::InvalidArgument(
+            "ola target half-width must be finite and > 0");
+      }
+      if (ola.has_rel_target &&
+          (!std::isfinite(ola.rel_target) || ola.rel_target <= 0.0)) {
+        return Status::InvalidArgument(
+            "ola relative target half-width must be finite and > 0");
+      }
+      if (!std::isfinite(ola.confidence) || ola.confidence <= 0.0 ||
+          ola.confidence >= 1.0) {
+        return Status::InvalidArgument(
+            "ola target confidence must lie strictly inside (0, 1)");
+      }
     }
     return Status::OK();
   }
@@ -257,6 +304,19 @@ struct ExecContext {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// End the query early with its current approximate answer: flags the
+  /// stop as OLA-initiated (so the terminal kind is "ola_stopped", not
+  /// "cancelled") and rides the cooperative cancellation drain. Flipped by
+  /// the stop-condition check on the publish path or by a watcher-issued
+  /// stop verb; like RequestCancel, callable from any thread.
+  void RequestOlaStop() {
+    ola_stopped_.store(true, std::memory_order_relaxed);
+    RequestCancel();
+  }
+  bool OlaStopped() const {
+    return ola_stopped_.load(std::memory_order_relaxed);
+  }
+
   /// The scheduler this query's subtasks (morsels, join partitions) run
   /// on. A service/multi-query driver attaches its shared fleet before
   /// execution (AttachScheduler); otherwise a private fleet of
@@ -294,6 +354,7 @@ struct ExecContext {
   std::vector<TickObserver*> tick_observers_;
   std::atomic<QueryPhase> phase_{QueryPhase::kRunning};
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> ola_stopped_{false};
   std::atomic<bool> executing_{false};
   std::atomic<bool> has_concurrent_ticks_{false};
   TickShard tick_shards_[kTickShards];

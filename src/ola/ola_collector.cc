@@ -1,0 +1,213 @@
+#include "ola/ola_collector.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/normal.h"
+
+namespace qpi {
+
+OlaCollector::OlaCollector(AggregateBaseOp* agg, ExecContext* ctx,
+                           OlaSnapshotSlot* slot)
+    : agg_(agg), ctx_(ctx), slot_(slot) {
+  QPI_CHECK(agg_ != nullptr && ctx_ != nullptr && slot_ != nullptr);
+  const std::vector<BoundAggregate>& aggs = agg_->aggregates();
+  QPI_CHECK(!aggs.empty() && aggs.size() <= OlaSnapshot::kMaxAggregates);
+  tracks_.reserve(aggs.size());
+  labels_.reserve(aggs.size());
+  size_t group_count = agg_->group_indices().size();
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    AggTrack track;
+    track.kind = aggs[a].kind;
+    track.column_index = aggs[a].column_index;
+    tracks_.push_back(track);
+    // Output schema is group columns followed by aggregates in order.
+    labels_.push_back(agg_->schema().column(group_count + a).name);
+  }
+}
+
+void OlaCollector::OnIntakeBatch(const RowBatch& batch) {
+  if (batch.size() == 0) return;
+  if (!mode_decided_) {
+    mode_decided_ = true;
+    // A leading random run means the input is a sampled (random-order)
+    // stream; without one (join outputs, plain scans) every delivered row
+    // is observed and the input's own CI carries the scale uncertainty.
+    cluster_mode_ = batch.random_run() == 0;
+  }
+  size_t observe = batch.size();
+  if (!cluster_mode_) {
+    size_t run = frozen_ ? 0 : static_cast<size_t>(batch.random_run());
+    if (run > batch.size()) run = batch.size();
+    if (run < batch.size()) frozen_ = true;
+    observe = run;
+  }
+  for (AggTrack& track : tracks_) {
+    // Private shard per batch, merged in delivery order (PF-OLA folding).
+    OlaAggregateState shard;
+    if (track.kind == AggregateSpec::Kind::kCountStar) {
+      for (size_t i = 0; i < observe; ++i) shard.Observe(1.0);
+    } else {
+      for (size_t i = 0; i < observe; ++i) {
+        shard.Observe(batch.row(i)[track.column_index].AsDouble());
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        track.exact_sum += batch.row(i)[track.column_index].AsDouble();
+      }
+    }
+    track.state.Merge(shard);
+  }
+  draws_ += observe;
+  exact_rows_ += batch.size();
+}
+
+void OlaCollector::OnIntakeComplete() { exact_ = true; }
+
+OlaSnapshot OlaCollector::Snapshot(uint64_t tick) const {
+  OlaSnapshot snap;
+  snap.tick = tick;
+  snap.num_aggregates = static_cast<uint32_t>(tracks_.size());
+  snap.draws = draws_;
+  snap.groups = agg_->CurrentCardinalityEstimate();
+  snap.frozen = frozen_;
+  snap.exact = exact_;
+  if (exact_) {
+    for (size_t a = 0; a < tracks_.size(); ++a) {
+      const AggTrack& track = tracks_[a];
+      switch (track.kind) {
+        case AggregateSpec::Kind::kCountStar:
+          snap.estimate[a] = static_cast<double>(exact_rows_);
+          break;
+        case AggregateSpec::Kind::kSum:
+          snap.estimate[a] = track.exact_sum;
+          break;
+        case AggregateSpec::Kind::kAvg:
+          snap.estimate[a] = exact_rows_ > 0
+                                 ? track.exact_sum /
+                                       static_cast<double>(exact_rows_)
+                                 : 0.0;
+          break;
+      }
+      snap.half_width[a] = 0.0;
+    }
+    return snap;
+  }
+  if (draws_ == 0) {
+    for (size_t a = 0; a < tracks_.size(); ++a) {
+      snap.estimate[a] = 0.0;
+      snap.half_width[a] = std::numeric_limits<double>::infinity();
+    }
+    return snap;
+  }
+  const Operator* input = agg_->child(0);
+  double n_hat = input->CurrentCardinalityEstimate();
+  if (!(n_hat >= 0.0)) n_hat = 0.0;
+  double scale_hw =
+      input->CurrentCardinalityHalfWidth(ctx_->ola.confidence);
+  double z = ZAlpha(ctx_->ola.confidence);
+  for (size_t a = 0; a < tracks_.size(); ++a) {
+    const AggTrack& track = tracks_[a];
+    double mean = track.state.mean;
+    double se = track.state.StdErrorOfMean();
+    switch (track.kind) {
+      case AggregateSpec::Kind::kCountStar:
+        snap.estimate[a] = n_hat;
+        snap.half_width[a] = scale_hw;
+        break;
+      case AggregateSpec::Kind::kSum: {
+        snap.estimate[a] = n_hat * mean;
+        double sample_term = n_hat * z * se;
+        double scale_term = mean * scale_hw;
+        snap.half_width[a] = std::sqrt(sample_term * sample_term +
+                                       scale_term * scale_term);
+        break;
+      }
+      case AggregateSpec::Kind::kAvg:
+        snap.estimate[a] = mean;
+        snap.half_width[a] = z * se;
+        break;
+    }
+  }
+  return snap;
+}
+
+void OlaCollector::OnPublish(uint64_t tick) {
+  // Ticks that fire while a cancelled query drains must not overwrite the
+  // accepted estimate: the input operators are tearing down and their
+  // cardinality estimates no longer describe the sampled population.
+  if (ctx_->IsCancelled() && !exact_) return;
+  OlaSnapshot snap = Snapshot(tick);
+  last_ = snap;
+  slot_->Store(snap);
+  if (publish_hook_) publish_hook_(snap);
+  MaybeStop(snap);
+}
+
+void OlaCollector::PublishFinal(uint64_t tick) {
+  OlaSnapshot snap;
+  if (!exact_ && ctx_->OlaStopped() && last_.draws > 0) {
+    // Early stop: the answer the watcher accepted is the one that met the
+    // target. Recomputing from drained operators would report a collapsed
+    // half-width around a partial-population estimate.
+    snap = last_;
+    snap.tick = tick;
+  } else {
+    snap = Snapshot(tick);
+  }
+  last_ = snap;
+  slot_->Store(snap);
+  if (publish_hook_) publish_hook_(snap);
+}
+
+void OlaCollector::FillTraceSample(TraceSample* sample) {
+  sample->ola_estimate.assign(last_.estimate,
+                              last_.estimate + last_.num_aggregates);
+  sample->ola_half_width.assign(last_.half_width,
+                                last_.half_width + last_.num_aggregates);
+  sample->ola_draws = last_.draws;
+}
+
+void OlaCollector::MaybeStop(const OlaSnapshot& snap) {
+  if (stop_requested_ || snap.exact) return;
+  const OlaOptions& ola = ctx_->ola;
+  if (!ola.has_abs_target && !ola.has_rel_target) return;
+  if (snap.draws < ola.min_draws) return;
+  for (uint32_t a = 0; a < snap.num_aggregates; ++a) {
+    double hw = snap.half_width[a];
+    if (!std::isfinite(hw)) return;
+    if (ola.has_abs_target && hw > ola.abs_target) return;
+    if (ola.has_rel_target &&
+        hw > ola.rel_target * std::fabs(snap.estimate[a])) {
+      return;
+    }
+  }
+  stop_requested_ = true;
+  ctx_->RequestOlaStop();
+}
+
+Status AttachOla(Operator* root, ExecContext* ctx, OlaSnapshotSlot* slot,
+               std::unique_ptr<OlaCollector>* out) {
+  AggregateBaseOp* agg = nullptr;
+  root->Visit([&](Operator* op) {
+    if (agg == nullptr) agg = dynamic_cast<AggregateBaseOp*>(op);
+  });
+  if (agg == nullptr) {
+    return Status::InvalidArgument(
+        "online aggregation requires an aggregation operator in the plan");
+  }
+  if (agg->aggregates().empty()) {
+    return Status::InvalidArgument(
+        "online aggregation requires at least one aggregate function");
+  }
+  if (agg->aggregates().size() > OlaSnapshot::kMaxAggregates) {
+    return Status::InvalidArgument(
+        "online aggregation supports at most 8 aggregate functions");
+  }
+  auto collector = std::make_unique<OlaCollector>(agg, ctx, slot);
+  agg->SetOlaObserver(collector.get());
+  *out = std::move(collector);
+  return Status::OK();
+}
+
+}  // namespace qpi

@@ -1,0 +1,61 @@
+#ifndef QPI_OLA_OLA_STATE_H_
+#define QPI_OLA_OLA_STATE_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace qpi {
+
+/// \brief Mergeable per-worker accumulator for one online aggregate.
+///
+/// Holds the Welford triple (n, mean, M2) of the draws observed so far, so
+/// the running mean and its standard error are available at any time in
+/// O(1). Merge() combines two accumulators with Chan et al.'s parallel
+/// update, which is what makes the PF-OLA folding work: each intake batch
+/// is observed into a private shard and the shards are merged in delivery
+/// order, so the global state is identical however many workers produced
+/// the batches (the merge stream is the operator's deterministic delivery
+/// order, not the workers' arrival order).
+struct OlaAggregateState {
+  uint64_t n = 0;     ///< draws observed
+  double mean = 0.0;  ///< running mean of the draws
+  double m2 = 0.0;    ///< sum of squared deviations from the mean
+
+  void Observe(double y) {
+    ++n;
+    double delta = y - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (y - mean);
+  }
+
+  void Merge(const OlaAggregateState& other) {
+    if (other.n == 0) return;
+    if (n == 0) {
+      *this = other;
+      return;
+    }
+    double total = static_cast<double>(n + other.n);
+    double delta = other.mean - mean;
+    m2 += other.m2 +
+          delta * delta * static_cast<double>(n) *
+              static_cast<double>(other.n) / total;
+    mean += delta * static_cast<double>(other.n) / total;
+    n += other.n;
+  }
+
+  /// Unbiased sample variance of the draws (0 until two draws exist).
+  double Variance() const {
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+  }
+
+  /// Standard error of the running mean (0 until two draws exist).
+  double StdErrorOfMean() const {
+    return n < 2 ? 0.0 : std::sqrt(Variance() / static_cast<double>(n));
+  }
+
+  void Reset() { *this = OlaAggregateState(); }
+};
+
+}  // namespace qpi
+
+#endif  // QPI_OLA_OLA_STATE_H_

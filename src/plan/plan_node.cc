@@ -119,6 +119,9 @@ Status PlanNode::DeriveSchema(const Catalog& catalog, Schema* out) const {
         if (agg.kind == AggregateSpec::Kind::kCountStar) {
           c.name = "count";
           c.type = ValueType::kInt64;
+        } else if (agg.kind == AggregateSpec::Kind::kAvg) {
+          c.name = "avg_" + agg.column;
+          c.type = ValueType::kDouble;
         } else {
           c.name = "sum_" + agg.column;
           c.type = ValueType::kDouble;

@@ -40,9 +40,9 @@ const char* JoinFlavorName(JoinFlavor flavor);
 
 /// One aggregate function computed by an aggregation node.
 struct AggregateSpec {
-  enum class Kind { kCountStar, kSum };
+  enum class Kind { kCountStar, kSum, kAvg };
   Kind kind = Kind::kCountStar;
-  std::string column;  ///< argument column for kSum ("" for COUNT(*))
+  std::string column;  ///< argument column for kSum/kAvg ("" for COUNT(*))
 };
 
 /// \brief A physical plan description (not yet executable).

@@ -14,12 +14,14 @@ void TracePublisher::OnTick(uint64_t n) {
   // Selector first: the snapshot below publishes through the selections
   // this observation produces.
   if (ensemble_ != nullptr) ensemble_->Observe(ticks_);
+  if (ola_feed_ != nullptr) ola_feed_->OnPublish(ticks_);
   GnmSnapshot snap = accountant_->SnapshotWithConfidence(
       ticks_, ctx_->confidence, ctx_->ci_combine);
   slot_->Store(snap);
   if (ring_ != nullptr) {
     TraceSample sample = MakeTraceSample(*accountant_, snap, ctx_->phase());
     if (ensemble_ != nullptr) ensemble_->FillTraceSample(&sample);
+    if (ola_feed_ != nullptr) ola_feed_->FillTraceSample(&sample);
     ring_->Record(std::move(sample));
     ++samples_offered_;
   }

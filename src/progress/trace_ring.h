@@ -38,6 +38,14 @@ struct TraceSample {
   /// The selector's per-operator choice at this sample (values index
   /// EstimatorCandidate; parallel to op_emitted).
   std::vector<uint8_t> op_selected;
+
+  // --- OLA columns (empty when no online aggregation is attached) ----------
+  /// Running approximate answer per aggregate and its CI half-width at the
+  /// sample's confidence level, in select-list order.
+  std::vector<double> ola_estimate;
+  std::vector<double> ola_half_width;
+  /// Sample rows the estimates are built from (0 until the first batch).
+  uint64_t ola_draws = 0;
 };
 
 /// \brief Fixed-memory history of one query's progress curve.
@@ -95,6 +103,18 @@ TraceSample MakeTraceSample(const GnmAccountant& accountant,
 
 class EstimatorEnsemble;
 
+/// \brief The OLA subsystem's publish-cadence hook (implemented by
+/// OlaCollector in src/ola/): the publisher calls OnPublish on every publish
+/// so the running approximate answer refreshes on the same cadence as the
+/// progress snapshot, and FillTraceSample to stamp the OLA columns onto the
+/// sample recorded in the ring.
+class OlaFeed {
+ public:
+  virtual ~OlaFeed() = default;
+  virtual void OnPublish(uint64_t tick) = 0;
+  virtual void FillTraceSample(TraceSample* sample) = 0;
+};
+
 /// \brief The executing worker's publish hook: every `interval` ticks,
 /// takes one SnapshotWithConfidence, stores it in the seqlock slot for
 /// live watchers, and offers the same observation (plus per-operator
@@ -121,6 +141,9 @@ class TracePublisher : public TickObserver {
 
   void OnTick(uint64_t n) override;
 
+  /// Attach the OLA feed (null detaches). Executing thread only.
+  void set_ola_feed(OlaFeed* feed) { ola_feed_ = feed; }
+
   uint64_t ticks() const { return ticks_; }
   uint64_t samples_offered() const { return samples_offered_; }
 
@@ -130,6 +153,7 @@ class TracePublisher : public TickObserver {
   SnapshotSlot* slot_;
   TraceRing* ring_;
   EstimatorEnsemble* ensemble_;
+  OlaFeed* ola_feed_ = nullptr;
   uint64_t interval_;
   uint64_t ticks_ = 0;
   uint64_t last_publish_ = 0;

@@ -81,6 +81,34 @@ Status QpiClient::Submit(const std::string& sql, uint64_t* id) {
   return Status::OK();
 }
 
+Status QpiClient::SubmitOla(const std::string& sql, const OlaOptions& ola,
+                            uint64_t* id) {
+  std::string request = "{";
+  JsonAppendKey("cmd", &request);
+  JsonAppendQuoted("submit", &request);
+  JsonAppendKey("sql", &request);
+  JsonAppendQuoted(sql, &request);
+  JsonAppendKey("ola", &request);
+  request.push_back('{');
+  if (ola.has_abs_target) {
+    JsonAppendKey("target_abs", &request);
+    request.append(JsonNumberString(ola.abs_target));
+  }
+  if (ola.has_rel_target) {
+    JsonAppendKey("target_rel", &request);
+    request.append(JsonNumberString(ola.rel_target));
+  }
+  JsonAppendKey("confidence", &request);
+  request.append(JsonNumberString(ola.confidence));
+  JsonAppendKey("min_draws", &request);
+  request.append(JsonNumberString(static_cast<double>(ola.min_draws)));
+  request.append("}}");
+  JsonValue reply;
+  QPI_RETURN_NOT_OK(RoundTrip(request, "submitted", &reply));
+  *id = static_cast<uint64_t>(reply.GetNumber("id"));
+  return Status::OK();
+}
+
 Status QpiClient::Watch(
     uint64_t id, double period_ms,
     const std::function<void(const WireSnapshot&)>& on_snapshot,
@@ -122,10 +150,45 @@ Status QpiClient::Watch(
   }
 }
 
+Status QpiClient::WatchOla(
+    uint64_t id, double period_ms,
+    const std::function<void(const WireSnapshot&)>& on_snapshot,
+    WireSnapshot* final_snapshot) {
+  bool missing_ola = false;
+  WireSnapshot last;
+  Status s = Watch(
+      id, period_ms,
+      [&](const WireSnapshot& snap) {
+        if (!snap.ola.present) missing_ola = true;
+        if (on_snapshot && !missing_ola) on_snapshot(snap);
+        last = snap;
+      },
+      nullptr);
+  QPI_RETURN_NOT_OK(s);
+  if (missing_ola) {
+    return Status::InvalidArgument(
+        "query " + std::to_string(id) +
+        " was not submitted with online aggregation");
+  }
+  if (final_snapshot != nullptr) *final_snapshot = std::move(last);
+  return Status::OK();
+}
+
 Status QpiClient::Cancel(uint64_t id) {
   std::string request = "{";
   JsonAppendKey("cmd", &request);
   JsonAppendQuoted("cancel", &request);
+  JsonAppendKey("id", &request);
+  request.append(JsonNumberString(static_cast<double>(id)));
+  request.push_back('}');
+  JsonValue reply;
+  return RoundTrip(request, "ok", &reply);
+}
+
+Status QpiClient::Stop(uint64_t id) {
+  std::string request = "{";
+  JsonAppendKey("cmd", &request);
+  JsonAppendQuoted("stop", &request);
   JsonAppendKey("id", &request);
   request.append(JsonNumberString(static_cast<double>(id)));
   request.push_back('}');

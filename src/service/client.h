@@ -36,6 +36,12 @@ class QpiClient {
   /// SUBMIT a statement; `*id` receives the server-assigned query id.
   Status Submit(const std::string& sql, uint64_t* id);
 
+  /// SUBMIT with online aggregation: the server streams a running
+  /// (estimate, CI half-width) per aggregate on every WATCH snapshot and
+  /// early-terminates once `ola`'s targets are met (if any are set).
+  Status SubmitOla(const std::string& sql, const OlaOptions& ola,
+                   uint64_t* id);
+
   /// WATCH query `id` at `period_ms` cadence, invoking `on_snapshot` for
   /// every streamed snapshot (including the final one), until the final
   /// snapshot arrives. When `final_snapshot` is non-null it receives the
@@ -45,6 +51,17 @@ class QpiClient {
                WireSnapshot* final_snapshot = nullptr);
 
   Status Cancel(uint64_t id);
+
+  /// STOP an OLA query: accept its current estimate. Errors for queries
+  /// not submitted with online aggregation.
+  Status Stop(uint64_t id);
+
+  /// Watch() for an OLA query: every snapshot must carry the ola block
+  /// (the first one without it fails the watch), so callers can consume
+  /// `snap.ola` unconditionally.
+  Status WatchOla(uint64_t id, double period_ms,
+                  const std::function<void(const WireSnapshot&)>& on_snapshot,
+                  WireSnapshot* final_snapshot = nullptr);
 
   Status Stats(ServerStats* out);
 

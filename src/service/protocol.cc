@@ -61,6 +61,37 @@ Status ParseRequest(const std::string& line, Request* out) {
       return Status::InvalidArgument("submit needs a non-empty \"sql\"");
     }
     out->sql = sql->string;
+    const JsonValue* ola = v.Find("ola");
+    if (ola != nullptr) {
+      if (!ola->is_object()) {
+        return Status::InvalidArgument("\"ola\" must be an object");
+      }
+      out->has_ola = true;
+      out->ola.enabled = true;
+      // Non-numeric values (the encoder spells non-finite numbers as null)
+      // decode to NaN so the semantic rejection happens in one place:
+      // ExecContext::Validate.
+      constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+      if (const JsonValue* t = ola->Find("target_abs")) {
+        out->ola.has_abs_target = true;
+        out->ola.abs_target = t->is_number() ? t->number : kNaN;
+      }
+      if (const JsonValue* t = ola->Find("target_rel")) {
+        out->ola.has_rel_target = true;
+        out->ola.rel_target = t->is_number() ? t->number : kNaN;
+      }
+      if (const JsonValue* c = ola->Find("confidence")) {
+        out->ola.confidence = c->is_number() ? c->number : kNaN;
+      }
+      if (const JsonValue* m = ola->Find("min_draws")) {
+        if (!m->is_number() || m->number < 0 ||
+            m->number != std::floor(m->number)) {
+          return Status::InvalidArgument(
+              "\"min_draws\" must be a non-negative integer");
+        }
+        out->ola.min_draws = static_cast<uint64_t>(m->number);
+      }
+    }
     return Status::OK();
   }
   if (cmd == "watch") {
@@ -75,6 +106,10 @@ Status ParseRequest(const std::string& line, Request* out) {
   }
   if (cmd == "cancel") {
     out->cmd = Request::Cmd::kCancel;
+    return GetId(v, "id", &out->id);
+  }
+  if (cmd == "stop") {
+    out->cmd = Request::Cmd::kStop;
     return GetId(v, "id", &out->id);
   }
   if (cmd == "stats") {
@@ -151,6 +186,38 @@ std::string EncodeSnapshot(const WireSnapshot& snap) {
   AppendDouble("server_ms", snap.server_ms, &out);
   JsonAppendKey("ops", &out);
   AppendOperatorCountersJson(snap.ops, &out);
+  // The OLA block travels only for OLA queries, so OLA-off snapshots stay
+  // byte-identical to the previous wire format.
+  if (snap.ola.present) {
+    JsonAppendKey("ola", &out);
+    out.push_back('{');
+    AppendUint("draws", snap.ola.draws, &out);
+    AppendDouble("groups", snap.ola.groups, &out);
+    AppendBool("frozen", snap.ola.frozen, &out);
+    AppendBool("exact", snap.ola.exact, &out);
+    JsonAppendKey("labels", &out);
+    out.push_back('[');
+    for (size_t i = 0; i < snap.ola.labels.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      JsonAppendQuoted(snap.ola.labels[i], &out);
+    }
+    out.push_back(']');
+    JsonAppendKey("estimates", &out);
+    out.push_back('[');
+    for (size_t i = 0; i < snap.ola.estimate.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(JsonNumberString(snap.ola.estimate[i]));
+    }
+    out.push_back(']');
+    JsonAppendKey("half_widths", &out);
+    out.push_back('[');
+    for (size_t i = 0; i < snap.ola.half_width.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(JsonNumberString(snap.ola.half_width[i]));
+    }
+    out.push_back(']');
+    out.push_back('}');
+  }
   out.append("}\n");
   return out;
 }
@@ -172,6 +239,7 @@ std::string EncodeStats(const ServerStats& stats) {
   AppendUint("tasks_morsel", stats.tasks_morsel, &out);
   AppendUint("tasks_stolen", stats.tasks_stolen, &out);
   AppendUint("run_queue_depth", stats.run_queue_depth, &out);
+  AppendUint("ola_stopped", stats.ola_stopped, &out);
   out.append("}\n");
   return out;
 }
@@ -246,6 +314,23 @@ std::string EncodeTrace(const TraceDump& dump) {
       }
       out.push_back(']');
     }
+    if (!s.ola_estimate.empty()) {
+      JsonAppendKey("ola_estimates", &out);
+      out.push_back('[');
+      for (size_t k = 0; k < s.ola_estimate.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        out.append(JsonNumberString(s.ola_estimate[k]));
+      }
+      out.push_back(']');
+      JsonAppendKey("ola_half_widths", &out);
+      out.push_back('[');
+      for (size_t k = 0; k < s.ola_half_width.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        out.append(JsonNumberString(s.ola_half_width[k]));
+      }
+      out.push_back(']');
+      AppendUint("ola_draws", s.ola_draws, &out);
+    }
     out.push_back('}');
   }
   out.push_back(']');
@@ -298,6 +383,35 @@ Status DecodeSnapshot(const JsonValue& line, WireSnapshot* out) {
       c.emitted = static_cast<uint64_t>(op.GetNumber("emitted"));
       c.optimizer_estimate = op.GetNumber("optimizer_estimate");
       out->ops.push_back(std::move(c));
+    }
+  }
+  const JsonValue* ola = line.Find("ola");
+  if (ola != nullptr && ola->is_object()) {
+    out->ola.present = true;
+    out->ola.draws = static_cast<uint64_t>(ola->GetNumber("draws"));
+    out->ola.groups = ola->GetNumber("groups", kNaN);
+    out->ola.frozen = ola->GetBool("frozen");
+    out->ola.exact = ola->GetBool("exact");
+    if (const JsonValue* labels = ola->Find("labels");
+        labels != nullptr && labels->is_array()) {
+      out->ola.labels.reserve(labels->items.size());
+      for (const JsonValue& l : labels->items) {
+        out->ola.labels.push_back(l.string);
+      }
+    }
+    if (const JsonValue* est = ola->Find("estimates");
+        est != nullptr && est->is_array()) {
+      out->ola.estimate.reserve(est->items.size());
+      for (const JsonValue& n : est->items) {
+        out->ola.estimate.push_back(n.is_number() ? n.number : kNaN);
+      }
+    }
+    if (const JsonValue* hw = ola->Find("half_widths");
+        hw != nullptr && hw->is_array()) {
+      out->ola.half_width.reserve(hw->items.size());
+      for (const JsonValue& n : hw->items) {
+        out->ola.half_width.push_back(n.is_number() ? n.number : kNaN);
+      }
     }
   }
   return Status::OK();
@@ -364,6 +478,21 @@ Status DecodeTrace(const JsonValue& line, TraceDump* out) {
               n.is_number() ? static_cast<uint8_t>(n.number) : 0);
         }
       }
+      const JsonValue* ola_estimates = s.Find("ola_estimates");
+      if (ola_estimates != nullptr && ola_estimates->is_array()) {
+        w.ola_estimate.reserve(ola_estimates->items.size());
+        for (const JsonValue& n : ola_estimates->items) {
+          w.ola_estimate.push_back(n.is_number() ? n.number : kNaN);
+        }
+      }
+      const JsonValue* ola_half_widths = s.Find("ola_half_widths");
+      if (ola_half_widths != nullptr && ola_half_widths->is_array()) {
+        w.ola_half_width.reserve(ola_half_widths->items.size());
+        for (const JsonValue& n : ola_half_widths->items) {
+          w.ola_half_width.push_back(n.is_number() ? n.number : kNaN);
+        }
+      }
+      w.ola_draws = static_cast<uint64_t>(s.GetNumber("ola_draws"));
       out->samples.push_back(std::move(w));
     }
   }
@@ -403,6 +532,7 @@ Status DecodeStats(const JsonValue& line, ServerStats* out) {
   out->tasks_stolen = static_cast<uint64_t>(line.GetNumber("tasks_stolen"));
   out->run_queue_depth =
       static_cast<uint64_t>(line.GetNumber("run_queue_depth"));
+  out->ola_stopped = static_cast<uint64_t>(line.GetNumber("ola_stopped"));
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/json.h"
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "progress/gnm.h"
 #include "progress/snapshot_json.h"
 
@@ -17,8 +18,11 @@ namespace qpi {
 ///
 /// Client → server requests:
 ///   {"cmd":"submit","sql":"SELECT ..."}
+///   {"cmd":"submit","sql":"SELECT ...","ola":{"target_rel":0.05,
+///       "confidence":0.95,"min_draws":256}}
 ///   {"cmd":"watch","id":3,"period_ms":50}
 ///   {"cmd":"cancel","id":3}
+///   {"cmd":"stop","id":3}          (OLA: accept the current estimate)
 ///   {"cmd":"stats"}
 ///   {"cmd":"trace","id":3}
 ///   {"cmd":"metrics"}
@@ -41,26 +45,55 @@ inline constexpr size_t kDefaultMaxLineBytes = 64 * 1024;
 
 /// A parsed client request.
 struct Request {
-  enum class Cmd { kSubmit, kWatch, kCancel, kStats, kTrace, kMetrics, kQuit };
+  enum class Cmd {
+    kSubmit,
+    kWatch,
+    kCancel,
+    kStop,
+    kStats,
+    kTrace,
+    kMetrics,
+    kQuit,
+  };
   Cmd cmd = Cmd::kStats;
   std::string sql;         ///< kSubmit
-  uint64_t id = 0;         ///< kWatch / kCancel / kTrace
+  uint64_t id = 0;         ///< kWatch / kCancel / kStop / kTrace
   double period_ms = 100;  ///< kWatch snapshot cadence (clamped by server)
+  /// kSubmit with an "ola" member: run the query with online aggregation.
+  /// Values pass through to ExecContext::ola, where Validate() rejects
+  /// malformed targets (JSON null arrives here as NaN for that reason).
+  bool has_ola = false;
+  OlaOptions ola;
 };
 
 Status ParseRequest(const std::string& line, Request* out);
 
+/// Running OLA answer attached to a snapshot (present only for queries
+/// submitted with online aggregation; the block is omitted from the wire
+/// otherwise, keeping the OLA-off snapshot format byte-identical).
+struct WireOla {
+  bool present = false;
+  uint64_t draws = 0;   ///< sample rows behind the estimates
+  double groups = 0;    ///< live group-count estimate
+  bool frozen = false;  ///< the input's random prefix has ended
+  bool exact = false;   ///< intake complete: answer exact, half-widths 0
+  std::vector<std::string> labels;  ///< aggregate output-column names
+  std::vector<double> estimate;
+  std::vector<double> half_width;
+};
+
 /// One streamed progress observation of one query.
 struct WireSnapshot {
   uint64_t id = 0;
-  uint64_t seq = 0;             ///< per-watch sequence number
-  std::string state;            ///< queued|running|finished|failed|cancelled
+  uint64_t seq = 0;   ///< per-watch sequence number
+  std::string state;  ///< queued|running|finished|failed|cancelled|ola_stopped
   bool final_snapshot = false;  ///< terminal: no further snapshots follow
   double progress = 0;          ///< monotone per query, clamped to [0,1]
   GnmSnapshot gnm;              ///< C, T̂, CI half-width, tick
   uint64_t rows = 0;            ///< rows emitted by the root so far
   double server_ms = 0;         ///< server monotonic clock at send time
   std::vector<OperatorCounter> ops;
+  WireOla ola;
 };
 
 /// One point of a query's traced progress curve on the wire. Field names
@@ -81,6 +114,11 @@ struct WireTraceSample {
   std::vector<double> total_candidate;
   std::vector<double> op_candidate;
   std::vector<uint8_t> op_selected;
+  /// OLA columns, present only for queries run with online aggregation
+  /// (same absent-decodes-to-empty compatibility rule as above).
+  std::vector<double> ola_estimate;
+  std::vector<double> ola_half_width;
+  uint64_t ola_draws = 0;
 };
 
 /// A full TRACE reply: the retained curve plus the estimator-accuracy
@@ -113,6 +151,9 @@ struct ServerStats {
   uint64_t tasks_morsel = 0;     ///< morsel/partition subtasks executed
   uint64_t tasks_stolen = 0;     ///< tasks stolen across worker deques
   uint64_t run_queue_depth = 0;  ///< fleet tasks queued, not yet claimed
+  /// Queries early-terminated by an OLA stop condition or `stop` verb
+  /// (absent in older servers; decodes to 0).
+  uint64_t ola_stopped = 0;
 };
 
 std::string EncodeHello();

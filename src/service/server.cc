@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "exec/compiler.h"
@@ -119,6 +120,18 @@ ServerMetrics::ServerMetrics() {
   run_queue_depth = registry.AddGauge(
       "qpi_run_queue_depth",
       "Tasks submitted to the scheduler fleet and not yet finished.");
+  ola_ci_halfwidth = registry.AddGauge(
+      "qpi_ola_ci_halfwidth",
+      "Widest CI half-width across the aggregates of the most recently "
+      "published online-aggregation snapshot.");
+  ola_early_stops = registry.AddCounter(
+      "qpi_ola_early_stops_total",
+      "Online-aggregation queries early-terminated by a stop condition or "
+      "a client stop verb.");
+  feedback_cache_load_errors = registry.AddCounter(
+      "qpi_feedback_cache_load_errors_total",
+      "Feedback-cache files that failed to load at startup (corrupt or "
+      "unreadable); the server starts cold instead of aborting.");
 }
 
 const char* QueryHandle::WireState() const {
@@ -129,6 +142,8 @@ const char* QueryHandle::WireState() const {
       return "failed";
     case Terminal::kCancelled:
       return "cancelled";
+    case Terminal::kOlaStopped:
+      return "ola_stopped";
     case Terminal::kNone:
       break;
   }
@@ -175,7 +190,14 @@ Status QpiServer::Start() {
   if (!options_.feedback_cache_path.empty()) {
     // Best-effort warm start: a missing or malformed cache file only means
     // the selector starts cold, never that the server fails to come up.
-    (void)feedback_cache_.LoadFromFile(options_.feedback_cache_path);
+    // Corrupt files are counted and warned about so operators notice.
+    Status load = feedback_cache_.LoadFromFile(options_.feedback_cache_path);
+    if (!load.ok() && load.code() != Status::Code::kNotFound) {
+      metrics_.feedback_cache_load_errors->Increment();
+      std::fprintf(stderr, "qpi-serve: ignoring feedback cache %s: %s\n",
+                   options_.feedback_cache_path.c_str(),
+                   load.ToString().c_str());
+    }
   }
   QPI_RETURN_NOT_OK(TcpListen(options_.port, &listen_fd_, &port_));
   if (::pipe(pipe_fds_) != 0) {
@@ -229,8 +251,8 @@ void QpiServer::Shutdown() {
   started_.store(false, std::memory_order_release);
 }
 
-Status QpiServer::Submit(const std::string& sql, uint64_t* id,
-                         uint64_t tenant) {
+Status QpiServer::Submit(const std::string& sql, const OlaOptions* ola,
+                         uint64_t* id, uint64_t tenant) {
   if (draining()) {
     return Status::Internal("server is draining; submissions are closed");
   }
@@ -247,8 +269,30 @@ Status QpiServer::Submit(const std::string& sql, uint64_t* id,
   // partitions) out on the shared fleet; the per-query tag keeps the
   // sharing fair when several queries are inflight.
   handle->ctx->exec_workers = options_.exec_workers;
+  if (ola != nullptr) {
+    handle->ctx->ola = *ola;
+    handle->ctx->ola.enabled = true;
+  }
   QPI_RETURN_NOT_OK(handle->ctx->Validate());
   QPI_RETURN_NOT_OK(CompilePlan(plan.get(), handle->ctx.get(), &handle->root));
+  if (ola != nullptr) {
+    QPI_RETURN_NOT_OK(AttachOla(handle->root.get(), handle->ctx.get(),
+                              &handle->ola_slot, &handle->ola));
+    handle->ola->set_publish_hook([this](const OlaSnapshot& snap) {
+      double max_hw = -1.0;
+      for (uint32_t a = 0; a < snap.num_aggregates; ++a) {
+        if (std::isfinite(snap.half_width[a]) &&
+            snap.half_width[a] > max_hw) {
+          max_hw = snap.half_width[a];
+        }
+      }
+      if (max_hw >= 0.0) metrics_.ola_ci_halfwidth->Set(max_hw);
+    });
+    // Seed the slot so watchers that poll before the first publish tick
+    // already see the aggregate labels and an infinite half-width instead
+    // of a zero-length snapshot.
+    handle->ola_slot.Store(handle->ola->Snapshot(0));
+  }
   handle->accountant = std::make_unique<GnmAccountant>(handle->root.get());
   if (options_.ensemble) {
     handle->ensemble = std::make_unique<EstimatorEnsemble>(
@@ -308,6 +352,30 @@ Status QpiServer::CancelQuery(uint64_t id) {
   return Status::OK();
 }
 
+Status QpiServer::StopQuery(uint64_t id) {
+  QueryHandle* handle = FindQuery(id);
+  if (handle == nullptr) {
+    return Status::NotFound("no such query id " + std::to_string(id));
+  }
+  if (handle->ola == nullptr) {
+    return Status::InvalidArgument(
+        "query " + std::to_string(id) +
+        " was not submitted with online aggregation; use cancel");
+  }
+  if (handle->IsTerminal()) return Status::OK();  // idempotent
+  if (admission_.Remove(handle)) {
+    // Never ran: there is no estimate to accept; terminalize as cancelled
+    // exactly like a cancel of a queued query.
+    TerminalizeQueued(handle);
+    return Status::OK();
+  }
+  // Running: early-terminate through the cancellation path, remembering it
+  // was an accept-the-estimate stop (the worker classifies the terminal
+  // via ctx->OlaStopped()).
+  handle->ctx->RequestOlaStop();
+  return Status::OK();
+}
+
 QueryHandle* QpiServer::FindQuery(uint64_t id) {
   std::lock_guard<std::mutex> lock(queries_mu_);
   auto it = queries_.find(id);
@@ -324,6 +392,7 @@ ServerStats QpiServer::GetStats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.max_inflight = admission_.max_inflight();
   stats.draining = draining();
+  stats.ola_stopped = ola_stopped_.load(std::memory_order_relaxed);
   SyncSchedulerStats();
   stats.tasks_query = sched_tasks_[0].load(std::memory_order_relaxed);
   stats.tasks_morsel = sched_tasks_[1].load(std::memory_order_relaxed);
@@ -368,6 +437,9 @@ Status QpiServer::BuildTrace(uint64_t id, TraceDump* out) {
     w.total_candidate = s.total_candidate;
     w.op_candidate = s.op_candidate;
     w.op_selected = s.op_selected;
+    w.ola_estimate = s.ola_estimate;
+    w.ola_half_width = s.ola_half_width;
+    w.ola_draws = s.ola_draws;
     out->samples.push_back(std::move(w));
   }
   out->state = handle->WireState();
@@ -428,6 +500,7 @@ void QpiServer::RunOne(QueryHandle* handle) {
                            &handle->slot, handle->trace.get(),
                            options_.publish_interval,
                            handle->ensemble.get());
+  if (handle->ola != nullptr) publisher.set_ola_feed(handle->ola.get());
   handle->ctx->AddTickObserver(&publisher);
   Status s = handle->root->Open(handle->ctx.get());
   if (s.ok()) {
@@ -456,10 +529,17 @@ void QpiServer::RunOne(QueryHandle* handle) {
   GnmSnapshot final_snap = handle->accountant->SnapshotWithConfidence(
       handle->ticks, handle->ctx->confidence, handle->ctx->ci_combine);
   handle->slot.Store(final_snap);
+  // The final OLA answer lands in its slot inside the same window (before
+  // the terminal release-store), so a watcher observing the terminal reads
+  // the final approximate answer, exact or early-stopped alike.
+  if (handle->ola != nullptr) handle->ola->PublishFinal(handle->ticks);
   TraceSample terminal_sample =
       MakeTraceSample(*handle->accountant, final_snap, handle->ctx->phase());
   if (handle->ensemble != nullptr) {
     handle->ensemble->FillTraceSample(&terminal_sample);
+  }
+  if (handle->ola != nullptr) {
+    handle->ola->FillTraceSample(&terminal_sample);
   }
   handle->trace->RecordTerminal(std::move(terminal_sample));
   QueryHandle::Terminal terminal;
@@ -469,9 +549,16 @@ void QpiServer::RunOne(QueryHandle* handle) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     metrics_.failed->Increment();
   } else if (handle->ctx->IsCancelled()) {
-    terminal = QueryHandle::Terminal::kCancelled;
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
-    metrics_.cancelled->Increment();
+    if (handle->ctx->OlaStopped()) {
+      // An accepted approximate answer, not an abandoned query.
+      terminal = QueryHandle::Terminal::kOlaStopped;
+      ola_stopped_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.ola_early_stops->Increment();
+    } else {
+      terminal = QueryHandle::Terminal::kCancelled;
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.cancelled->Increment();
+    }
   } else {
     terminal = QueryHandle::Terminal::kFinished;
     finished_.fetch_add(1, std::memory_order_relaxed);

@@ -18,6 +18,8 @@
 #include "estimators/feedback_cache.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
+#include "ola/ola_collector.h"
+#include "ola/ola_snapshot.h"
 #include "progress/ensemble.h"
 #include "progress/gnm.h"
 #include "progress/snapshot_slot.h"
@@ -51,14 +53,29 @@ struct QueryHandle {
   /// Submit; observed and finalized by the executing worker only.
   std::unique_ptr<EstimatorEnsemble> ensemble;
   SnapshotSlot slot;                      ///< latest published GnmSnapshot
+  /// Online-aggregation state (null unless submitted with OLA): the
+  /// collector is fed by the executing worker; the slot is its seqlock
+  /// publication cell, read by watchers alongside `slot`.
+  std::unique_ptr<OlaCollector> ola;
+  OlaSnapshotSlot ola_slot;
   std::atomic<uint64_t> rows_emitted{0};  ///< root rows, readable live
   std::atomic<double> progress_floor{0.0};
   uint64_t ticks = 0;  ///< executing worker only
 
   /// Terminal state, stored with release ordering *after* the terminal
   /// snapshot lands in `slot` — an acquire reader that observes a terminal
-  /// value is guaranteed the slot already holds the final T̂ = C snapshot.
-  enum class Terminal : int { kNone = 0, kFinished, kFailed, kCancelled };
+  /// value is guaranteed the slot already holds the final T̂ = C snapshot
+  /// (and, for OLA queries, `ola_slot` the final approximate answer).
+  /// kOlaStopped is the distinct terminal of an OLA early termination: the
+  /// query stopped on purpose with a published approximate answer, which
+  /// is a success, not a cancellation.
+  enum class Terminal : int {
+    kNone = 0,
+    kFinished,
+    kFailed,
+    kCancelled,
+    kOlaStopped,
+  };
   std::atomic<Terminal> terminal{Terminal::kNone};
   std::string error;  ///< worker-written before the terminal store
 
@@ -125,6 +142,16 @@ struct ServerMetrics {
   MetricCounter* tasks_stolen;
   /// qpi_run_queue_depth — tasks queued to the fleet awaiting dispatch.
   MetricGauge* run_queue_depth;
+  /// qpi_ola_ci_halfwidth — widest CI half-width across the aggregates of
+  /// the most recently published OLA snapshot (server-wide).
+  MetricGauge* ola_ci_halfwidth;
+  /// qpi_ola_early_stops_total — OLA queries early-terminated by a stop
+  /// condition or a client stop verb.
+  MetricCounter* ola_early_stops;
+  /// qpi_feedback_cache_load_errors_total — feedback-cache files that
+  /// failed to load at startup (corrupt/unreadable; the server starts cold
+  /// instead of aborting).
+  MetricCounter* feedback_cache_load_errors;
 };
 
 /// \brief qpi-serve: the paper's progress framework behind a TCP socket.
@@ -212,11 +239,26 @@ class QpiServer {
   /// Plan + compile + enqueue a statement. On success `*id` names the
   /// query; it starts in the "queued" wire state. `tenant` selects the
   /// admission fair-share lane (sessions pass their session id).
-  Status Submit(const std::string& sql, uint64_t* id, uint64_t tenant = 0);
+  Status Submit(const std::string& sql, uint64_t* id, uint64_t tenant = 0) {
+    return Submit(sql, nullptr, id, tenant);
+  }
+
+  /// Same, optionally with online aggregation: a non-null `ola` runs the
+  /// query as an OLA query (the plan must contain an aggregation), which
+  /// streams `(estimate, CI half-width)` per aggregate alongside progress
+  /// and may early-terminate on the configured stop condition.
+  Status Submit(const std::string& sql, const OlaOptions* ola, uint64_t* id,
+                uint64_t tenant = 0);
 
   /// Cancel a queued (removed before it runs) or running (cooperative
   /// RequestCancel) query.
   Status CancelQuery(uint64_t id);
+
+  /// OLA stop verb: accept the current approximate answer of a running OLA
+  /// query. The query early-terminates through the cancellation path and
+  /// lands in the "ola_stopped" terminal with its final estimate published.
+  /// InvalidArgument for queries not submitted with OLA.
+  Status StopQuery(uint64_t id);
 
   QueryHandle* FindQuery(uint64_t id);
 
@@ -281,6 +323,7 @@ class QpiServer {
   std::atomic<uint64_t> finished_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> ola_stopped_{0};
 
   ServerMetrics metrics_;
   FeedbackCache feedback_cache_;

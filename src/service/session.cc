@@ -110,7 +110,8 @@ void Session::HandleRequest(const Request& request) {
   switch (request.cmd) {
     case Request::Cmd::kSubmit: {
       uint64_t id = 0;
-      Status s = server_->Submit(request.sql, &id, tenant_);
+      Status s = server_->Submit(
+          request.sql, request.has_ola ? &request.ola : nullptr, &id, tenant_);
       if (!s.ok()) {
         EnqueueLine(EncodeError(s));
         return;
@@ -139,6 +140,11 @@ void Session::HandleRequest(const Request& request) {
     case Request::Cmd::kCancel: {
       Status s = server_->CancelQuery(request.id);
       EnqueueLine(s.ok() ? EncodeOk("cancel", request.id) : EncodeError(s));
+      return;
+    }
+    case Request::Cmd::kStop: {
+      Status s = server_->StopQuery(request.id);
+      EnqueueLine(s.ok() ? EncodeOk("stop", request.id) : EncodeError(s));
       return;
     }
     case Request::Cmd::kStats:
@@ -178,6 +184,18 @@ WireSnapshot Session::BuildSnapshot(Watch* watch, bool force_final) {
   snap.rows = h->rows_emitted.load(std::memory_order_relaxed);
   snap.server_ms = MonotonicMs();
   snap.ops = CollectOperatorCounters(*h->accountant);
+  if (h->ola != nullptr) {
+    OlaSnapshot ola = h->ola_slot.Load();
+    snap.ola.present = true;
+    snap.ola.draws = ola.draws;
+    snap.ola.groups = ola.groups;
+    snap.ola.frozen = ola.frozen;
+    snap.ola.exact = ola.exact;
+    snap.ola.labels = h->ola->labels();
+    snap.ola.estimate.assign(ola.estimate, ola.estimate + ola.num_aggregates);
+    snap.ola.half_width.assign(ola.half_width,
+                               ola.half_width + ola.num_aggregates);
+  }
   return snap;
 }
 

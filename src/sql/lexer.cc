@@ -14,7 +14,7 @@ const std::set<std::string>& Keywords() {
   static const std::set<std::string> kw = {
       "SELECT", "FROM", "WHERE", "GROUP", "BY",  "ORDER", "JOIN",
       "SEMI",   "ANTI", "LEFT",  "INNER", "ON",  "AND",   "OR",
-      "NOT",    "COUNT", "SUM",  "AS",    "ASC",
+      "NOT",    "COUNT", "SUM",  "AVG",   "AS",  "ASC",
   };
   return kw;
 }

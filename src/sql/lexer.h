@@ -37,7 +37,7 @@ struct Token {
 /// \brief Tokenize one SQL statement.
 ///
 /// Recognized keywords: SELECT FROM WHERE GROUP BY ORDER JOIN SEMI ANTI
-/// LEFT INNER ON AND OR NOT COUNT SUM AS ASC. Anything else alphabetic is
+/// LEFT INNER ON AND OR NOT COUNT SUM AVG AS ASC. Anything else alphabetic is
 /// an identifier. Keywords are case-insensitive; identifiers keep their
 /// case.
 Status LexSql(const std::string& sql, std::vector<Token>* out);

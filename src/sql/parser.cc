@@ -128,6 +128,11 @@ class Parser {
         QPI_RETURN_NOT_OK(ParseColumnRef(&item.column));
         QPI_RETURN_NOT_OK(ExpectSymbol(")"));
         item.kind = SelectItem::Kind::kSum;
+      } else if (AcceptKeyword("AVG")) {
+        QPI_RETURN_NOT_OK(ExpectSymbol("("));
+        QPI_RETURN_NOT_OK(ParseColumnRef(&item.column));
+        QPI_RETURN_NOT_OK(ExpectSymbol(")"));
+        item.kind = SelectItem::Kind::kAvg;
       } else {
         item.kind = SelectItem::Kind::kColumn;
         QPI_RETURN_NOT_OK(ParseColumnRef(&item.column));

@@ -12,9 +12,9 @@ namespace qpi {
 
 /// One item of a SELECT list.
 struct SelectItem {
-  enum class Kind { kAllColumns, kColumn, kCountStar, kSum };
+  enum class Kind { kAllColumns, kColumn, kCountStar, kSum, kAvg };
   Kind kind = Kind::kAllColumns;
-  std::string column;  ///< kColumn / kSum argument ("t.c" or "c")
+  std::string column;  ///< kColumn / kSum / kAvg argument ("t.c" or "c")
 };
 
 /// One JOIN clause: `<flavor> JOIN table ON a.x = b.y [AND ...]`.

@@ -192,13 +192,20 @@ Status SqlPlanner::Plan(const SelectStatement& statement,
         aggregates.push_back(
             AggregateSpec{AggregateSpec::Kind::kSum, item.column});
         break;
+      case SelectItem::Kind::kAvg:
+        aggregates.push_back(
+            AggregateSpec{AggregateSpec::Kind::kAvg, item.column});
+        break;
     }
   }
   if (!aggregates.empty() && statement.group_by.empty()) {
-    return Status::NotImplemented(
-        "aggregates require a GROUP BY clause (no global aggregation)");
-  }
-  if (!statement.group_by.empty()) {
+    // Global aggregation: one output row, no grouping columns.
+    if (has_star || has_plain_columns) {
+      return Status::InvalidArgument(
+          "aggregates cannot mix with plain columns without GROUP BY");
+    }
+    plan = HashAggregatePlan(std::move(plan), {}, std::move(aggregates));
+  } else if (!statement.group_by.empty()) {
     if (has_star) {
       return Status::InvalidArgument("SELECT * cannot be grouped");
     }

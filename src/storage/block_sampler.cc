@@ -12,6 +12,8 @@ ScanOrder BlockSampler::MakeOrder(const Table& table, double fraction,
   QPI_CHECK(fraction >= 0.0 && fraction <= 1.0);
   size_t n = table.num_blocks();
   ScanOrder order;
+  order.population_block_count = n;
+  order.population_row_count = table.num_rows();
   order.block_order.resize(n);
   std::iota(order.block_order.begin(), order.block_order.end(), 0u);
   if (n == 0 || fraction == 0.0) return order;

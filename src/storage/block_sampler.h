@@ -21,6 +21,18 @@ struct ScanOrder {
   std::vector<uint32_t> block_order;  ///< all block ids, sample prefix first
   size_t sample_block_count = 0;      ///< how many leading ids are the sample
   uint64_t sample_row_count = 0;      ///< rows contained in the sample prefix
+  // Sampling-frame metadata, so consumers (the OLA scale-up, tests) can
+  // relate the sample prefix to the population it was drawn from without
+  // holding the table.
+  size_t population_block_count = 0;  ///< blocks in the sampled table
+  uint64_t population_row_count = 0;  ///< rows in the sampled table
+  /// Fraction of rows inside the sample prefix (0 for a plain scan).
+  double SampledRowFraction() const {
+    return population_row_count == 0
+               ? 0.0
+               : static_cast<double>(sample_row_count) /
+                     static_cast<double>(population_row_count);
+  }
 };
 
 /// \brief Builds block-level random sample scan orders.

@@ -1,0 +1,467 @@
+// Online aggregation over the served wire: a submitted aggregate query
+// streams (estimate, CI half-width, progress) triples whose intervals
+// cover the truth and shrink to the exact answer; a CI target (or the
+// stop verb) early-terminates with the distinct "ola_stopped" terminal;
+// the OLA metrics families are exported; the OLA-off wire format stays
+// byte-identical; the wire decoders tolerate unknown fields; and a
+// corrupt feedback cache never aborts startup (it is counted instead).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "datagen/tpch_like.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "sql/planner.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace {
+
+/// Exact answers of a global-aggregate statement, from an in-process run.
+std::vector<double> ExactAnswers(Catalog* catalog, const std::string& sql) {
+  SqlPlanner planner(catalog);
+  PlanNodePtr plan;
+  EXPECT_TRUE(planner.PlanQuery(sql, &plan).ok());
+  ExecContext ctx;
+  ctx.catalog = catalog;
+  ctx.mode = EstimationMode::kOnce;
+  OperatorPtr root;
+  EXPECT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+  std::vector<Row> rows;
+  EXPECT_TRUE(QueryExecutor::Run(root.get(), &ctx, &rows, nullptr).ok());
+  EXPECT_EQ(rows.size(), 1u);
+  std::vector<double> answers;
+  for (const Value& v : rows[0]) answers.push_back(v.AsDouble());
+  return answers;
+}
+
+class OlaServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The lineitem side clusters 1–7 rows per order, so the join output is
+    // the skewed-cardinality stream the acceptance scenario asks for.
+    TpchLikeGenerator gen(29);
+    ASSERT_TRUE(gen.PopulateCatalog(&catalog_, 0.003).ok());
+  }
+
+  std::unique_ptr<QpiServer> StartServer(QpiServer::Options options) {
+    auto server = std::make_unique<QpiServer>(&catalog_, options);
+    EXPECT_TRUE(server->Start().ok());
+    return server;
+  }
+
+  Catalog catalog_;
+};
+
+const char* kJoinAgg =
+    "SELECT COUNT(*), SUM(totalprice) FROM orders JOIN lineitem "
+    "ON orders.orderkey = lineitem.orderkey";
+
+TEST_F(OlaServiceTest, StreamsTriplesWithCoveringCiAndExactFinish) {
+  std::vector<double> truth = ExactAnswers(&catalog_, kJoinAgg);
+  ASSERT_EQ(truth.size(), 2u);
+
+  QpiServer::Options options;
+  options.publish_interval = 256;
+  auto server = StartServer(options);
+  QpiClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  uint64_t id = 0;
+  ASSERT_TRUE(client.SubmitOla(kJoinAgg, OlaOptions{}, &id).ok());
+  std::vector<WireSnapshot> stream;
+  WireSnapshot final_snap;
+  ASSERT_TRUE(client
+                  .WatchOla(id, 1,
+                            [&stream](const WireSnapshot& snap) {
+                              stream.push_back(snap);
+                            },
+                            &final_snap)
+                  .ok());
+  ASSERT_FALSE(stream.empty());
+
+  uint64_t last_draws = 0;
+  for (const WireSnapshot& snap : stream) {
+    ASSERT_TRUE(snap.ola.present) << "every snapshot carries the ola block";
+    ASSERT_EQ(snap.ola.estimate.size(), 2u);
+    ASSERT_EQ(snap.ola.half_width.size(), 2u);
+    ASSERT_EQ(snap.ola.labels.size(), 2u);
+    EXPECT_EQ(snap.ola.labels[0], "count");
+    EXPECT_EQ(snap.ola.labels[1], "sum_totalprice");
+    EXPECT_GE(snap.ola.draws, last_draws) << "draws are monotone";
+    last_draws = snap.ola.draws;
+    // Published intervals cover the truth once enough draws back them
+    // (the streams are i.i.d. per the generators, so this is stable; the
+    // 3x slack absorbs the CLT approximation at modest draw counts).
+    if (!snap.ola.exact && snap.ola.draws >= 256) {
+      for (size_t a = 0; a < 2; ++a) {
+        if (!std::isfinite(snap.ola.half_width[a])) continue;
+        EXPECT_LE(std::fabs(snap.ola.estimate[a] - truth[a]),
+                  3.0 * snap.ola.half_width[a] + 1e-6)
+            << "aggregate " << a << " at " << snap.ola.draws << " draws";
+      }
+    }
+  }
+
+  // Terminal: finished, exact, half-widths zero, estimates == truth.
+  EXPECT_EQ(final_snap.state, "finished");
+  ASSERT_TRUE(final_snap.ola.present);
+  EXPECT_TRUE(final_snap.ola.exact);
+  EXPECT_DOUBLE_EQ(final_snap.ola.estimate[0], truth[0]);
+  EXPECT_NEAR(final_snap.ola.estimate[1], truth[1],
+              1e-6 * std::fabs(truth[1]));
+  EXPECT_EQ(final_snap.ola.half_width[0], 0.0);
+  EXPECT_EQ(final_snap.ola.half_width[1], 0.0);
+
+  // The trace carries the OLA columns for queries run with OLA on.
+  TraceDump dump;
+  ASSERT_TRUE(client.Trace(id, &dump).ok());
+  bool saw_ola_columns = false;
+  for (const WireTraceSample& s : dump.samples) {
+    if (!s.ola_estimate.empty()) {
+      saw_ola_columns = true;
+      EXPECT_EQ(s.ola_estimate.size(), 2u);
+      EXPECT_EQ(s.ola_half_width.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(saw_ola_columns);
+
+  client.Quit();
+  server->Shutdown();
+}
+
+TEST_F(OlaServiceTest, RelativeTargetEarlyStopsWithDistinctTerminal) {
+  std::vector<double> truth = ExactAnswers(&catalog_, kJoinAgg);
+
+  QpiServer::Options options;
+  options.publish_interval = 256;
+  auto server = StartServer(options);
+  QpiClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  OlaOptions ola;
+  ola.has_rel_target = true;
+  ola.rel_target = 5.0;  // generous: met as soon as the CI is finite
+  ola.min_draws = 256;
+  uint64_t id = 0;
+  ASSERT_TRUE(client.SubmitOla(kJoinAgg, ola, &id).ok());
+  WireSnapshot final_snap;
+  ASSERT_TRUE(client.WatchOla(id, 1, nullptr, &final_snap).ok());
+
+  EXPECT_EQ(final_snap.state, "ola_stopped")
+      << "an OLA stop is its own terminal kind, not \"cancelled\"";
+  ASSERT_TRUE(final_snap.ola.present);
+  EXPECT_FALSE(final_snap.ola.exact)
+      << "an early-stopped answer must not claim exactness";
+  EXPECT_GE(final_snap.ola.draws, ola.min_draws);
+  // The accepted estimate is within its own published interval of truth.
+  for (size_t a = 0; a < final_snap.ola.estimate.size(); ++a) {
+    ASSERT_TRUE(std::isfinite(final_snap.ola.half_width[a]));
+    EXPECT_LE(std::fabs(final_snap.ola.estimate[a] - truth[a]),
+              final_snap.ola.half_width[a] + 1e-6)
+        << "aggregate " << a;
+  }
+
+  ServerStats stats;
+  ASSERT_TRUE(client.Stats(&stats).ok());
+  EXPECT_EQ(stats.ola_stopped, 1u);
+  EXPECT_EQ(stats.cancelled, 0u) << "ola_stopped is a success, not a cancel";
+
+  std::string metrics;
+  ASSERT_TRUE(client.Metrics(&metrics).ok());
+  EXPECT_NE(metrics.find("qpi_ola_early_stops_total"), std::string::npos);
+  EXPECT_NE(metrics.find("qpi_ola_ci_halfwidth"), std::string::npos);
+
+  client.Quit();
+  server->Shutdown();
+}
+
+TEST_F(OlaServiceTest, StopVerbAcceptsEstimateAndRejectsNonOlaQueries) {
+  QpiServer::Options options;
+  options.publish_interval = 256;
+  options.max_inflight = 2;
+  auto server = StartServer(options);
+  QpiClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  // Stop an unknown id: error, not a crash.
+  EXPECT_FALSE(client.Stop(424242).ok());
+
+  // Stop a non-OLA query: rejected (cancel is the right verb there).
+  uint64_t plain_id = 0;
+  ASSERT_TRUE(client.Submit(kJoinAgg, &plain_id).ok());
+  EXPECT_FALSE(client.Stop(plain_id).ok());
+  WireSnapshot plain_final;
+  ASSERT_TRUE(client.Watch(plain_id, 2, nullptr, &plain_final).ok());
+  EXPECT_EQ(plain_final.state, "finished");
+  EXPECT_FALSE(plain_final.ola.present)
+      << "non-OLA snapshots must not grow an ola block";
+
+  // Stop an OLA query mid-flight: terminal "ola_stopped" with the current
+  // estimate (or "finished" if the join outran the stop).
+  uint64_t ola_id = 0;
+  ASSERT_TRUE(client.SubmitOla(kJoinAgg, OlaOptions{}, &ola_id).ok());
+  // Stop from a second connection once the query is actually running: a
+  // stop that lands while it is still queued is a plain cancel by design
+  // (nothing ran, so there is no estimate to accept).
+  QpiClient stopper;
+  ASSERT_TRUE(stopper.Connect("127.0.0.1", server->port()).ok());
+  bool stop_sent = false;
+  WireSnapshot final_snap;
+  ASSERT_TRUE(client
+                  .WatchOla(
+                      ola_id, 2,
+                      [&](const WireSnapshot& snap) {
+                        if (stop_sent || snap.state != "running") return;
+                        stop_sent = true;
+                        Status stop_status = stopper.Stop(ola_id);
+                        EXPECT_TRUE(stop_status.ok())
+                            << stop_status.ToString();
+                      },
+                      &final_snap)
+                  .ok());
+  stopper.Quit();
+  EXPECT_TRUE(final_snap.state == "ola_stopped" ||
+              final_snap.state == "finished")
+      << final_snap.state;
+  ASSERT_TRUE(final_snap.ola.present);
+  // Stopping a terminal query is an idempotent no-op.
+  EXPECT_TRUE(client.Stop(ola_id).ok());
+
+  client.Quit();
+  server->Shutdown();
+}
+
+TEST_F(OlaServiceTest, MalformedOlaSubmissionsAreRejectedOnTheWire) {
+  auto server = StartServer(QpiServer::Options{});
+  QpiClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  uint64_t id = 0;
+  OlaOptions bad;
+  bad.has_rel_target = true;
+  bad.rel_target = -0.5;
+  EXPECT_FALSE(client.SubmitOla(kJoinAgg, bad, &id).ok());
+
+  bad = OlaOptions{};
+  bad.confidence = 1.5;
+  EXPECT_FALSE(client.SubmitOla(kJoinAgg, bad, &id).ok());
+
+  bad = OlaOptions{};
+  bad.has_abs_target = true;
+  bad.abs_target = 0.0;
+  EXPECT_FALSE(client.SubmitOla(kJoinAgg, bad, &id).ok());
+
+  // OLA on a plan with no aggregate is rejected at submit.
+  EXPECT_FALSE(
+      client.SubmitOla("SELECT * FROM nation", OlaOptions{}, &id).ok());
+
+  // The session survives all of it.
+  ASSERT_TRUE(client.SubmitOla(kJoinAgg, OlaOptions{}, &id).ok());
+  WireSnapshot final_snap;
+  ASSERT_TRUE(client.WatchOla(id, 2, nullptr, &final_snap).ok());
+  EXPECT_EQ(final_snap.state, "finished");
+  client.Quit();
+  server->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Wire-format details (no server needed).
+
+TEST(OlaWire, ParseRequestRejectsMalformedOlaMember) {
+  Request req;
+  EXPECT_FALSE(
+      ParseRequest("{\"cmd\":\"submit\",\"sql\":\"x\",\"ola\":5}", &req).ok());
+  EXPECT_FALSE(ParseRequest("{\"cmd\":\"submit\",\"sql\":\"x\","
+                            "\"ola\":{\"min_draws\":-3}}",
+                            &req)
+                   .ok());
+  ASSERT_TRUE(ParseRequest("{\"cmd\":\"submit\",\"sql\":\"x\","
+                           "\"ola\":{\"target_rel\":0.05,\"min_draws\":64}}",
+                           &req)
+                  .ok());
+  EXPECT_TRUE(req.has_ola);
+  EXPECT_TRUE(req.ola.has_rel_target);
+  EXPECT_DOUBLE_EQ(req.ola.rel_target, 0.05);
+  EXPECT_EQ(req.ola.min_draws, 64u);
+  EXPECT_FALSE(req.ola.has_abs_target);
+
+  ASSERT_TRUE(ParseRequest("{\"cmd\":\"stop\",\"id\":7}", &req).ok());
+  EXPECT_EQ(req.cmd, Request::Cmd::kStop);
+  EXPECT_EQ(req.id, 7u);
+}
+
+TEST(OlaWire, OlaOffSnapshotOmitsTheOlaBlock) {
+  WireSnapshot snap;
+  snap.id = 3;
+  snap.state = "running";
+  std::string line = EncodeSnapshot(snap);
+  EXPECT_EQ(line.find("\"ola\""), std::string::npos)
+      << "OLA-off wire format must stay byte-identical: " << line;
+}
+
+TEST(OlaWire, SnapshotRoundTripsAndToleratesUnknownFields) {
+  WireSnapshot snap;
+  snap.id = 9;
+  snap.seq = 4;
+  snap.state = "running";
+  snap.progress = 0.5;
+  snap.rows = 123;
+  snap.ola.present = true;
+  snap.ola.draws = 4096;
+  snap.ola.groups = 17.0;
+  snap.ola.frozen = true;
+  snap.ola.exact = false;
+  snap.ola.labels = {"count", "sum_totalprice"};
+  snap.ola.estimate = {1000.5, -2.25};
+  snap.ola.half_width = {12.5, 0.75};
+  std::string line = EncodeSnapshot(snap);
+
+  // Decode the line as-is.
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParse(line, &parsed).ok());
+  WireSnapshot back;
+  ASSERT_TRUE(DecodeSnapshot(parsed, &back).ok());
+  EXPECT_EQ(back.id, 9u);
+  ASSERT_TRUE(back.ola.present);
+  EXPECT_EQ(back.ola.draws, 4096u);
+  EXPECT_EQ(back.ola.groups, 17.0);
+  EXPECT_TRUE(back.ola.frozen);
+  EXPECT_FALSE(back.ola.exact);
+  EXPECT_EQ(back.ola.labels, snap.ola.labels);
+  EXPECT_EQ(back.ola.estimate, snap.ola.estimate);
+  EXPECT_EQ(back.ola.half_width, snap.ola.half_width);
+
+  // Inject unknown fields — a newer server must not break an older client
+  // (and vice versa): unknown members are skipped.
+  std::string spliced = line;
+  spliced.insert(spliced.find('{') + 1,
+                 "\"future_field\":123,\"nested\":{\"a\":[1,2]},");
+  ASSERT_TRUE(JsonParse(spliced, &parsed).ok());
+  WireSnapshot tolerant;
+  ASSERT_TRUE(DecodeSnapshot(parsed, &tolerant).ok());
+  EXPECT_EQ(tolerant.id, 9u);
+  ASSERT_TRUE(tolerant.ola.present);
+  EXPECT_EQ(tolerant.ola.estimate, snap.ola.estimate);
+}
+
+TEST(OlaWire, TraceSampleOlaColumnsRoundTrip) {
+  TraceDump dump;
+  dump.id = 5;
+  dump.state = "finished";
+  dump.op_labels = {"scan"};
+  WireTraceSample with_ola;
+  with_ola.tick = 100;
+  with_ola.calls = 100;
+  with_ola.total_estimate = 500;
+  with_ola.ola_estimate = {42.0};
+  with_ola.ola_half_width = {3.5};
+  with_ola.ola_draws = 256;
+  WireTraceSample without_ola;
+  without_ola.tick = 50;
+  dump.samples = {without_ola, with_ola};
+  std::string line = EncodeTrace(dump);
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParse(line, &parsed).ok());
+  TraceDump back;
+  ASSERT_TRUE(DecodeTrace(parsed, &back).ok());
+  ASSERT_EQ(back.samples.size(), 2u);
+  EXPECT_TRUE(back.samples[0].ola_estimate.empty())
+      << "absent OLA columns decode to empty";
+  EXPECT_EQ(back.samples[0].ola_draws, 0u);
+  ASSERT_EQ(back.samples[1].ola_estimate.size(), 1u);
+  EXPECT_EQ(back.samples[1].ola_estimate[0], 42.0);
+  EXPECT_EQ(back.samples[1].ola_half_width[0], 3.5);
+  EXPECT_EQ(back.samples[1].ola_draws, 256u);
+}
+
+// ---------------------------------------------------------------------------
+// Feedback-cache robustness (satellite): corrupt or truncated cache files
+// must never abort startup — they are ignored with a warning counter.
+
+class FeedbackCacheFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchLikeGenerator gen(31);
+    ASSERT_TRUE(gen.PopulateCatalog(&catalog_, 0.001).ok());
+  }
+
+  std::string WriteCache(const std::string& name, const std::string& bytes) {
+    std::string path = ::testing::TempDir() + "qpi_ola_fuzz_" + name + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    return path;
+  }
+
+  /// Start a server on `cache_path`, assert it comes up, and return the
+  /// value of the load-error counter scraped from its metrics.
+  uint64_t LoadErrorsWithCache(const std::string& cache_path) {
+    QpiServer::Options options;
+    options.feedback_cache_path = cache_path;
+    QpiServer server(&catalog_, options);
+    Status s = server.Start();
+    EXPECT_TRUE(s.ok()) << "startup must survive a corrupt cache: "
+                        << s.ToString();
+    if (!s.ok()) return static_cast<uint64_t>(-1);
+    QpiClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    std::string metrics;
+    EXPECT_TRUE(client.Metrics(&metrics).ok());
+    client.Quit();
+    server.Shutdown();
+    // Skip the # HELP/# TYPE comment lines: the sample line is the one
+    // that *starts* with the bare family name.
+    size_t pos = metrics.find("\nqpi_feedback_cache_load_errors_total ");
+    EXPECT_NE(pos, std::string::npos);
+    if (pos == std::string::npos) return static_cast<uint64_t>(-1);
+    size_t line_end = metrics.find('\n', pos + 1);
+    std::string line = metrics.substr(pos + 1, line_end - pos - 1);
+    size_t space = line.rfind(' ');
+    return std::stoull(line.substr(space + 1));
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(FeedbackCacheFuzzTest, CorruptCachesAreCountedNeverFatal) {
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  std::vector<Case> cases = {
+      {"binary_garbage", std::string("\x00\xff\xfe{{{[", 7)},
+      {"truncated_json", "{\"version\":1,\"entries\":[{\"key\":\"a\","},
+      {"not_json", "this is not json at all"},
+      {"wrong_shape", "[1,2,3]"},
+      {"wrong_types", "{\"version\":\"banana\",\"entries\":42}"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::string path = WriteCache(c.name, c.bytes);
+    EXPECT_GE(LoadErrorsWithCache(path), 1u);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(FeedbackCacheFuzzTest, MissingCacheFileIsSilentlyFine) {
+  EXPECT_EQ(LoadErrorsWithCache(::testing::TempDir() +
+                                "qpi_ola_fuzz_definitely_missing.json"),
+            0u);
+}
+
+}  // namespace
+}  // namespace qpi

@@ -1,0 +1,481 @@
+// Online aggregation (src/ola) unit + integration tests: mergeable state
+// algebra, OLA option validation, Horvitz–Thompson convergence over a
+// sampled scan, worker-count determinism of the per-batch estimate
+// sequence, early termination on a CI target, and the WireOla plan checks.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/tpch_like.h"
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "ola/ola_collector.h"
+#include "ola/ola_snapshot.h"
+#include "ola/ola_state.h"
+#include "sql/planner.h"
+#include "storage/block_sampler.h"
+#include "storage/catalog.h"
+
+namespace qpi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OlaAggregateState: the mergeable accumulator algebra.
+
+TEST(OlaState, ObserveMatchesClosedForm) {
+  OlaAggregateState state;
+  for (double y : {2.0, 4.0, 6.0, 8.0}) state.Observe(y);
+  EXPECT_EQ(state.n, 4u);
+  EXPECT_DOUBLE_EQ(state.mean, 5.0);
+  // Sample variance of {2,4,6,8} is 20/3.
+  EXPECT_NEAR(state.Variance(), 20.0 / 3.0, 1e-12);
+  EXPECT_NEAR(state.StdErrorOfMean(), std::sqrt(20.0 / 3.0 / 4.0), 1e-12);
+}
+
+TEST(OlaState, MergeEqualsPooledObservation) {
+  Pcg32 rng(7);
+  std::vector<double> draws;
+  for (int i = 0; i < 1000; ++i) {
+    draws.push_back(rng.NextDouble() * 100.0 - 20.0);
+  }
+  OlaAggregateState pooled;
+  for (double y : draws) pooled.Observe(y);
+  // Partition into uneven shards and merge in order: same moments.
+  OlaAggregateState merged;
+  size_t cuts[] = {0, 1, 17, 18, 500, 999, 1000};
+  for (size_t c = 0; c + 1 < 7; ++c) {
+    OlaAggregateState shard;
+    for (size_t i = cuts[c]; i < cuts[c + 1]; ++i) shard.Observe(draws[i]);
+    merged.Merge(shard);
+  }
+  EXPECT_EQ(merged.n, pooled.n);
+  EXPECT_NEAR(merged.mean, pooled.mean, 1e-9);
+  EXPECT_NEAR(merged.Variance(), pooled.Variance(), 1e-6);
+}
+
+TEST(OlaState, MergeIsDeterministic) {
+  // The PF-OLA folding argument: the same shard stream merged twice gives
+  // bit-identical state, which is what makes the collector's estimates
+  // independent of how many workers produced the batches.
+  Pcg32 rng(11);
+  std::vector<OlaAggregateState> shards(64);
+  for (OlaAggregateState& shard : shards) {
+    int n = 1 + static_cast<int>(rng.NextDouble() * 50);
+    for (int i = 0; i < n; ++i) shard.Observe(rng.NextDouble() * 10.0);
+  }
+  OlaAggregateState a, b;
+  for (const OlaAggregateState& shard : shards) a.Merge(shard);
+  for (const OlaAggregateState& shard : shards) b.Merge(shard);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.m2, b.m2);
+}
+
+TEST(OlaState, MergeWithEmptySidesIsIdentity) {
+  OlaAggregateState state;
+  state.Observe(3.0);
+  state.Observe(5.0);
+  OlaAggregateState empty;
+  OlaAggregateState copy = state;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.n, state.n);
+  EXPECT_EQ(copy.mean, state.mean);
+  EXPECT_EQ(copy.m2, state.m2);
+  OlaAggregateState other;
+  other.Merge(state);
+  EXPECT_EQ(other.n, state.n);
+  EXPECT_EQ(other.mean, state.mean);
+  EXPECT_EQ(other.m2, state.m2);
+}
+
+// ---------------------------------------------------------------------------
+// ExecContext::Validate on OLA options (satellite: malformed stop
+// conditions must be rejected before execution, not wedge a worker).
+
+TEST(OlaOptionsValidate, RejectsMalformedStopConditions) {
+  ExecContext ctx;
+  ctx.ola.enabled = true;
+  EXPECT_TRUE(ctx.Validate().ok()) << "no targets is a valid OLA run";
+
+  ctx.ola.has_abs_target = true;
+  ctx.ola.abs_target = 0.0;
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.abs_target = -1.0;
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.abs_target = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.abs_target = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.abs_target = 10.0;
+  EXPECT_TRUE(ctx.Validate().ok());
+
+  ctx.ola.has_rel_target = true;
+  ctx.ola.rel_target = 0.0;
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.rel_target = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.rel_target = 0.05;
+  EXPECT_TRUE(ctx.Validate().ok());
+
+  ctx.ola.confidence = 0.0;
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.confidence = 1.0;
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.confidence = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ctx.Validate().ok());
+  ctx.ola.confidence = 0.99;
+  EXPECT_TRUE(ctx.Validate().ok());
+
+  // Disabled OLA skips the checks entirely (the knobs are inert).
+  ctx.ola.enabled = false;
+  ctx.ola.confidence = 7.0;
+  EXPECT_TRUE(ctx.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Block sampler determinism (satellite: same seed ⇒ identical block
+// order), plus the new sampling-frame metadata.
+
+TEST(BlockSamplerOla, SameSeedSameOrderAndFrameMetadata) {
+  TpchLikeGenerator gen(3);
+  TablePtr table = gen.MakeOrders(0.004);
+  Pcg32 rng_a(1234);
+  Pcg32 rng_b(1234);
+  ScanOrder a = BlockSampler::MakeOrder(*table, 0.1, &rng_a);
+  ScanOrder b = BlockSampler::MakeOrder(*table, 0.1, &rng_b);
+  EXPECT_EQ(a.block_order, b.block_order);
+  EXPECT_EQ(a.sample_block_count, b.sample_block_count);
+  EXPECT_EQ(a.sample_row_count, b.sample_row_count);
+  EXPECT_EQ(a.population_block_count, table->num_blocks());
+  EXPECT_EQ(a.population_row_count, table->num_rows());
+  EXPECT_GT(a.SampledRowFraction(), 0.0);
+  EXPECT_LT(a.SampledRowFraction(), 1.0);
+  EXPECT_NEAR(a.SampledRowFraction(),
+              static_cast<double>(a.sample_row_count) /
+                  static_cast<double>(table->num_rows()),
+              0.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end collector behavior over real plans.
+
+struct OlaRun {
+  Status status;
+  std::vector<Row> rows;
+  std::vector<OlaSnapshot> per_batch;  ///< snapshot after every intake batch
+  OlaSnapshot final_snap;
+  bool stop_requested = false;
+};
+
+/// Forwards intake to the collector, then records a snapshot — giving the
+/// per-delivered-batch estimate sequence the determinism test compares.
+class RecordingObserver : public OlaIntakeObserver {
+ public:
+  RecordingObserver(OlaCollector* collector, std::vector<OlaSnapshot>* out)
+      : collector_(collector), out_(out) {}
+  void OnIntakeBatch(const RowBatch& batch) override {
+    collector_->OnIntakeBatch(batch);
+    out_->push_back(collector_->Snapshot(out_->size()));
+  }
+  void OnIntakeComplete() override { collector_->OnIntakeComplete(); }
+
+ private:
+  OlaCollector* collector_;
+  std::vector<OlaSnapshot>* out_;
+};
+
+OlaRun RunWithOla(Catalog* catalog, const std::string& sql,
+                  double sample_fraction, size_t workers,
+                  OlaOptions ola_options, size_t batch_size = 1024) {
+  OlaRun run;
+  SqlPlanner planner(catalog);
+  PlanNodePtr plan;
+  run.status = planner.PlanQuery(sql, &plan);
+  if (!run.status.ok()) return run;
+  ExecContext ctx;
+  ctx.catalog = catalog;
+  ctx.mode = EstimationMode::kOnce;
+  ctx.sample_fraction = sample_fraction;
+  ctx.exec_workers = workers;
+  ctx.batch_size = batch_size;
+  ctx.ola = ola_options;
+  ctx.ola.enabled = true;
+  OperatorPtr root;
+  run.status = CompilePlan(plan.get(), &ctx, &root);
+  if (!run.status.ok()) return run;
+  OlaSnapshotSlot slot;
+  std::unique_ptr<OlaCollector> collector;
+  run.status = AttachOla(root.get(), &ctx, &slot, &collector);
+  if (!run.status.ok()) return run;
+  // Replace the collector as the aggregate's observer with a recorder that
+  // snapshots after every delivered batch.
+  RecordingObserver recorder(collector.get(), &run.per_batch);
+  AggregateBaseOp* agg = nullptr;
+  root->Visit([&](Operator* op) {
+    if (agg == nullptr) agg = dynamic_cast<AggregateBaseOp*>(op);
+  });
+  agg->SetOlaObserver(&recorder);
+  run.status = QueryExecutor::Run(root.get(), &ctx, &run.rows, nullptr);
+  run.final_snap = collector->Snapshot(0);
+  run.stop_requested = ctx.OlaStopped();
+  return run;
+}
+
+class OlaQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchLikeGenerator gen(17);
+    ASSERT_TRUE(gen.PopulateCatalog(&catalog_, 0.004).ok());
+    TablePtr orders = catalog_.Find("orders");
+    ASSERT_NE(orders, nullptr);
+    truth_count_ = static_cast<double>(orders->num_rows());
+    auto price_col = orders->schema().FindColumn("totalprice");
+    ASSERT_TRUE(price_col.has_value());
+    truth_sum_ = 0.0;
+    for (uint64_t r = 0; r < orders->num_rows(); ++r) {
+      truth_sum_ += orders->RowAt(r)[*price_col].AsDouble();
+    }
+    truth_avg_ = truth_sum_ / truth_count_;
+  }
+
+  Catalog catalog_;
+  double truth_count_ = 0;
+  double truth_sum_ = 0;
+  double truth_avg_ = 0;
+};
+
+TEST_F(OlaQueryTest, SampledScanEstimatesConvergeAndEndExact) {
+  OlaRun run = RunWithOla(
+      &catalog_, "SELECT COUNT(*), SUM(totalprice), AVG(totalprice) FROM orders",
+      0.2, 1, OlaOptions{});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  ASSERT_EQ(run.rows.size(), 1u);
+  ASSERT_FALSE(run.per_batch.empty());
+
+  // Random-run mode: draws accumulate over the sampled prefix and freeze.
+  const OlaSnapshot& last = run.per_batch.back();
+  EXPECT_TRUE(last.frozen);
+  EXPECT_GT(last.draws, 0u);
+  EXPECT_LT(last.draws, static_cast<uint64_t>(truth_count_));
+
+  // While sampling, the truth lies within (a small multiple of) the
+  // published 95% interval — the stream is i.i.d. so this is stable.
+  for (const OlaSnapshot& snap : run.per_batch) {
+    if (snap.draws < 256 || snap.exact) continue;
+    ASSERT_EQ(snap.num_aggregates, 3u);
+    EXPECT_LE(std::fabs(snap.estimate[0] - truth_count_),
+              3.0 * snap.half_width[0] + 1e-9);
+    EXPECT_LE(std::fabs(snap.estimate[1] - truth_sum_),
+              3.0 * snap.half_width[1] + 1e-6);
+    EXPECT_LE(std::fabs(snap.estimate[2] - truth_avg_),
+              3.0 * snap.half_width[2] + 1e-9);
+    EXPECT_GE(snap.half_width[1], 0.0);
+  }
+
+  // Terminal snapshot: intake complete ⇒ exact values, zero half-widths.
+  EXPECT_TRUE(run.final_snap.exact);
+  EXPECT_DOUBLE_EQ(run.final_snap.estimate[0], truth_count_);
+  EXPECT_NEAR(run.final_snap.estimate[1], truth_sum_,
+              1e-6 * std::fabs(truth_sum_));
+  EXPECT_NEAR(run.final_snap.estimate[2], truth_avg_, 1e-9);
+  EXPECT_EQ(run.final_snap.half_width[0], 0.0);
+  EXPECT_EQ(run.final_snap.half_width[1], 0.0);
+  EXPECT_EQ(run.final_snap.half_width[2], 0.0);
+}
+
+TEST_F(OlaQueryTest, HalfWidthShrinksWhileSampling) {
+  OlaRun run = RunWithOla(&catalog_, "SELECT SUM(totalprice) FROM orders",
+                          0.5, 1, OlaOptions{}, /*batch_size=*/256);
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  // Compare the half-width early in the sample against late in the sample:
+  // more draws must not widen the interval by the time sampling ends.
+  std::vector<const OlaSnapshot*> sampling;
+  for (const OlaSnapshot& snap : run.per_batch) {
+    if (!snap.exact && snap.draws >= 64 && !snap.frozen) {
+      sampling.push_back(&snap);
+    }
+  }
+  ASSERT_GE(sampling.size(), 4u) << "expected a sampling phase to observe";
+  EXPECT_LT(sampling.back()->half_width[0], sampling.front()->half_width[0]);
+}
+
+TEST_F(OlaQueryTest, EstimateSequenceIdenticalAcrossWorkerCounts) {
+  // Satellite: same seed ⇒ the per-delivered-batch OLA estimate sequence
+  // is bit-identical with 1 and 4 intra-query workers (morsel merge
+  // delivers the same stream in the same order either way).
+  OlaRun one = RunWithOla(
+      &catalog_, "SELECT COUNT(*), SUM(totalprice) FROM orders", 0.25, 1,
+      OlaOptions{});
+  OlaRun four = RunWithOla(
+      &catalog_, "SELECT COUNT(*), SUM(totalprice) FROM orders", 0.25, 4,
+      OlaOptions{});
+  ASSERT_TRUE(one.status.ok()) << one.status.ToString();
+  ASSERT_TRUE(four.status.ok()) << four.status.ToString();
+  ASSERT_EQ(one.per_batch.size(), four.per_batch.size());
+  for (size_t i = 0; i < one.per_batch.size(); ++i) {
+    const OlaSnapshot& a = one.per_batch[i];
+    const OlaSnapshot& b = four.per_batch[i];
+    ASSERT_EQ(a.draws, b.draws) << "batch " << i;
+    ASSERT_EQ(a.frozen, b.frozen) << "batch " << i;
+    for (uint32_t k = 0; k < a.num_aggregates; ++k) {
+      ASSERT_EQ(a.estimate[k], b.estimate[k])
+          << "batch " << i << " aggregate " << k;
+    }
+  }
+  // And the exact terminals agree bit-for-bit too.
+  EXPECT_EQ(one.final_snap.estimate[0], four.final_snap.estimate[0]);
+  EXPECT_EQ(one.final_snap.estimate[1], four.final_snap.estimate[1]);
+}
+
+TEST_F(OlaQueryTest, JoinInputRunsInClusterModeWithJoinCi) {
+  // A grace-join output has no leading random run: every delivered row is
+  // observed and the join's ONCE CI carries the scale uncertainty.
+  OlaRun run = RunWithOla(
+      &catalog_,
+      "SELECT COUNT(*), SUM(totalprice) FROM orders JOIN lineitem "
+      "ON orders.orderkey = lineitem.orderkey",
+      0.0, 1, OlaOptions{});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  ASSERT_FALSE(run.per_batch.empty());
+  EXPECT_FALSE(run.per_batch.back().frozen)
+      << "cluster mode never freezes: every row is a draw";
+  EXPECT_EQ(run.per_batch.back().draws,
+            static_cast<uint64_t>(run.final_snap.estimate[0]))
+      << "every join output row was observed";
+  EXPECT_TRUE(run.final_snap.exact);
+}
+
+TEST_F(OlaQueryTest, GroupByQueryTracksQueryWideTotals) {
+  OlaRun run = RunWithOla(
+      &catalog_,
+      "SELECT custkey, COUNT(*), SUM(totalprice) FROM orders "
+      "GROUP BY custkey",
+      0.2, 1, OlaOptions{});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_GT(run.rows.size(), 1u);
+  // Estimates are query-wide input totals; groups carries the live
+  // group-count estimate, which ends at the true distinct count.
+  EXPECT_TRUE(run.final_snap.exact);
+  EXPECT_DOUBLE_EQ(run.final_snap.estimate[0], truth_count_);
+  EXPECT_NEAR(run.final_snap.groups, static_cast<double>(run.rows.size()),
+              static_cast<double>(run.rows.size()));
+}
+
+TEST_F(OlaQueryTest, RelativeTargetStopsEarly) {
+  OlaOptions options;
+  options.has_rel_target = true;
+  options.rel_target = 0.5;  // generous: met almost immediately
+  options.min_draws = 64;
+  // The recorder replaces the collector on the intake path, so drive the
+  // stop check from the publish path the way the server does.
+  SqlPlanner planner(&catalog_);
+  PlanNodePtr plan;
+  ASSERT_TRUE(
+      planner.PlanQuery("SELECT SUM(totalprice) FROM orders", &plan).ok());
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.mode = EstimationMode::kOnce;
+  ctx.sample_fraction = 0.5;
+  ctx.ola = options;
+  ctx.ola.enabled = true;
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+  OlaSnapshotSlot slot;
+  std::unique_ptr<OlaCollector> collector;
+  ASSERT_TRUE(AttachOla(root.get(), &ctx, &slot, &collector).ok());
+  uint64_t ticks = 0;
+  FunctionTickObserver publisher([&](uint64_t n) {
+    ticks += n;
+    collector->OnPublish(ticks);
+  });
+  ctx.AddTickObserver(&publisher);
+  std::vector<Row> rows;
+  Status s = QueryExecutor::Run(root.get(), &ctx, &rows, nullptr);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(collector->stop_requested());
+  EXPECT_TRUE(ctx.OlaStopped());
+  EXPECT_TRUE(ctx.IsCancelled()) << "OLA stop rides the cancellation drain";
+  // The drained run must not claim exactness: its final snapshot is the
+  // approximate answer the stop accepted.
+  OlaSnapshot final_snap = collector->Snapshot(ticks);
+  EXPECT_FALSE(final_snap.exact);
+  EXPECT_GE(final_snap.draws, options.min_draws);
+}
+
+TEST_F(OlaQueryTest, NoTargetNeverStops) {
+  OlaRun run = RunWithOla(&catalog_, "SELECT COUNT(*) FROM orders", 0.3, 1,
+                          OlaOptions{});
+  ASSERT_TRUE(run.status.ok());
+  EXPECT_FALSE(run.stop_requested);
+  EXPECT_TRUE(run.final_snap.exact);
+}
+
+TEST_F(OlaQueryTest, EmptyInputYieldsZeroRowAndZeroEstimates) {
+  OlaRun run = RunWithOla(
+      &catalog_, "SELECT COUNT(*), SUM(totalprice) FROM orders "
+      "WHERE totalprice > 100000000.0",
+      0.0, 1, OlaOptions{});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  // Global aggregation over an empty input still answers: one zero row.
+  ASSERT_EQ(run.rows.size(), 1u);
+  EXPECT_EQ(run.rows[0][0].AsDouble(), 0.0);
+  EXPECT_EQ(run.rows[0][1].AsDouble(), 0.0);
+  EXPECT_TRUE(run.final_snap.exact);
+  EXPECT_EQ(run.final_snap.estimate[0], 0.0);
+  EXPECT_EQ(run.final_snap.estimate[1], 0.0);
+}
+
+TEST_F(OlaQueryTest, WireOlaRejectsPlansWithoutAggregation) {
+  SqlPlanner planner(&catalog_);
+  PlanNodePtr plan;
+  ASSERT_TRUE(planner.PlanQuery("SELECT * FROM nation", &plan).ok());
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  OperatorPtr root;
+  ASSERT_TRUE(CompilePlan(plan.get(), &ctx, &root).ok());
+  OlaSnapshotSlot slot;
+  std::unique_ptr<OlaCollector> collector;
+  Status s = AttachOla(root.get(), &ctx, &slot, &collector);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock slot sanity (single-threaded contract; the tsan presets exercise
+// the concurrent reader through the service tests).
+
+TEST(OlaSnapshotSlot, RoundTripsAllFields) {
+  OlaSnapshotSlot slot;
+  OlaSnapshot snap;
+  snap.tick = 42;
+  snap.num_aggregates = 2;
+  snap.draws = 1000;
+  snap.groups = 12.5;
+  snap.frozen = true;
+  snap.exact = false;
+  snap.estimate[0] = 3.25;
+  snap.estimate[1] = -7.5;
+  snap.half_width[0] = 0.125;
+  snap.half_width[1] = 2.0;
+  slot.Store(snap);
+  OlaSnapshot loaded = slot.Load();
+  EXPECT_EQ(loaded.tick, 42u);
+  EXPECT_EQ(loaded.num_aggregates, 2u);
+  EXPECT_EQ(loaded.draws, 1000u);
+  EXPECT_EQ(loaded.groups, 12.5);
+  EXPECT_TRUE(loaded.frozen);
+  EXPECT_FALSE(loaded.exact);
+  EXPECT_EQ(loaded.estimate[0], 3.25);
+  EXPECT_EQ(loaded.estimate[1], -7.5);
+  EXPECT_EQ(loaded.half_width[0], 0.125);
+  EXPECT_EQ(loaded.half_width[1], 2.0);
+}
+
+}  // namespace
+}  // namespace qpi

@@ -251,8 +251,10 @@ TEST_F(SqlEndToEnd, PlannerErrors) {
   PlanNodePtr plan;
   EXPECT_EQ(planner.PlanQuery("SELECT * FROM ghost", &plan).code(),
             Status::Code::kNotFound);
-  EXPECT_EQ(planner.PlanQuery("SELECT COUNT(*) FROM a", &plan).code(),
-            Status::Code::kNotImplemented);
+  // Global aggregation is supported; mixing it with plain columns is not.
+  EXPECT_TRUE(planner.PlanQuery("SELECT COUNT(*) FROM a", &plan).ok());
+  EXPECT_EQ(planner.PlanQuery("SELECT k, COUNT(*) FROM a", &plan).code(),
+            Status::Code::kInvalidArgument);
   EXPECT_EQ(planner
                 .PlanQuery("SELECT * FROM a JOIN b ON b.k = b.w", &plan)
                 .code(),
