@@ -58,6 +58,7 @@ const char kWatchedSql[] =
 void BM_ServiceWatchLatency(benchmark::State& state) {
   const size_t watchers = static_cast<size_t>(state.range(0));
   const double period_ms = static_cast<double>(state.range(1));
+  const bool binary = state.range(2) != 0;
   QpiServer::Options options;
   options.max_inflight = 2;
   options.exec_workers = 2;
@@ -89,9 +90,10 @@ void BM_ServiceWatchLatency(benchmark::State& state) {
     threads.reserve(watchers);
     for (size_t w = 0; w < watchers; ++w) {
       threads.emplace_back([&server, &mu, &delivery_ms, &first_snapshot_ms,
-                            id, period_ms, submitted_at] {
+                            id, period_ms, submitted_at, binary] {
         QpiClient watcher;
         if (!watcher.Connect("127.0.0.1", server.port()).ok()) return;
+        if (binary && !watcher.EnableBinarySnapshots().ok()) return;
         bool first = true;
         watcher.Watch(
             id, period_ms,
@@ -118,20 +120,43 @@ void BM_ServiceWatchLatency(benchmark::State& state) {
                                       iteration_start)
             .count());
   }
+  // Fan-out evidence: with the broadcast cache, watchers of one cadence
+  // class share each serialized snapshot, so sends/builds ≈ N while the
+  // old per-session path would re-serialize per watcher (ratio ≈ 1).
+  ServerStats stats;
+  {
+    QpiClient probe;
+    if (probe.Connect("127.0.0.1", server.port()).ok()) {
+      (void)probe.Stats(&stats);
+      probe.Quit();
+    }
+  }
   server.Shutdown();
 
   state.counters["delivery_p50_ms"] = Percentile(&delivery_ms, 0.50);
   state.counters["delivery_p99_ms"] = Percentile(&delivery_ms, 0.99);
   state.counters["first_snapshot_ms"] = Percentile(&first_snapshot_ms, 0.50);
   state.counters["snapshots"] = static_cast<double>(delivery_ms.size());
+  state.counters["snapshot_builds"] =
+      static_cast<double>(stats.snapshot_builds);
+  state.counters["snapshot_sends"] = static_cast<double>(stats.snapshot_sends);
+  state.counters["fanout"] =
+      stats.snapshot_builds == 0
+          ? 0.0
+          : static_cast<double>(stats.snapshot_sends) /
+                static_cast<double>(stats.snapshot_builds);
 }
 
 BENCHMARK(BM_ServiceWatchLatency)
-    ->ArgNames({"watchers", "period_ms"})
-    ->Args({1, 10})
-    ->Args({4, 10})
-    ->Args({8, 10})
-    ->Args({8, 50})
+    ->ArgNames({"watchers", "period_ms", "binary"})
+    ->Args({1, 10, 0})
+    ->Args({4, 10, 0})
+    ->Args({8, 10, 0})
+    ->Args({8, 10, 1})
+    ->Args({8, 50, 0})
+    ->Args({64, 10, 0})
+    ->Args({64, 10, 1})
+    ->Args({1024, 10, 1})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);

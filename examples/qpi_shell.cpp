@@ -11,6 +11,8 @@
 //   qpi_shell --csv t=/path/t.csv  # load your own data
 //   echo "SELECT ..." | qpi_shell  # batch mode
 //   qpi_shell --connect 127.0.0.1:7878   # client REPL against qpi-serve
+//   ... --binary                   # negotiate binary snapshot frames
+//   ... --connect-timeout-ms 2000  # bound the TCP connect
 // With no piped input and no terminal, three canned queries run as a demo.
 //
 // Shell commands (backslash-prefixed lines):
@@ -341,20 +343,31 @@ void WatchToCompletion(QpiClient* client, uint64_t id, double period_ms) {
 }
 
 /// --connect — a REPL speaking the wire protocol to a remote qpi-serve.
-int ConnectRepl(const std::string& host, uint16_t port) {
+int ConnectRepl(const std::string& host, uint16_t port,
+                std::chrono::milliseconds connect_timeout, bool binary) {
   QpiClient client;
-  Status s = client.Connect(host, port);
+  Status s = client.Connect(host, port, kDefaultMaxLineBytes,
+                            connect_timeout);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
+  if (binary) {
+    s = client.EnableBinarySnapshots();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
   bool interactive = isatty(STDIN_FILENO);
-  std::printf("connected to qpi-serve at %s:%u\n", host.c_str(), port);
+  std::printf("connected to qpi-serve at %s:%u (%s snapshots)\n",
+              host.c_str(), port, binary ? "binary" : "json");
   if (interactive) {
     std::printf(
         "SQL lines are submitted and watched live; \\submit <sql> defers,\n"
         "\\watch <id> [period_ms] re-attaches, \\cancel <id> aborts,\n"
-        "\\ola [rel=R] [abs=A] <sql> streams estimate\xC2\xB1CI (online "
+        "\\ola [rel=R] [abs=A] <sql> streams estimate\xC2\xB1"
+        "CI (online "
         "aggregation),\n"
         "\\stop <id> accepts an OLA query's current estimate,\n"
         "\\trace <id> dumps a progress curve, \\metrics scrapes the server,\n"
@@ -574,17 +587,26 @@ int main(int argc, char** argv) {
   Catalog catalog;
   bool loaded_csv = false;
 
+  std::string connect_spec;
+  long connect_timeout_ms = 10000;
+  bool connect_binary = false;
+
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
-      std::string spec = argv[++i];
-      size_t colon = spec.rfind(':');
-      if (colon == std::string::npos) {
+      connect_spec = argv[++i];
+      if (connect_spec.rfind(':') == std::string::npos) {
         std::fprintf(stderr, "--connect expects host:port\n");
         return 1;
       }
-      return ConnectRepl(spec.substr(0, colon),
-                         static_cast<uint16_t>(std::strtoul(
-                             spec.c_str() + colon + 1, nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--connect-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      connect_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+      if (connect_timeout_ms <= 0) {
+        std::fprintf(stderr, "--connect-timeout-ms expects a positive int\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--binary") == 0) {
+      connect_binary = true;
     } else if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
       scale_factor = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--feedback-cache") == 0 && i + 1 < argc) {
@@ -612,6 +634,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
       return 1;
     }
+  }
+
+  if (!connect_spec.empty()) {
+    size_t colon = connect_spec.rfind(':');
+    return ConnectRepl(connect_spec.substr(0, colon),
+                       static_cast<uint16_t>(std::strtoul(
+                           connect_spec.c_str() + colon + 1, nullptr, 10)),
+                       std::chrono::milliseconds(connect_timeout_ms),
+                       connect_binary);
   }
 
   if (!loaded_csv) {

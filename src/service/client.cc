@@ -4,6 +4,8 @@
 
 #include <utility>
 
+#include "service/protocol_binary.h"
+
 namespace qpi {
 
 namespace {
@@ -13,10 +15,11 @@ std::string RequestLine(const std::string& body) { return body + "\n"; }
 }  // namespace
 
 Status QpiClient::Connect(const std::string& host, uint16_t port,
-                          size_t max_line_bytes) {
+                          size_t max_line_bytes,
+                          std::chrono::milliseconds timeout) {
   if (connected()) return Status::Internal("client is already connected");
-  QPI_RETURN_NOT_OK(TcpConnect(host, port, &fd_));
-  reader_ = std::make_unique<LineReader>(fd_, max_line_bytes);
+  QPI_RETURN_NOT_OK(TcpConnect(host, port, &fd_, timeout));
+  reader_ = std::make_unique<FrameReader>(fd_, max_line_bytes);
   JsonValue hello;
   std::string type;
   Status s = ReadReplyLine(&hello, &type);
@@ -32,20 +35,65 @@ void QpiClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  binary_snapshots_ = false;
   reader_.reset();
+}
+
+Status QpiClient::EnableBinarySnapshots() {
+  if (binary_snapshots_) return Status::OK();
+  JsonValue reply;
+  QPI_RETURN_NOT_OK(RoundTrip(
+      "{\"cmd\":\"hello\",\"snapshots\":\"binary\"}", "encoding", &reply));
+  if (reply.GetString("snapshots") != "binary") {
+    return Status::Internal("server declined binary snapshot encoding");
+  }
+  binary_snapshots_ = true;
+  return Status::OK();
 }
 
 Status QpiClient::ReadReplyLine(JsonValue* value, std::string* type) {
   if (!connected()) return Status::Internal("client is not connected");
   std::string line;
-  LineReader::Result result = reader_->ReadLine(&line);
-  if (result == LineReader::Result::kOverlong) {
+  FrameReader::Kind kind = reader_->Next(&line);
+  if (kind == FrameReader::Kind::kOverlong) {
     return Status::Internal("server reply exceeds the line size limit");
   }
-  if (result != LineReader::Result::kLine) {
+  if (kind == FrameReader::Kind::kFrame) {
+    // Control replies are always JSON lines; a frame here violates the
+    // single-command discipline.
+    return Status::Internal("unexpected binary frame in reply stream");
+  }
+  if (kind != FrameReader::Kind::kLine) {
     return Status::Internal("connection closed by server");
   }
   QPI_RETURN_NOT_OK(JsonParse(line, value));
+  *type = value->GetString("type");
+  return Status::OK();
+}
+
+Status QpiClient::ReadWatchMessage(JsonValue* value, std::string* type,
+                                   WireSnapshot* snap, bool* is_frame) {
+  if (!connected()) return Status::Internal("client is not connected");
+  *is_frame = false;
+  std::string msg;
+  FrameReader::Kind kind = reader_->Next(&msg);
+  if (kind == FrameReader::Kind::kOverlong) {
+    return Status::Internal("server reply exceeds the line size limit");
+  }
+  if (kind == FrameReader::Kind::kFrame) {
+    if (msg.empty() ||
+        static_cast<uint8_t>(msg[0]) != kFrameKindSnapshot) {
+      return Status::Internal("unknown binary frame kind from server");
+    }
+    QPI_RETURN_NOT_OK(DecodeSnapshotFrame(msg, snap));
+    *type = "snapshot";
+    *is_frame = true;
+    return Status::OK();
+  }
+  if (kind != FrameReader::Kind::kLine) {
+    return Status::Internal("connection closed by server");
+  }
+  QPI_RETURN_NOT_OK(JsonParse(msg, value));
   *type = value->GetString("type");
   return Status::OK();
 }
@@ -127,7 +175,9 @@ Status QpiClient::Watch(
   while (true) {
     JsonValue reply;
     std::string type;
-    QPI_RETURN_NOT_OK(ReadReplyLine(&reply, &type));
+    WireSnapshot snap;
+    bool is_frame = false;
+    QPI_RETURN_NOT_OK(ReadWatchMessage(&reply, &type, &snap, &is_frame));
     if (type == "error") {
       return Status::Internal(reply.GetString("error", "server error"));
     }
@@ -140,8 +190,7 @@ Status QpiClient::Watch(
       }
       return Status::Internal("expected snapshot, got \"" + type + "\"");
     }
-    WireSnapshot snap;
-    QPI_RETURN_NOT_OK(DecodeSnapshot(reply, &snap));
+    if (!is_frame) QPI_RETURN_NOT_OK(DecodeSnapshot(reply, &snap));
     if (on_snapshot) on_snapshot(snap);
     if (snap.final_snapshot) {
       if (final_snapshot != nullptr) *final_snapshot = std::move(snap);

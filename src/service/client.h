@@ -1,6 +1,7 @@
 #ifndef QPI_SERVICE_CLIENT_H_
 #define QPI_SERVICE_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -26,12 +27,21 @@ class QpiClient {
   QpiClient(const QpiClient&) = delete;
   QpiClient& operator=(const QpiClient&) = delete;
 
-  /// Connect and consume the server's hello line.
+  /// Connect (bounded by `timeout`) and consume the server's hello line.
   Status Connect(const std::string& host, uint16_t port,
-                 size_t max_line_bytes = kDefaultMaxLineBytes);
+                 size_t max_line_bytes = kDefaultMaxLineBytes,
+                 std::chrono::milliseconds timeout =
+                     std::chrono::milliseconds(10000));
 
   bool connected() const { return fd_ >= 0; }
   void Close();
+
+  /// Negotiate length-prefixed binary snapshot frames for this
+  /// connection's WATCH streams (control replies stay newline-JSON).
+  /// Irreversible for the connection's lifetime.
+  Status EnableBinarySnapshots();
+
+  bool binary_snapshots() const { return binary_snapshots_; }
 
   /// SUBMIT a statement; `*id` receives the server-assigned query id.
   Status Submit(const std::string& sql, uint64_t* id);
@@ -82,9 +92,15 @@ class QpiClient {
   Status RoundTrip(const std::string& request, const std::string& want,
                    JsonValue* reply);
   Status ReadReplyLine(JsonValue* value, std::string* type);
+  /// One watch-stream message: a JSON control line (`*type` set, `*snap`
+  /// untouched) or a binary snapshot frame (`*type` = "snapshot",
+  /// `*is_frame` = true, `*snap` decoded).
+  Status ReadWatchMessage(JsonValue* value, std::string* type,
+                          WireSnapshot* snap, bool* is_frame);
 
   int fd_ = -1;
-  std::unique_ptr<LineReader> reader_;
+  bool binary_snapshots_ = false;
+  std::unique_ptr<FrameReader> reader_;
 };
 
 }  // namespace qpi

@@ -1,14 +1,18 @@
 #include "service/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+
+#include "service/protocol_binary.h"
 
 namespace qpi {
 
@@ -35,7 +39,9 @@ Status TcpListen(uint16_t port, int* out_fd, uint16_t* actual_port) {
     ::close(fd);
     return s;
   }
-  if (::listen(fd, 64) != 0) {
+  // Deep backlog: the latency bench opens 1k+ watcher connections in a
+  // burst, and a dropped SYN costs a full retransmit timeout.
+  if (::listen(fd, SOMAXCONN) != 0) {
     Status s = Errno("listen");
     ::close(fd);
     return s;
@@ -51,7 +57,20 @@ Status TcpListen(uint16_t port, int* out_fd, uint16_t* actual_port) {
   return Status::OK();
 }
 
-Status TcpConnect(const std::string& host, uint16_t port, int* out_fd) {
+Status SetNonBlocking(int fd, bool enabled) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (enabled) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status TcpConnect(const std::string& host, uint16_t port, int* out_fd,
+                  std::chrono::milliseconds timeout) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   sockaddr_in addr{};
@@ -61,10 +80,60 @@ Status TcpConnect(const std::string& host, uint16_t port, int* out_fd) {
     ::close(fd);
     return Status::InvalidArgument("not an IPv4 address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  Status nb = SetNonBlocking(fd, true);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    // EINTR on a nonblocking connect means the attempt continues
+    // asynchronously (POSIX), exactly like EINPROGRESS — poll for it.
     Status s = Errno("connect");
     ::close(fd);
     return s;
+  }
+  if (rc != 0) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        ::close(fd);
+        return Status::Internal("connect: timed out after " +
+                                std::to_string(timeout.count()) + " ms");
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int n = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (n < 0) {
+        if (errno == EINTR) continue;  // retry with the remaining budget
+        Status s = Errno("poll");
+        ::close(fd);
+        return s;
+      }
+      if (n == 0) continue;  // re-check the deadline, then time out
+      int err = 0;
+      socklen_t errlen = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) != 0) {
+        Status s = Errno("getsockopt(SO_ERROR)");
+        ::close(fd);
+        return s;
+      }
+      if (err != 0) {
+        ::close(fd);
+        return Status::Internal(std::string("connect: ") +
+                                std::strerror(err));
+      }
+      break;  // connected
+    }
+  }
+  nb = SetNonBlocking(fd, false);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -123,6 +192,79 @@ LineReader::Result LineReader::ReadLine(std::string* line) {
       return Result::kError;
     }
     buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool FrameReader::Fill() {
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      eof_ = true;
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = true;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+}
+
+FrameReader::Kind FrameReader::Next(std::string* out) {
+  while (true) {
+    if (buffer_.empty()) {
+      if (!Fill()) return eof_ ? Kind::kEof : Kind::kError;
+      continue;
+    }
+    if (!discarding_ &&
+        static_cast<uint8_t>(buffer_[0]) == kFrameMagic) {
+      while (buffer_.size() < kFrameHeaderBytes) {
+        if (!Fill()) return eof_ ? Kind::kEof : Kind::kError;
+      }
+      uint32_t body_len = 0;
+      for (int i = 0; i < 4; ++i) {
+        body_len |= static_cast<uint32_t>(
+                        static_cast<uint8_t>(buffer_[2 + i]))
+                    << (8 * i);
+      }
+      if (body_len > max_bytes_) {
+        // A frame past the cap cannot be skipped over reliably (the
+        // length itself is suspect); the stream is unrecoverable.
+        return Kind::kOverlong;
+      }
+      size_t total = kFrameHeaderBytes + body_len;
+      while (buffer_.size() < total) {
+        if (!Fill()) return eof_ ? Kind::kEof : Kind::kError;
+      }
+      // Hand back kind byte + body; the magic and length served their
+      // framing purpose.
+      out->assign(1, buffer_[1]);
+      out->append(buffer_, kFrameHeaderBytes, body_len);
+      buffer_.erase(0, total);
+      return Kind::kFrame;
+    }
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      if (discarding_) {
+        buffer_.erase(0, nl + 1);
+        discarding_ = false;
+        continue;
+      }
+      out->assign(buffer_, 0, nl);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      buffer_.erase(0, nl + 1);
+      return Kind::kLine;
+    }
+    if (!discarding_ && buffer_.size() > max_bytes_) {
+      buffer_.clear();
+      discarding_ = true;
+      return Kind::kOverlong;
+    }
+    if (discarding_) buffer_.clear();
+    if (!Fill()) return eof_ ? Kind::kEof : Kind::kError;
   }
 }
 

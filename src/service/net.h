@@ -1,6 +1,7 @@
 #ifndef QPI_SERVICE_NET_H_
 #define QPI_SERVICE_NET_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -10,18 +11,26 @@ namespace qpi {
 
 /// \brief Small POSIX TCP helpers for the qpi-serve subsystem.
 ///
-/// Everything here is blocking I/O on plain file descriptors; the service
-/// layer gets its concurrency from threads (one reader + one writer per
-/// session), not from an event loop — the paper's monitor is a low-rate
-/// control plane, so thread-per-connection is the simple design that is
-/// easy to prove drain-correct (every thread is joined on shutdown).
+/// The server side runs nonblocking sockets on epoll event loops
+/// (event_loop.h); the client side stays blocking I/O with a
+/// one-command-in-flight discipline. These helpers serve both.
 
 /// Open a listening IPv4 socket on 127.0.0.1:`port` (0 = ephemeral).
 /// `*out_fd` receives the descriptor and `*actual_port` the bound port.
 Status TcpListen(uint16_t port, int* out_fd, uint16_t* actual_port);
 
-/// Blocking connect to `host`:`port`.
-Status TcpConnect(const std::string& host, uint16_t port, int* out_fd);
+/// Connect to `host`:`port` with a deadline: the connect itself runs
+/// nonblocking and is polled to completion, so a black-holed address
+/// fails after `timeout` instead of hanging in connect(2) forever, and
+/// EINTR (both from connect and from the poll) retries with the remaining
+/// budget instead of surfacing as a spurious error. The returned fd is
+/// back in blocking mode with TCP_NODELAY set.
+Status TcpConnect(const std::string& host, uint16_t port, int* out_fd,
+                  std::chrono::milliseconds timeout =
+                      std::chrono::milliseconds(10000));
+
+/// Toggle O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd, bool enabled);
 
 /// Write all of `data` (retrying short sends; SIGPIPE suppressed). Returns
 /// false once the peer is gone.
@@ -52,6 +61,38 @@ class LineReader {
   size_t max_line_bytes_;
   std::string buffer_;
   bool discarding_ = false;
+};
+
+/// \brief Client-side reader for the mixed wire: newline-JSON control
+/// lines interleaved with length-prefixed binary snapshot frames (after
+/// the client negotiated them at hello).
+///
+/// Demultiplexes on the first byte of each message: kFrameMagic starts a
+/// frame (JSON lines always start with '{'), anything else is line-framed.
+/// Frames and lines over `max_bytes` report kOverlong — for a frame that
+/// is fatal to the stream (the length prefix cannot be resynchronized),
+/// for a line the reader discards to the next newline like LineReader.
+class FrameReader {
+ public:
+  enum class Kind { kLine, kFrame, kEof, kError, kOverlong };
+
+  FrameReader(int fd, size_t max_bytes) : fd_(fd), max_bytes_(max_bytes) {}
+
+  /// Block until one full message is available. kLine: `*out` is the line
+  /// without its newline ('\r' stripped). kFrame: `*out` is the frame's
+  /// kind byte followed by its body (header consumed and verified) —
+  /// feed it to DecodeSnapshotFrame.
+  Kind Next(std::string* out);
+
+ private:
+  bool Fill();  ///< one recv(2) into buffer_; false on EOF/error
+
+  int fd_;
+  size_t max_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;
+  bool eof_ = false;
+  bool error_ = false;
 };
 
 }  // namespace qpi

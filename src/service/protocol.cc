@@ -97,11 +97,33 @@ Status ParseRequest(const std::string& line, Request* out) {
   if (cmd == "watch") {
     out->cmd = Request::Cmd::kWatch;
     QPI_RETURN_NOT_OK(GetId(v, "id", &out->id));
-    double period = v.GetNumber("period_ms", 100.0);
-    if (!(period > 0) || !std::isfinite(period)) {
-      return Status::InvalidArgument("\"period_ms\" must be > 0");
+    // A present-but-non-numeric cadence (null is how the JSON encoder
+    // spells a non-finite number) must not silently become the default:
+    // the client asked for NaN and gets told so. Absent keeps the default.
+    if (const JsonValue* pm = v.Find("period_ms")) {
+      if (!pm->is_number() || !(pm->number > 0) ||
+          !std::isfinite(pm->number)) {
+        return Status::InvalidArgument(
+            "\"period_ms\" must be a finite number > 0");
+      }
+      out->period_ms = pm->number;
     }
-    out->period_ms = period;
+    return Status::OK();
+  }
+  if (cmd == "hello") {
+    out->cmd = Request::Cmd::kHello;
+    // Snapshot-encoding negotiation. Omitted means JSON (the default every
+    // pre-negotiation client already speaks); only the two known encodings
+    // are accepted so a typo cannot silently leave a client expecting
+    // frames it will never get.
+    if (const JsonValue* enc = v.Find("snapshots")) {
+      if (!enc->is_string() ||
+          (enc->string != "json" && enc->string != "binary")) {
+        return Status::InvalidArgument(
+            "\"snapshots\" must be \"json\" or \"binary\"");
+      }
+      out->binary_snapshots = enc->string == "binary";
+    }
     return Status::OK();
   }
   if (cmd == "cancel") {
@@ -240,6 +262,8 @@ std::string EncodeStats(const ServerStats& stats) {
   AppendUint("tasks_stolen", stats.tasks_stolen, &out);
   AppendUint("run_queue_depth", stats.run_queue_depth, &out);
   AppendUint("ola_stopped", stats.ola_stopped, &out);
+  AppendUint("snapshot_builds", stats.snapshot_builds, &out);
+  AppendUint("snapshot_sends", stats.snapshot_sends, &out);
   out.append("}\n");
   return out;
 }
@@ -345,6 +369,14 @@ std::string EncodeMetrics(const std::string& prometheus_text) {
   std::string out = "{";
   AppendString("type", "metrics", &out);
   AppendString("text", prometheus_text, &out);
+  out.append("}\n");
+  return out;
+}
+
+std::string EncodeEncoding(bool binary_snapshots) {
+  std::string out = "{";
+  AppendString("type", "encoding", &out);
+  AppendString("snapshots", binary_snapshots ? "binary" : "json", &out);
   out.append("}\n");
   return out;
 }
@@ -533,6 +565,10 @@ Status DecodeStats(const JsonValue& line, ServerStats* out) {
   out->run_queue_depth =
       static_cast<uint64_t>(line.GetNumber("run_queue_depth"));
   out->ola_stopped = static_cast<uint64_t>(line.GetNumber("ola_stopped"));
+  out->snapshot_builds =
+      static_cast<uint64_t>(line.GetNumber("snapshot_builds"));
+  out->snapshot_sends =
+      static_cast<uint64_t>(line.GetNumber("snapshot_sends"));
   return Status::OK();
 }
 

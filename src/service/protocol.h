@@ -26,11 +26,18 @@ namespace qpi {
 ///   {"cmd":"stats"}
 ///   {"cmd":"trace","id":3}
 ///   {"cmd":"metrics"}
+///   {"cmd":"hello","snapshots":"binary"}   (negotiate snapshot encoding)
 ///   {"cmd":"quit"}
 ///
 /// Server → client replies (every line carries a "type"):
 ///   hello, submitted, snapshot (streamed), ok, error, stats, trace,
-///   metrics, bye.
+///   metrics, encoding, bye.
+///
+/// After a successful {"cmd":"hello","snapshots":"binary"} exchange the
+/// server streams snapshots as length-prefixed binary frames
+/// (protocol_binary.h) instead of JSON lines; everything else stays
+/// newline-JSON, and clients that never negotiate see a wire
+/// byte-identical to the pre-binary protocol.
 ///
 /// Every encoder returns a complete line including the trailing '\n'.
 /// Decoding is Status-based and total: any byte sequence either parses
@@ -53,12 +60,17 @@ struct Request {
     kStats,
     kTrace,
     kMetrics,
+    kHello,
     kQuit,
   };
   Cmd cmd = Cmd::kStats;
   std::string sql;         ///< kSubmit
   uint64_t id = 0;         ///< kWatch / kCancel / kStop / kTrace
   double period_ms = 100;  ///< kWatch snapshot cadence (clamped by server)
+  /// kHello: stream snapshots as length-prefixed binary frames instead of
+  /// JSON lines (see protocol_binary.h). Control replies stay JSON either
+  /// way; false (JSON snapshots) is the pre-negotiation default.
+  bool binary_snapshots = false;
   /// kSubmit with an "ola" member: run the query with online aggregation.
   /// Values pass through to ExecContext::ola, where Validate() rejects
   /// malformed targets (JSON null arrives here as NaN for that reason).
@@ -154,6 +166,12 @@ struct ServerStats {
   /// Queries early-terminated by an OLA stop condition or `stop` verb
   /// (absent in older servers; decodes to 0).
   uint64_t ola_stopped = 0;
+  // Broadcast fan-out counters (absent in older servers; decode to 0):
+  // builds is distinct snapshot serializations, sends is snapshot buffers
+  // delivered to watchers. sends/builds is the fan-out ratio the shared
+  // snapshot cache buys.
+  uint64_t snapshot_builds = 0;
+  uint64_t snapshot_sends = 0;
 };
 
 std::string EncodeHello();
@@ -168,6 +186,9 @@ std::string EncodeTrace(const TraceDump& dump);
 /// protocol as an escaped JSON string: {"type":"metrics","text":"..."}.
 std::string EncodeMetrics(const std::string& prometheus_text);
 std::string EncodeBye(const std::string& reason);
+/// Reply to the hello negotiation verb: {"type":"encoding","snapshots":...}
+/// with "binary" or "json" — whatever the server will actually stream.
+std::string EncodeEncoding(bool binary_snapshots);
 
 /// Client-side decoders (from a parsed line). The line's "type" member
 /// must already have been dispatched on by the caller.

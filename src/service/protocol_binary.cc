@@ -1,0 +1,265 @@
+#include "service/protocol_binary.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace qpi {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(uint16_t v, std::string* out) {
+  for (int i = 0; i < 2; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Presence-prefixed double: one byte 0 where the JSON encoder writes
+/// null (non-finite), else 1 + the 8 IEEE-754 bytes.
+void PutDouble(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    PutU8(0, out);
+    return;
+  }
+  PutU8(1, out);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+void PutString16(const std::string& s, std::string* out) {
+  size_t n = s.size();
+  if (n > 0xFFFF) n = 0xFFFF;  // labels/states are tiny; cap, never grow
+  PutU16(static_cast<uint16_t>(n), out);
+  out->append(s.data(), n);
+}
+
+/// Bounds-checked little-endian cursor over a frame body. Every read
+/// either succeeds or flips `ok` — callers bail with InvalidArgument, so
+/// truncated frames decode to an error, never out-of-bounds reads.
+struct Cursor {
+  const char* p;
+  size_t left;
+  bool ok = true;
+
+  bool Take(size_t n) {
+    if (left < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  uint8_t U8() {
+    if (!Take(1)) return 0;
+    uint8_t v = static_cast<uint8_t>(*p);
+    ++p;
+    --left;
+    return v;
+  }
+
+  uint16_t U16() {
+    if (!Take(2)) return 0;
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<uint16_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    p += 2;
+    left -= 2;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Take(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    p += 8;
+    left -= 8;
+    return v;
+  }
+
+  /// Presence-prefixed double; absent decodes to `absent_default`,
+  /// mirroring the JSON decoder's per-field null handling.
+  double Double(double absent_default) {
+    uint8_t present = U8();
+    if (!ok || present == 0) return absent_default;
+    uint64_t bits = U64();
+    if (!ok) return absent_default;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string String16() {
+    uint16_t n = U16();
+    if (!ok || !Take(n)) {
+      ok = false;
+      return std::string();
+    }
+    std::string s(p, n);
+    p += n;
+    left -= n;
+    return s;
+  }
+
+  /// Validate an element count against the bytes actually left: each
+  /// element needs at least `min_bytes`, so a hostile count cannot force a
+  /// huge reserve before the bounds checks would reject it anyway.
+  bool Count(uint16_t n, size_t min_bytes) {
+    if (left / min_bytes < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string EncodeSnapshotFrame(const WireSnapshot& snap) {
+  std::string body;
+  body.reserve(128 + snap.ops.size() * 40);
+  PutU64(snap.id, &body);
+  PutU64(snap.seq, &body);
+  PutString16(snap.state, &body);
+  uint8_t flags = 0;
+  if (snap.final_snapshot) flags |= 1;
+  if (snap.ola.present) flags |= 2;
+  PutU8(flags, &body);
+  PutDouble(snap.progress, &body);
+  PutDouble(snap.gnm.current_calls, &body);
+  PutDouble(snap.gnm.total_estimate, &body);
+  PutDouble(snap.gnm.ci_half_width, &body);
+  PutU64(snap.gnm.tick, &body);
+  PutU64(snap.rows, &body);
+  PutDouble(snap.server_ms, &body);
+  PutU16(static_cast<uint16_t>(snap.ops.size()), &body);
+  for (const OperatorCounter& op : snap.ops) {
+    PutString16(op.label, &body);
+    PutU8(static_cast<uint8_t>(op.state), &body);
+    PutU64(op.emitted, &body);
+    PutDouble(op.optimizer_estimate, &body);
+  }
+  if (snap.ola.present) {
+    PutU64(snap.ola.draws, &body);
+    PutDouble(snap.ola.groups, &body);
+    uint8_t oflags = 0;
+    if (snap.ola.frozen) oflags |= 1;
+    if (snap.ola.exact) oflags |= 2;
+    PutU8(oflags, &body);
+    PutU16(static_cast<uint16_t>(snap.ola.labels.size()), &body);
+    for (const std::string& label : snap.ola.labels) {
+      PutString16(label, &body);
+    }
+    PutU16(static_cast<uint16_t>(snap.ola.estimate.size()), &body);
+    for (double v : snap.ola.estimate) PutDouble(v, &body);
+    PutU16(static_cast<uint16_t>(snap.ola.half_width.size()), &body);
+    for (double v : snap.ola.half_width) PutDouble(v, &body);
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutU8(kFrameMagic, &frame);
+  PutU8(kFrameKindSnapshot, &frame);
+  PutU32(static_cast<uint32_t>(body.size()), &frame);
+  frame.append(body);
+  return frame;
+}
+
+Status DecodeSnapshotFrame(std::string_view frame, WireSnapshot* out) {
+  if (frame.empty() || static_cast<uint8_t>(frame[0]) != kFrameKindSnapshot) {
+    return Status::InvalidArgument("unknown binary frame kind");
+  }
+  Cursor c{frame.data() + 1, frame.size() - 1};
+  *out = WireSnapshot();
+  out->id = c.U64();
+  out->seq = c.U64();
+  out->state = c.String16();
+  uint8_t flags = c.U8();
+  out->final_snapshot = (flags & 1) != 0;
+  out->ola.present = (flags & 2) != 0;
+  out->progress = c.Double(0.0);
+  out->gnm.current_calls = c.Double(0.0);
+  out->gnm.total_estimate = c.Double(kNaN);
+  out->gnm.ci_half_width = c.Double(kNaN);
+  out->gnm.tick = c.U64();
+  out->rows = c.U64();
+  out->server_ms = c.Double(0.0);
+  uint16_t nops = c.U16();
+  // Per-op minimum: 2 (label len) + 1 (state) + 8 (emitted) + 1 (presence).
+  if (!c.ok || !c.Count(nops, 12)) {
+    return Status::InvalidArgument("truncated binary snapshot frame");
+  }
+  out->ops.reserve(nops);
+  for (uint16_t i = 0; i < nops && c.ok; ++i) {
+    OperatorCounter op;
+    op.label = c.String16();
+    uint8_t state = c.U8();
+    op.state = state <= static_cast<uint8_t>(OpState::kFinished)
+                   ? static_cast<OpState>(state)
+                   : OpState::kNotStarted;
+    op.emitted = c.U64();
+    op.optimizer_estimate = c.Double(0.0);
+    out->ops.push_back(std::move(op));
+  }
+  if (out->ola.present && c.ok) {
+    out->ola.draws = c.U64();
+    out->ola.groups = c.Double(kNaN);
+    uint8_t oflags = c.U8();
+    out->ola.frozen = (oflags & 1) != 0;
+    out->ola.exact = (oflags & 2) != 0;
+    uint16_t nlabels = c.U16();
+    if (!c.ok || !c.Count(nlabels, 2)) {
+      return Status::InvalidArgument("truncated binary snapshot frame");
+    }
+    out->ola.labels.reserve(nlabels);
+    for (uint16_t i = 0; i < nlabels && c.ok; ++i) {
+      out->ola.labels.push_back(c.String16());
+    }
+    uint16_t nest = c.U16();
+    if (!c.ok || !c.Count(nest, 1)) {
+      return Status::InvalidArgument("truncated binary snapshot frame");
+    }
+    out->ola.estimate.reserve(nest);
+    for (uint16_t i = 0; i < nest && c.ok; ++i) {
+      out->ola.estimate.push_back(c.Double(kNaN));
+    }
+    uint16_t nhw = c.U16();
+    if (!c.ok || !c.Count(nhw, 1)) {
+      return Status::InvalidArgument("truncated binary snapshot frame");
+    }
+    out->ola.half_width.reserve(nhw);
+    for (uint16_t i = 0; i < nhw && c.ok; ++i) {
+      out->ola.half_width.push_back(c.Double(kNaN));
+    }
+  }
+  if (!c.ok) {
+    return Status::InvalidArgument("truncated binary snapshot frame");
+  }
+  if (c.left != 0) {
+    return Status::InvalidArgument("trailing bytes after snapshot frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace qpi

@@ -1,0 +1,52 @@
+#ifndef QPI_SERVICE_PROTOCOL_BINARY_H_
+#define QPI_SERVICE_PROTOCOL_BINARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/protocol.h"
+
+namespace qpi {
+
+/// \brief Compact length-prefixed binary snapshot frames.
+///
+/// Negotiated per connection with {"cmd":"hello","snapshots":"binary"};
+/// only streamed snapshots switch to frames — every control reply stays a
+/// JSON line, so one connection carries both framings and the client
+/// demultiplexes on the first byte (kFrameMagic can never begin a JSON
+/// line, which always starts with '{').
+///
+/// Frame layout (all integers little-endian):
+///
+///   u8  magic   = kFrameMagic (0xA6)
+///   u8  kind    = kFrameKindSnapshot
+///   u32 length  — byte count of the body that follows
+///   ... body    — field layout in protocol_binary.cc
+///
+/// Doubles travel as a presence byte (0 = absent) optionally followed by 8
+/// IEEE-754 bytes. The encoder writes 0 exactly where the JSON encoder
+/// writes null (non-finite values), and the decoder applies the same
+/// per-field defaults as DecodeSnapshot (progress/calls 0, estimate fields
+/// NaN), so a snapshot decoded from either wire form re-encodes to
+/// byte-identical frames — the differential property the protocol tests
+/// pin down.
+
+inline constexpr uint8_t kFrameMagic = 0xA6;
+inline constexpr uint8_t kFrameKindSnapshot = 0x01;
+/// Bytes before the body: magic + kind + u32 length.
+inline constexpr size_t kFrameHeaderBytes = 6;
+
+/// Serialize one snapshot as a complete wire frame (header + body).
+std::string EncodeSnapshotFrame(const WireSnapshot& snap);
+
+/// Decode a frame delivered by FrameReader: `frame` is the kind byte plus
+/// the body (header length prefix already consumed and verified). Total:
+/// any byte sequence either decodes or returns InvalidArgument — truncated
+/// and oversized-count bodies included, which the fuzz corpus exercises.
+Status DecodeSnapshotFrame(std::string_view frame, WireSnapshot* out);
+
+}  // namespace qpi
+
+#endif  // QPI_SERVICE_PROTOCOL_BINARY_H_

@@ -12,9 +12,9 @@
 
 #include "exec/compiler.h"
 #include "progress/accuracy_audit.h"
+#include "progress/snapshot_json.h"
 #include "service/metrics_text.h"
 #include "service/net.h"
-#include "service/session.h"
 #include "sql/planner.h"
 
 namespace qpi {
@@ -217,6 +217,24 @@ Status QpiServer::Start() {
     std::lock_guard<std::mutex> lock(fleet_mu_);
     fleet_ = std::make_unique<TaskScheduler>(options_.exec_workers);
   }
+  size_t num_loops = options_.event_loops > 0 ? options_.event_loops : 1;
+  for (size_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>(this, &broadcast_,
+                                            options_.max_line_bytes,
+                                            options_.session_drain_deadline);
+    Status s = loop->Start();
+    if (!s.ok()) {
+      loops_.clear();
+      {
+        std::lock_guard<std::mutex> lock(fleet_mu_);
+        fleet_.reset();
+      }
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+    loops_.push_back(std::move(loop));
+  }
   started_.store(true, std::memory_order_release);
   dispatch_thread_ = std::thread([this] { DispatchLoop(); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -398,14 +416,47 @@ ServerStats QpiServer::GetStats() const {
   stats.tasks_morsel = sched_tasks_[1].load(std::memory_order_relaxed);
   stats.tasks_stolen = sched_stolen_.load(std::memory_order_relaxed);
   stats.run_queue_depth = sched_depth_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    stats.sessions = sessions_.size();
-    for (const auto& session : sessions_) {
-      stats.watchers += session->num_watches();
-    }
+  for (const auto& loop : loops_) {
+    stats.sessions += loop->num_connections();
+    stats.watchers += loop->num_watches();
+    stats.snapshot_sends += loop->snapshots_sent();
   }
+  stats.snapshot_builds = broadcast_.serializations();
   return stats;
+}
+
+WireSnapshot QpiServer::BuildWireSnapshot(QueryHandle* h, uint64_t seq,
+                                          bool force_final) {
+  WireSnapshot snap;
+  snap.id = h->id;
+  snap.seq = seq;
+  // Read the terminal state BEFORE the slot: the worker publishes the
+  // terminal snapshot first and stores the terminal state with release
+  // ordering, so observing a terminal state here guarantees the slot load
+  // below returns the exact final T̂ = C snapshot.
+  bool terminal = h->IsTerminal();
+  snap.state = h->WireState();
+  snap.final_snapshot = terminal || force_final;
+  snap.gnm = h->slot.Load();
+  // No per-stream clamp needed: Progress() maintains a query-global
+  // CAS-max floor, so consecutive builds are monotone for every stream.
+  snap.progress = h->Progress();
+  snap.rows = h->rows_emitted.load(std::memory_order_relaxed);
+  snap.server_ms = MonotonicMs();
+  snap.ops = CollectOperatorCounters(*h->accountant);
+  if (h->ola != nullptr) {
+    OlaSnapshot ola = h->ola_slot.Load();
+    snap.ola.present = true;
+    snap.ola.draws = ola.draws;
+    snap.ola.groups = ola.groups;
+    snap.ola.frozen = ola.frozen;
+    snap.ola.exact = ola.exact;
+    snap.ola.labels = h->ola->labels();
+    snap.ola.estimate.assign(ola.estimate, ola.estimate + ola.num_aggregates);
+    snap.ola.half_width.assign(ola.half_width,
+                               ola.half_width + ola.num_aggregates);
+  }
+  return snap;
 }
 
 Status QpiServer::BuildTrace(uint64_t id, TraceDump* out) {
@@ -612,24 +663,6 @@ void QpiServer::TerminalizeQueued(QueryHandle* handle) {
   metrics_.cancelled->Increment();
 }
 
-void QpiServer::ReapSessions(bool join_all) {
-  std::vector<std::unique_ptr<Session>> dead;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-      if (join_all || (*it)->Finished()) {
-        dead.push_back(std::move(*it));
-        it = sessions_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  // Join outside the lock: a join can block, and stats readers need the
-  // session list meanwhile.
-  for (auto& session : dead) session->Join();
-}
-
 void QpiServer::AcceptLoop() {
   while (true) {
     struct pollfd fds[2];
@@ -644,20 +677,14 @@ void QpiServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;
     }
-    ReapSessions(false);
     if (fds[1].revents != 0) break;  // drain requested
     if (fds[0].revents & POLLIN) {
       int client_fd = ::accept(listen_fd_, nullptr, nullptr);
       if (client_fd < 0) continue;
-      auto session = std::make_unique<Session>(
-          this, client_fd, options_.max_line_bytes,
-          next_tenant_.fetch_add(1, std::memory_order_relaxed));
-      Session* raw = session.get();
-      {
-        std::lock_guard<std::mutex> lock(sessions_mu_);
-        sessions_.push_back(std::move(session));
-      }
-      raw->Start();
+      // Shard round-robin: connection state lives entirely on its loop.
+      loops_[next_loop_]->AddConnection(
+          client_fd, next_tenant_.fetch_add(1, std::memory_order_relaxed));
+      next_loop_ = (next_loop_ + 1) % loops_.size();
     }
   }
   DrainInternal();
@@ -669,8 +696,8 @@ void QpiServer::AcceptLoop() {
 ///  3. the dispatcher joins (NextRunnable returns nullptr);
 ///  4. running queries get drain_deadline to finish, then RequestCancel;
 ///  5. the scheduler fleet drains its queued tasks and joins;
-///  6. every session flushes a final snapshot per watch + bye, then its
-///     socket is force-closed and both its threads join;
+///  6. every event loop flushes one final snapshot per watch + bye, closes
+///     connections as their queues empty (deadline-bounded), and joins;
 ///  7. the listen socket closes and drained_ flips.
 void QpiServer::DrainInternal() {
   draining_.store(true, std::memory_order_release);
@@ -701,24 +728,10 @@ void QpiServer::DrainInternal() {
     (void)feedback_cache_.SaveToFile(options_.feedback_cache_path);
   }
 
-  std::vector<Session*> open_sessions;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (const auto& session : sessions_) {
-      open_sessions.push_back(session.get());
-    }
-  }
-  for (Session* session : open_sessions) session->BeginDrain();
-  auto deadline =
-      std::chrono::steady_clock::now() + options_.session_drain_deadline;
-  for (Session* session : open_sessions) {
-    while (!session->WriterDone() &&
-           std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    session->ForceClose();  // unblocks the reader (and a stuck writer)
-  }
-  ReapSessions(/*join_all=*/true);
+  // Each loop enforces session_drain_deadline internally: flush finals +
+  // bye, close connections as their queues empty, force-close stragglers.
+  for (auto& loop : loops_) loop->BeginDrain();
+  for (auto& loop : loops_) loop->Join();
 
   ::close(listen_fd_);
   listen_fd_ = -1;

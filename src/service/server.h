@@ -25,12 +25,11 @@
 #include "progress/snapshot_slot.h"
 #include "progress/trace_ring.h"
 #include "service/admission_queue.h"
+#include "service/event_loop.h"
 #include "service/protocol.h"
 #include "storage/catalog.h"
 
 namespace qpi {
-
-class Session;
 
 /// \brief One submitted query, from SUBMIT to its terminal snapshot.
 ///
@@ -163,20 +162,26 @@ struct ServerMetrics {
 /// both directions (see protocol.h / DESIGN.md §10).
 ///
 /// Structure:
-///  - accept thread: poll()s the listen socket plus a self-pipe; spawns a
-///    Session (reader + writer thread) per connection, reaps finished
-///    ones, and runs the drain when the pipe fires;
+///  - accept thread: poll()s the listen socket plus a self-pipe; hands
+///    each accepted connection to an event-loop shard round-robin, and
+///    runs the drain when the pipe fires;
+///  - event-loop shards: `event_loops` epoll threads owning the session
+///    state (nonblocking sockets, per-connection buffers, watch
+///    subscriptions grouped into cadence classes) — see event_loop.h;
 ///  - dispatcher thread: pops the admission queue (per-session fair-share,
 ///    at most `max_inflight` running) and submits queries to the fleet;
 ///  - fleet: a TaskScheduler shared with the engine's intra-query
 ///    parallelism — each admitted query is a query-lane task tagged with
 ///    its id, and any morsel/partition fan-out it performs lands on the
 ///    same workers as subtasks. Workers run each query to completion,
-///    publishing snapshots through the per-query SnapshotSlot.
+///    publishing snapshots through the per-query SnapshotSlot, which the
+///    loops' broadcast cache serializes once per (query, cadence class)
+///    and fans out to every watcher.
 ///
-/// Snapshot delivery is *coalescing*: a watcher's writer reads the latest
-/// slot at each send instant, so a slow client sees fewer snapshots —
-/// always the freshest — and never accumulates a backlog.
+/// Snapshot delivery is *coalescing*: each cadence-class due instant is
+/// built from the query's *latest* snapshot slot, and a connection whose
+/// write queue is over the watermark skips the instant entirely — a slow
+/// client sees fewer snapshots, always the freshest, never a backlog.
 ///
 /// Graceful drain (SIGTERM via the self-pipe, or Shutdown()): stop
 /// admitting, cancel still-queued queries, let running queries finish
@@ -188,6 +193,10 @@ class QpiServer {
     uint16_t port = 0;  ///< 0 = ephemeral; see port() after Start()
     size_t max_inflight = 2;
     size_t exec_workers = 2;  ///< scheduler fleet size
+    /// Event-loop shards serving the connections. A small number: each
+    /// shard multiplexes thousands of nonblocking sockets, so this scales
+    /// with cores spent on delivery, not with watcher count.
+    size_t event_loops = 2;
     uint64_t publish_interval = 1024;
     size_t max_line_bytes = kDefaultMaxLineBytes;
     /// Per-query trace-ring capacity (samples kept per progress curve).
@@ -262,6 +271,14 @@ class QpiServer {
 
   QueryHandle* FindQuery(uint64_t id);
 
+  /// Build one wire snapshot from the query's latest published state.
+  /// `seq` is the stream sequence number (the broadcast cache's per-class
+  /// counter); `force_final` marks it final regardless of terminal state
+  /// (the drain flush of queries that never ran). Reads the terminal
+  /// state BEFORE the slot to inherit the terminal-exactness ordering.
+  WireSnapshot BuildWireSnapshot(QueryHandle* handle, uint64_t seq,
+                                 bool force_final);
+
   ServerStats GetStats() const;
 
   /// Fill a TRACE reply for query `id`: the retained curve, the plan's
@@ -278,8 +295,6 @@ class QpiServer {
   FeedbackCache* feedback_cache() { return &feedback_cache_; }
 
  private:
-  friend class Session;
-
   void AcceptLoop();
   void DispatchLoop();
   void RunOne(QueryHandle* handle);
@@ -291,7 +306,6 @@ class QpiServer {
   /// drain): publishes its seeded snapshot as final with state cancelled.
   void TerminalizeQueued(QueryHandle* handle);
   void DrainInternal();
-  void ReapSessions(bool join_all);
 
   Catalog* catalog_;
   Options options_;
@@ -316,8 +330,11 @@ class QpiServer {
   std::unordered_map<uint64_t, std::unique_ptr<QueryHandle>> queries_;
   std::atomic<uint64_t> next_id_{1};
 
-  mutable std::mutex sessions_mu_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  /// Broadcast fan-out cache, shared by every loop shard. Declared before
+  /// the loops so it outlives them on destruction.
+  SnapshotBroadcast broadcast_{this};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  size_t next_loop_ = 0;  ///< accept-thread round-robin cursor
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> finished_{0};

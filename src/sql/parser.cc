@@ -1,5 +1,9 @@
 #include "sql/parser.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
 #include "common/table_printer.h"
 #include "sql/lexer.h"
 
@@ -239,12 +243,37 @@ class Parser {
   Status ParseLiteral(Value* out) {
     const Token& token = Current();
     switch (token.kind) {
-      case TokenKind::kInteger:
-        *out = Value(static_cast<int64_t>(std::stoll(token.text)));
+      case TokenKind::kInteger: {
+        // strtoll, not std::stoll: the statement arrives off the wire, and
+        // a throwing conversion on `WHERE x = 99999999999999999999` would
+        // unwind through the server instead of producing an error reply.
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(token.text.c_str(), &end, 10);
+        if (errno == ERANGE) {
+          return Error("integer literal out of range: " + token.text);
+        }
+        if (end == token.text.c_str() || *end != '\0') {
+          return Error("malformed integer literal: " + token.text);
+        }
+        *out = Value(static_cast<int64_t>(v));
         break;
-      case TokenKind::kDecimal:
-        *out = Value(std::stod(token.text));
+      }
+      case TokenKind::kDecimal: {
+        errno = 0;
+        char* end = nullptr;
+        double v = std::strtod(token.text.c_str(), &end);
+        if (end == token.text.c_str() || *end != '\0') {
+          return Error("malformed numeric literal: " + token.text);
+        }
+        // Overflow to ±inf is rejected; gradual underflow to a subnormal
+        // (also ERANGE on some libcs) is a representable value and kept.
+        if (!std::isfinite(v)) {
+          return Error("numeric literal out of range: " + token.text);
+        }
+        *out = Value(v);
         break;
+      }
       case TokenKind::kString:
         *out = Value(token.text);
         break;

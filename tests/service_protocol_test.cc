@@ -21,6 +21,7 @@
 #include "service/client.h"
 #include "service/net.h"
 #include "service/protocol.h"
+#include "service/protocol_binary.h"
 #include "service/server.h"
 #include "storage/catalog.h"
 
@@ -86,6 +87,12 @@ TEST(ServiceProtocol, RejectsMalformedRequestsWithStatusNotCrash) {
       "{\"cmd\":\"watch\",\"id\":1.5}",             // fractional id
       "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":0}",
       "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":-5}",
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":1e999}",   // overflows to inf
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":-1e999}",  // -inf
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":null}",    // JSON's NaN/inf
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":\"10\"}",  // not a number
+      "{\"cmd\":\"hello\",\"snapshots\":\"gzip\"}",
+      "{\"cmd\":\"hello\",\"snapshots\":1}",
       "{\"cmd\":\"cancel\"}",
       "{\"cmd\":\"frobnicate\"}",
       "{\"sql\":\"SELECT 1\"}",                     // missing cmd
@@ -338,6 +345,185 @@ TEST(ServiceProtocol, StatsRoundTrip) {
   EXPECT_EQ(decoded.draining, stats.draining);
 }
 
+// ---- binary snapshot frames -------------------------------------------------
+
+WireSnapshot MakeRichSnapshot() {
+  WireSnapshot snap;
+  snap.id = 42;
+  snap.seq = 17;
+  snap.state = "running";
+  snap.final_snapshot = false;
+  snap.progress = 0.3333333333333333;
+  snap.gnm.current_calls = 123456789.0;
+  snap.gnm.total_estimate = 987654321.123456789;
+  snap.gnm.ci_half_width = std::numeric_limits<double>::quiet_NaN();
+  snap.gnm.tick = 99;
+  snap.rows = 4242;
+  snap.server_ms = 1e7 + 0.125;
+  OperatorCounter op;
+  op.label = "grace_hash_join";
+  op.state = OpState::kRunning;
+  op.emitted = 777;
+  op.optimizer_estimate = 1e6;
+  snap.ops.push_back(op);
+  OperatorCounter scan;
+  scan.label = "seq_scan";
+  scan.state = OpState::kFinished;
+  scan.emitted = 120000;
+  scan.optimizer_estimate = std::numeric_limits<double>::infinity();
+  snap.ops.push_back(scan);
+  snap.ola.present = true;
+  snap.ola.draws = 5000;
+  snap.ola.groups = 12.5;
+  snap.ola.frozen = true;
+  snap.ola.exact = false;
+  snap.ola.labels = {"sum_qty", "avg_price"};
+  snap.ola.estimate = {1.5e6, std::numeric_limits<double>::quiet_NaN()};
+  snap.ola.half_width = {310.25, 0.5};
+  return snap;
+}
+
+void ExpectSameSnapshot(const WireSnapshot& a, const WireSnapshot& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.final_snapshot, b.final_snapshot);
+  EXPECT_EQ(a.progress, b.progress);
+  EXPECT_EQ(a.gnm.current_calls, b.gnm.current_calls);
+  EXPECT_EQ(a.gnm.tick, b.gnm.tick);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.server_ms, b.server_ms);
+  // NaN-aware double compare: both wires turn non-finite into null/absent
+  // and decode it back to the same default.
+  auto same = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  EXPECT_TRUE(same(a.gnm.total_estimate, b.gnm.total_estimate));
+  EXPECT_TRUE(same(a.gnm.ci_half_width, b.gnm.ci_half_width));
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].label, b.ops[i].label);
+    EXPECT_EQ(a.ops[i].state, b.ops[i].state);
+    EXPECT_EQ(a.ops[i].emitted, b.ops[i].emitted);
+    EXPECT_TRUE(
+        same(a.ops[i].optimizer_estimate, b.ops[i].optimizer_estimate));
+  }
+  EXPECT_EQ(a.ola.present, b.ola.present);
+  EXPECT_EQ(a.ola.draws, b.ola.draws);
+  EXPECT_TRUE(same(a.ola.groups, b.ola.groups));
+  EXPECT_EQ(a.ola.frozen, b.ola.frozen);
+  EXPECT_EQ(a.ola.exact, b.ola.exact);
+  EXPECT_EQ(a.ola.labels, b.ola.labels);
+  ASSERT_EQ(a.ola.estimate.size(), b.ola.estimate.size());
+  for (size_t i = 0; i < a.ola.estimate.size(); ++i) {
+    EXPECT_TRUE(same(a.ola.estimate[i], b.ola.estimate[i]));
+  }
+  ASSERT_EQ(a.ola.half_width.size(), b.ola.half_width.size());
+  for (size_t i = 0; i < a.ola.half_width.size(); ++i) {
+    EXPECT_TRUE(same(a.ola.half_width[i], b.ola.half_width[i]));
+  }
+}
+
+/// What FrameReader hands DecodeSnapshotFrame: the kind byte + body (the
+/// magic and length prefix are consumed by the framing layer).
+std::string FramePayload(const std::string& frame) {
+  std::string payload(1, frame[1]);
+  payload.append(frame, kFrameHeaderBytes, std::string::npos);
+  return payload;
+}
+
+TEST(ServiceProtocolBinary, FrameRoundTripsExactly) {
+  WireSnapshot snap = MakeRichSnapshot();
+  // Non-finite optimizer estimates decode to 0 by design (the shared
+  // DecodeSnapshot default) — exact round-tripping is for finite values,
+  // which the differential test covers on the non-finite side.
+  snap.ops[1].optimizer_estimate = 5e5;
+  std::string frame = EncodeSnapshotFrame(snap);
+  ASSERT_GE(frame.size(), kFrameHeaderBytes);
+  EXPECT_EQ(static_cast<uint8_t>(frame[0]), kFrameMagic);
+  EXPECT_EQ(static_cast<uint8_t>(frame[1]), kFrameKindSnapshot);
+  uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_len |= static_cast<uint32_t>(static_cast<uint8_t>(frame[2 + i]))
+                << (8 * i);
+  }
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + body_len);
+
+  WireSnapshot decoded;
+  ASSERT_TRUE(DecodeSnapshotFrame(FramePayload(frame), &decoded).ok());
+  ExpectSameSnapshot(snap, decoded);
+}
+
+TEST(ServiceProtocolBinary, JsonAndBinaryWiresDecodeIdentically) {
+  // Differential: the same snapshot through both wire forms must decode
+  // into equal structs — including the non-finite → null/absent → NaN
+  // default rule both encoders share.
+  for (bool final_snapshot : {false, true}) {
+    WireSnapshot snap = MakeRichSnapshot();
+    snap.final_snapshot = final_snapshot;
+
+    JsonValue value;
+    ASSERT_TRUE(JsonParse(EncodeSnapshot(snap), &value).ok());
+    WireSnapshot from_json;
+    ASSERT_TRUE(DecodeSnapshot(value, &from_json).ok());
+
+    std::string frame = EncodeSnapshotFrame(snap);
+    WireSnapshot from_binary;
+    ASSERT_TRUE(
+        DecodeSnapshotFrame(FramePayload(frame), &from_binary).ok());
+
+    ExpectSameSnapshot(from_json, from_binary);
+    // And both re-encode to the same frame bytes: decode is lossless.
+    EXPECT_EQ(EncodeSnapshotFrame(from_json), EncodeSnapshotFrame(from_binary));
+  }
+}
+
+TEST(ServiceProtocolBinary, EveryTruncatedFramePrefixFailsCleanly) {
+  WireSnapshot snap = MakeRichSnapshot();
+  std::string frame = EncodeSnapshotFrame(snap);
+  // The decoder sees kind + body; truncate at every possible length.
+  std::string payload = FramePayload(frame);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    WireSnapshot decoded;
+    Status s = DecodeSnapshotFrame(payload.substr(0, len), &decoded);
+    EXPECT_FALSE(s.ok()) << "prefix length " << len;
+  }
+  // The full payload still decodes — the loop above proves every strict
+  // prefix errors, not that the decoder is simply broken.
+  WireSnapshot decoded;
+  EXPECT_TRUE(DecodeSnapshotFrame(payload, &decoded).ok());
+  // Trailing garbage after a complete body is an error, not ignored.
+  WireSnapshot decoded2;
+  EXPECT_FALSE(DecodeSnapshotFrame(payload + "x", &decoded2).ok());
+}
+
+TEST(ServiceProtocolBinary, HostileCountsAndRandomBodiesNeverCrash) {
+  // An element count far past the remaining bytes must error immediately
+  // (no multi-gigabyte reserve), and random bodies must always return.
+  std::string bomb;
+  bomb.push_back(static_cast<char>(kFrameKindSnapshot));
+  bomb.append("\x2a\x00\x00\x00\x00\x00\x00\x00", 8);  // id
+  bomb.append("\x00\x00\x00\x00\x00\x00\x00\x00", 8);  // seq
+  bomb.append("\xff\xff", 2);  // state length 65535 with no bytes behind it
+  WireSnapshot out;
+  EXPECT_FALSE(DecodeSnapshotFrame(bomb, &out).ok());
+
+  Pcg32 rng(0xbeefcafeULL);
+  for (int round = 0; round < 4000; ++round) {
+    size_t len = rng.NextBounded(128);
+    std::string body;
+    body.push_back(static_cast<char>(kFrameKindSnapshot));
+    for (size_t i = 0; i < len; ++i) {
+      body.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    WireSnapshot decoded;
+    (void)DecodeSnapshotFrame(body, &decoded);  // must simply return
+  }
+  // Unknown frame kinds are rejected too.
+  EXPECT_FALSE(DecodeSnapshotFrame(std::string("\x7f", 1), &out).ok());
+  EXPECT_FALSE(DecodeSnapshotFrame(std::string_view(), &out).ok());
+}
+
 TEST(ServiceProtocol, EncodedStringsEscapeHostileSql) {
   WireSnapshot snap;
   snap.state = "run\"ning\n\\evil\x01";
@@ -436,6 +622,80 @@ TEST_F(ServiceAbuseTest, GarbageGetsErrorRepliesAndSessionSurvives) {
       "{\"cmd\":\"submit\",\"sql\":\"SELECT * FROM nation\"}\n"));
   ASSERT_TRUE(conn.ReadType(&type));
   EXPECT_EQ(type, "submitted");
+}
+
+TEST_F(ServiceAbuseTest, OutOfRangeLiteralGetsErrorReplyNotDeadServer) {
+  // Regression: ParseLiteral used std::stoll/std::stod unguarded, so a
+  // literal past int64 range threw std::out_of_range through the session
+  // thread and took the whole server down. It must be an error reply.
+  RawConn conn;
+  ASSERT_TRUE(conn.Open(server_->port()).ok());
+  std::string type;
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "hello");
+
+  ASSERT_TRUE(conn.Send(
+      "{\"cmd\":\"submit\",\"sql\":\"SELECT * FROM nation WHERE "
+      "n_nationkey = 99999999999999999999\"}\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+
+  // Decimal exponent overflow goes through the same guard.
+  ASSERT_TRUE(conn.Send(
+      "{\"cmd\":\"submit\",\"sql\":\"SELECT * FROM nation WHERE "
+      "n_nationkey = 1e99999\"}\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+
+  // The connection and the server both survived: a well-formed submit on
+  // the same connection and a fresh connection both still work.
+  ASSERT_TRUE(conn.Send(
+      "{\"cmd\":\"submit\",\"sql\":\"SELECT * FROM nation\"}\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "submitted");
+
+  QpiClient fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", server_->port()).ok());
+  uint64_t id = 0;
+  ASSERT_TRUE(fresh.Submit("SELECT * FROM customer", &id).ok());
+  WireSnapshot final_snap;
+  ASSERT_TRUE(fresh.Watch(id, 5, nullptr, &final_snap).ok());
+  EXPECT_EQ(final_snap.state, "finished");
+  EXPECT_TRUE(fresh.Quit().ok());
+}
+
+TEST_F(ServiceAbuseTest, WireSuppliedNonFinitePeriodIsRejected) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Open(server_->port()).ok());
+  std::string type;
+  ASSERT_TRUE(conn.ReadType(&type));
+  ASSERT_EQ(type, "hello");
+
+  // 1e999 overflows double to +inf; null is how the JSON wire spells a
+  // non-finite number. Both must bounce before reaching a timer.
+  const char* kBadWatches[] = {
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":1e999}\n",
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":null}\n",
+      "{\"cmd\":\"watch\",\"id\":1,\"period_ms\":-1e999}\n",
+  };
+  for (const char* request : kBadWatches) {
+    ASSERT_TRUE(conn.Send(request));
+    ASSERT_TRUE(conn.ReadType(&type));
+    EXPECT_EQ(type, "error") << request;
+  }
+
+  // OLA targets are wire-supplied doubles too: a non-finite target must
+  // be rejected by validation, not poison the stop rule.
+  ASSERT_TRUE(conn.Send(
+      "{\"cmd\":\"submit\",\"sql\":\"SELECT sum(totalprice) FROM orders\","
+      "\"ola\":{\"target_rel\":1e999}}\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "error");
+
+  // Connection still serving.
+  ASSERT_TRUE(conn.Send("{\"cmd\":\"stats\"}\n"));
+  ASSERT_TRUE(conn.ReadType(&type));
+  EXPECT_EQ(type, "stats");
 }
 
 TEST_F(ServiceAbuseTest, HostileSessionDoesNotDisconnectAnotherSession) {
